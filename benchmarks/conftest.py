@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+``REPRO_BENCH_EXPERIMENTS`` controls how many overlapping experiment
+chunks each cell runs (the paper uses 80; the default here is 40 to
+keep the full suite around a few minutes).  Set it to 80 to reproduce
+at paper scale::
+
+    REPRO_BENCH_EXPERIMENTS=80 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.traces.library import DEFAULT_SEED
+
+
+def num_experiments() -> int:
+    return int(os.environ.get("REPRO_BENCH_EXPERIMENTS", "40"))
+
+
+@pytest.fixture(scope="session")
+def bench_experiments() -> int:
+    return num_experiments()
+
+
+@pytest.fixture(scope="session")
+def low_runner(bench_experiments) -> ExperimentRunner:
+    return ExperimentRunner("low", num_experiments=bench_experiments,
+                            seed=DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def high_runner(bench_experiments) -> ExperimentRunner:
+    return ExperimentRunner("high", num_experiments=bench_experiments,
+                            seed=DEFAULT_SEED)
+
+
+def runner_for(window: str, low, high) -> ExperimentRunner:
+    return low if window == "low" else high

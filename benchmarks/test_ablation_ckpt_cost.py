@@ -1,0 +1,51 @@
+"""Ablation — checkpoint-cost sensitivity, t_c ∈ {60 … 1800} s.
+
+The paper evaluates only t_c ∈ {300, 900}; this sweep fills in the
+curve: costs grow with t_c (more slack burned per commit, longer
+rollbacks), and the growth steepens once the hourly checkpoint budget
+stops fitting inside the slack.
+"""
+
+from __future__ import annotations
+
+from repro.app.workload import paper_experiment
+from repro.experiments.metrics import box, deadline_violations
+from repro.experiments.reporting import format_table
+
+CKPT_COSTS = (60.0, 300.0, 600.0, 900.0, 1800.0)
+
+
+def _sweep(runner):
+    rows = []
+    for tc in CKPT_COSTS:
+        config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=tc)
+        records = runner.run_single_zone("markov-daly", config, bid=0.81)
+        stats = box(records)
+        rows.append(
+            {
+                "tc": tc,
+                "median": stats.median,
+                "max": stats.maximum,
+                "violations": len(deadline_violations(records)),
+            }
+        )
+    return rows
+
+
+def test_ckpt_cost_ablation(benchmark, low_runner):
+    rows = benchmark.pedantic(_sweep, args=(low_runner,), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["t_c (s)", "median $", "max $", "violations"],
+            [[r["tc"], r["median"], r["max"], r["violations"]] for r in rows],
+        )
+    )
+    assert all(r["violations"] == 0 for r in rows)
+    medians = [r["median"] for r in rows]
+    # monotone-ish growth: each 3x-6x step in t_c never *reduces* cost
+    # beyond noise
+    for cheap, costly in zip(medians, medians[1:]):
+        assert costly >= cheap * 0.9
+    # the extremes differ materially
+    assert medians[-1] > medians[0] * 1.5

@@ -1,0 +1,36 @@
+"""Ablation — slack sensitivity (densifying the paper's 15%/50% axis).
+
+Section 6: "Higher T_l results in lower worst-case costs but does not
+significantly affect the median costs of redundancy-based policies."
+This sweep measures both effects across slack ∈ {10% … 100%}.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import sweep_slack
+
+FRACTIONS = (0.10, 0.15, 0.25, 0.50, 0.75, 1.00)
+
+
+def test_slack_ablation(benchmark, high_runner):
+    points = benchmark.pedantic(
+        sweep_slack,
+        args=(high_runner, FRACTIONS),
+        kwargs={"redundant": True, "bid": 0.81},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["slack", "median $", "q3 $", "max $", "violations"],
+        [p.row() for p in points],
+    ))
+    assert all(p.violations == 0 for p in points)
+    by_fraction = {p.value: p for p in points}
+    # worst case improves substantially with slack
+    assert by_fraction[1.00].stats.maximum <= by_fraction[0.10].stats.maximum
+    # median moves much less once slack is ample (the paper's claim)
+    median_50 = by_fraction[0.50].stats.median
+    median_100 = by_fraction[1.00].stats.median
+    assert median_100 >= median_50 * 0.5

@@ -1,0 +1,51 @@
+"""Ablation — redundancy degree N ∈ {1, 2, 3}.
+
+Section 6: "We observed diminishing returns with N <= 2 zones for
+redundancy" — i.e. going from one to three zones improves availability
+markedly, but most of the benefit is already captured by the second
+zone, and each extra zone adds cost.  This sweep quantifies that trade
+in the volatile window at the paper's preferred bid.
+"""
+
+from __future__ import annotations
+
+from repro.app.workload import paper_experiment
+from repro.experiments.metrics import box, deadline_violations
+from repro.experiments.reporting import format_table
+
+
+def _sweep(runner):
+    config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+    rows = []
+    for n in (1, 2, 3):
+        records = runner.run_redundant("markov-daly", config, bid=0.81, num_zones=n)
+        stats = box(records)
+        rows.append(
+            {
+                "n": n,
+                "median": stats.median,
+                "q3": stats.q3,
+                "max": stats.maximum,
+                "violations": len(deadline_violations(records)),
+            }
+        )
+    return rows
+
+
+def test_zone_degree_ablation(benchmark, high_runner):
+    rows = benchmark.pedantic(_sweep, args=(high_runner,), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["N", "median $", "q3 $", "max $", "violations"],
+            [[r["n"], r["median"], r["q3"], r["max"], r["violations"]] for r in rows],
+        )
+    )
+    by_n = {r["n"]: r for r in rows}
+    assert all(r["violations"] == 0 for r in rows)
+    # adding the second zone helps at low slack in the volatile window
+    assert by_n[2]["median"] <= by_n[1]["median"] * 1.02
+    # the third zone's marginal gain is smaller than the second's
+    gain2 = by_n[1]["median"] - by_n[2]["median"]
+    gain3 = by_n[2]["median"] - by_n[3]["median"]
+    assert gain3 <= gain2 + 2.0

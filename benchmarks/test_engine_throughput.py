@@ -1,0 +1,47 @@
+"""Raw simulator throughput — how fast one experiment simulates.
+
+Not a paper artifact; keeps the engine honest as the codebase grows
+(the evaluation harness runs tens of thousands of these).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.workload import paper_experiment
+from repro.core.engine import SpotSimulator
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+from repro.traces.library import evaluation_window
+
+
+def test_single_zone_run_speed(benchmark):
+    trace, eval_start = evaluation_window("high")
+    sim = SpotSimulator(
+        oracle=PriceOracle(trace),
+        queue_model=QueueDelayModel(),
+        rng=np.random.default_rng(0),
+    )
+    config = paper_experiment(slack_fraction=0.5)
+
+    result = benchmark(
+        sim.run, config, PeriodicPolicy(), 0.81, ("us-east-1a",), eval_start
+    )
+    assert result.met_deadline
+
+
+def test_redundant_run_speed(benchmark):
+    trace, eval_start = evaluation_window("high")
+    sim = SpotSimulator(
+        oracle=PriceOracle(trace),
+        queue_model=QueueDelayModel(),
+        rng=np.random.default_rng(0),
+    )
+    config = paper_experiment(slack_fraction=0.5)
+
+    result = benchmark(
+        sim.run, config, MarkovDalyPolicy(), 0.81, trace.zone_names, eval_start
+    )
+    assert result.met_deadline

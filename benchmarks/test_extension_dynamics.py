@@ -1,0 +1,88 @@
+"""Extension — Section 3.2's run-time dynamics, measured.
+
+The paper claims Algorithm 1 "can potentially handle changes in the
+input parameters such as the deadline D (modified by the user during
+application runtime) or variation in application performance".  These
+benchmarks exercise both extensions on the volatile window:
+
+* mid-run deadline extension lets a run ride out a storm on spot
+  instead of migrating (cheaper);
+* a slow application phase consumes slack and forces earlier/larger
+  on-demand purchases (costlier), while the deadline still holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.dynamics import DeadlineSchedule, PerformanceProfile
+from repro.app.workload import paper_experiment
+from repro.core.engine import SpotSimulator
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.experiments.reporting import format_table
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+from repro.traces.library import evaluation_window
+
+
+def _run_matrix():
+    trace, eval_start = evaluation_window("high")
+    oracle = PriceOracle(trace)
+    config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+    rows = []
+    starts = [eval_start + d * 86400.0 for d in (2, 6, 10, 14, 18)]
+    variants = {
+        "baseline": {},
+        "deadline +4h at t=6h": {
+            "deadline_schedule": lambda s: DeadlineSchedule(
+                updates=((s + 6 * 3600.0, s + config.deadline_s + 4 * 3600.0),)
+            )
+        },
+        "70% speed from t=5h to t=10h": {
+            "performance": lambda s: PerformanceProfile(
+                segments=((s + 5 * 3600.0, 0.7), (s + 10 * 3600.0, 1.0))
+            )
+        },
+    }
+    for label, kwargs_fns in variants.items():
+        costs, makespans, met = [], [], 0
+        for start in starts:
+            sim = SpotSimulator(
+                oracle=oracle, queue_model=QueueDelayModel(),
+                rng=np.random.default_rng(int(start)),
+            )
+            kwargs = {k: fn(start) for k, fn in kwargs_fns.items()}
+            result = sim.run(config, MarkovDalyPolicy(), 0.81,
+                             trace.zone_names, start, **kwargs)
+            costs.append(result.total_cost)
+            makespans.append(result.makespan_s / 3600.0)
+            met += result.met_deadline
+        rows.append({
+            "variant": label,
+            "median_cost": float(np.median(costs)),
+            "median_makespan_h": float(np.median(makespans)),
+            "met": f"{met}/{len(starts)}",
+        })
+    return rows
+
+
+def test_runtime_dynamics(benchmark):
+    rows = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["variant", "median $", "median makespan h", "met deadline"],
+        [[r["variant"], r["median_cost"], r["median_makespan_h"], r["met"]]
+         for r in rows],
+    ))
+    by_label = {r["variant"]: r for r in rows}
+    baseline = by_label["baseline"]
+    extended = by_label["deadline +4h at t=6h"]
+    slowed = by_label["70% speed from t=5h to t=10h"]
+
+    # every variant keeps its (current) deadline
+    assert all(r["met"].split("/")[0] == r["met"].split("/")[1] for r in rows)
+    # extra slack can only help the bill
+    assert extended["median_cost"] <= baseline["median_cost"] + 1.0
+    # a slow phase cannot make the run cheaper or shorter
+    assert slowed["median_cost"] >= baseline["median_cost"] - 1.0
+    assert slowed["median_makespan_h"] >= baseline["median_makespan_h"] - 0.1

@@ -1,0 +1,72 @@
+"""F4 — Figure 4: single-zone checkpoint policies vs best-case redundancy.
+
+Four plots (low/high volatility x 15%/50% slack) at t_c = 300 s, with
+Threshold / Edge / Periodic / Markov-Daly merged over the three zones
+and the per-experiment best-case redundancy box, at B in {0.27, 0.81,
+2.40}.
+
+Paper shapes asserted:
+* low volatility: Periodic (and Markov-Daly) at B=$0.81 run close to
+  the lowest-spot reference, far below on-demand;
+* high volatility, low slack: the best-case redundancy box beats every
+  single-zone policy at B=$0.81 (paper: by 23.9% over Periodic);
+* high volatility, high slack: single-zone policies reach medians at
+  or below the redundancy box (redundancy pays for three zones);
+* nothing ever misses its deadline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures, reporting
+
+
+def _run_quadrant(runner, slack):
+    return figures.fig4_quadrant(runner, slack_fraction=slack)
+
+
+def _by_label_bid(cells):
+    return {(c.label, c.bid): c for c in cells}
+
+
+@pytest.mark.parametrize("window,slack", figures.QUADRANTS,
+                         ids=[f"{w}-slack{int(s*100)}" for w, s in figures.QUADRANTS])
+def test_fig4_quadrant(benchmark, window, slack, low_runner, high_runner):
+    runner = low_runner if window == "low" else high_runner
+    cells = benchmark.pedantic(
+        _run_quadrant, args=(runner, slack), rounds=1, iterations=1
+    )
+    title = f"Figure 4 — window={window} slack={slack:.0%} t_c=300s"
+    print()
+    print(reporting.render_cells(title, cells, figures.fig4_reference_lines()))
+
+    table = _by_label_bid(cells)
+    assert all(c.violations == 0 for c in cells), "deadline guarantee violated"
+
+    if window == "low":
+        # single-zone Periodic at $0.81 runs close to the lowest-spot line
+        periodic = table[("periodic", 0.81)].stats
+        assert periodic.median < 10.0
+        assert periodic.median < 48.0 / 4
+    else:
+        best_single = min(
+            table[(label, 0.81)].stats.median
+            for label in figures.SINGLE_ZONE_POLICIES
+        )
+        redundant = table[("redundant-best", 0.81)].stats.median
+        if slack < 0.3:
+            # redundancy wins clearly at low slack
+            assert redundant < best_single * 0.9
+        else:
+            # at high slack single-zone policies catch up at some bid
+            best_single_any = min(
+                table[(label, bid)].stats.median
+                for label in figures.SINGLE_ZONE_POLICIES
+                for bid in figures.FIGURE_BIDS
+            )
+            redundant_any = min(
+                table[("redundant-best", bid)].stats.median
+                for bid in figures.FIGURE_BIDS
+            )
+            assert best_single_any < redundant_any * 1.15

@@ -1,0 +1,22 @@
+"""QD — Section 5: spot-instance queuing delay statistics.
+
+Paper numbers (two months of twice-daily probes): average 299.6 s,
+best case 143 s, worst case 880 s.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+
+def test_sec5_queuing(benchmark):
+    stats = benchmark(figures.sec5_queuing_stats)
+    print()
+    print(reporting.render_queuing("Section 5 — spot queuing delay", stats))
+
+    # the population mean is calibrated to the paper's 299.6 s
+    assert abs(stats["population_mean_s"] - 299.6) < 15.0
+    # the campaign's extremes land inside (and near) the observed range
+    assert stats["min_s"] >= 143.0
+    assert stats["max_s"] <= 880.0
+    assert stats["max_s"] > 600.0

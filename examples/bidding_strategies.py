@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bid-price economics: sweep the bid grid and compare to Large-bid.
+
+For one experiment in the volatile window this example sweeps a
+single-zone Markov-Daly policy across the paper's bid grid ($0.27 …
+$3.07), showing the cost/availability trade that motivates Adaptive's
+bid search; then it contrasts the Large-bid family (B=$100 with a
+cost-control threshold L) whose worst case is unbounded.
+
+Usage::
+
+    python examples/bidding_strategies.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LargeBidPolicy,
+    MarkovDalyPolicy,
+    PriceOracle,
+    QueueDelayModel,
+    SpotSimulator,
+    naive_policy,
+    on_demand_cost,
+    paper_experiment,
+)
+from repro.market.constants import LARGE_BID, bid_grid
+from repro.traces.library import FREAK_SPIKE_START, FREAK_SPIKE_ZONE, evaluation_window
+
+
+def bid_sweep() -> None:
+    trace, eval_start = evaluation_window("high")
+    oracle = PriceOracle(trace)
+    config = paper_experiment(slack_fraction=0.5, ckpt_cost_s=300.0)
+    zone = trace.zone_names[0]
+
+    print(f"Markov-Daly, single zone ({zone}), volatile window:")
+    print(f"{'bid':>6s} {'avail':>7s} {'cost':>8s} {'finished on':>12s}")
+    for bid in bid_grid():
+        sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
+                            rng=np.random.default_rng(5))
+        result = sim.run(config, MarkovDalyPolicy(), float(bid), (zone,), eval_start)
+        avail = oracle.trace.zone(zone).availability(float(bid))
+        print(f"{bid:6.2f} {avail:7.2f} ${result.total_cost:7.2f} "
+              f"{result.completed_on:>12s}")
+    print(f"(on-demand reference ${on_demand_cost(config):.2f})\n")
+
+
+def large_bid_spike() -> None:
+    trace, _ = evaluation_window("low")
+    oracle = PriceOracle(trace)
+    config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+    start = FREAK_SPIKE_START - 10 * 3600.0
+
+    print("Large-bid caught by the March 13-14 $20.02 spike "
+          f"(zone {FREAK_SPIKE_ZONE}):")
+    for label, policy in (
+        ("naive (no threshold)", naive_policy()),
+        ("L = $2.40", LargeBidPolicy(2.40)),
+        ("L = $0.81", LargeBidPolicy(0.81)),
+        ("L = $0.27", LargeBidPolicy(0.27)),
+    ):
+        sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
+                            rng=np.random.default_rng(5))
+        result = sim.run(config, policy, LARGE_BID, (FREAK_SPIKE_ZONE,), start)
+        ratio = result.total_cost / on_demand_cost(config)
+        print(f"  {label:<22s} ${result.total_cost:7.2f}  "
+              f"({ratio:4.2f}x on-demand, finished on {result.completed_on})")
+    print("\nthe uncontrolled variants pay the spike in full — the paper's "
+          "$183.75 worst case; a low threshold caps the damage but "
+          "sacrifices cheap hours the rest of the month.")
+
+
+def main() -> None:
+    bid_sweep()
+    large_bid_spike()
+
+
+if __name__ == "__main__":
+    main()

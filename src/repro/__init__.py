@@ -1,0 +1,95 @@
+"""repro — reproduction of Marathe et al., "Exploiting Redundancy for
+Cost-Effective, Time-Constrained Execution of HPC Applications on
+Amazon EC2" (HPDC 2014).
+
+The package simulates time-constrained HPC runs on the EC2 spot
+market: synthetic (or user-supplied) spot-price traces drive an
+implementation of the paper's Algorithm 1 with its four checkpoint
+policies, redundant execution across availability zones, the Adaptive
+policy selector, and the Large-bid and on-demand baselines.
+
+Quickstart::
+
+    from repro import (
+        MarkovDalyPolicy, PriceOracle, SpotSimulator,
+        evaluation_window, paper_experiment, QueueDelayModel,
+    )
+    import numpy as np
+
+    trace, eval_start = evaluation_window("high")
+    sim = SpotSimulator(oracle=PriceOracle(trace),
+                        queue_model=QueueDelayModel(),
+                        rng=np.random.default_rng(1))
+    result = sim.run(
+        config=paper_experiment(slack_fraction=0.5),
+        policy=MarkovDalyPolicy(),
+        bid=0.81,
+        zones=trace.zone_names,
+        start_time=eval_start,
+    )
+    print(result.total_cost, result.met_deadline)
+"""
+
+from repro.app import ApplicationRun, CheckpointStore, ExperimentConfig, paper_experiment
+from repro.core import (
+    AdaptiveController,
+    CheckpointPolicy,
+    LargeBidPolicy,
+    MarkovDalyPolicy,
+    PeriodicPolicy,
+    RisingEdgePolicy,
+    RunResult,
+    SpotSimulator,
+    ThresholdPolicy,
+    naive_policy,
+    on_demand_cost,
+    run_on_demand,
+)
+from repro.market import (
+    ON_DEMAND_PRICE,
+    PriceOracle,
+    QueueDelayModel,
+    ZONES,
+    bid_grid,
+)
+from repro.traces import (
+    SpotPriceTrace,
+    ZoneTrace,
+    canonical_dataset,
+    evaluation_window,
+    read_trace,
+    write_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationRun",
+    "CheckpointStore",
+    "ExperimentConfig",
+    "paper_experiment",
+    "AdaptiveController",
+    "CheckpointPolicy",
+    "LargeBidPolicy",
+    "MarkovDalyPolicy",
+    "PeriodicPolicy",
+    "RisingEdgePolicy",
+    "RunResult",
+    "SpotSimulator",
+    "ThresholdPolicy",
+    "naive_policy",
+    "on_demand_cost",
+    "run_on_demand",
+    "ON_DEMAND_PRICE",
+    "PriceOracle",
+    "QueueDelayModel",
+    "ZONES",
+    "bid_grid",
+    "SpotPriceTrace",
+    "ZoneTrace",
+    "canonical_dataset",
+    "evaluation_window",
+    "read_trace",
+    "write_trace",
+    "__version__",
+]

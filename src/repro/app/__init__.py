@@ -1,0 +1,24 @@
+"""Application substrate: experiment configs, checkpoint store, progress."""
+
+from repro.app.application import ApplicationRun
+from repro.app.checkpoint import CheckpointError, CheckpointRecord, CheckpointStore
+from repro.app.dynamics import (
+    DeadlineSchedule,
+    NOMINAL_PERFORMANCE,
+    PerformanceProfile,
+    STATIC_DEADLINE,
+)
+from repro.app.workload import ExperimentConfig, paper_experiment
+
+__all__ = [
+    "ApplicationRun",
+    "DeadlineSchedule",
+    "PerformanceProfile",
+    "STATIC_DEADLINE",
+    "NOMINAL_PERFORMANCE",
+    "CheckpointError",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "ExperimentConfig",
+    "paper_experiment",
+]

@@ -1,0 +1,95 @@
+"""Application progress model.
+
+The engine monitors application progress "through an interface; e.g.
+MPI_Pcontrol is often used to indicate iteration completion in
+iterative MPI applications" (Section 3.2).  This module provides that
+interface's simulator-side twin: an :class:`ApplicationRun` view over
+the checkpoint store and the per-zone instances, exposing the paper's
+system-model variables P, C_r, T_r and the progress rate P/T that
+Inequality (1) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.checkpoint import CheckpointStore
+from repro.app.workload import ExperimentConfig
+from repro.market.instance import ZoneInstance, ZoneState
+
+
+@dataclass
+class ApplicationRun:
+    """Progress bookkeeping for one experiment run.
+
+    Attributes
+    ----------
+    config:
+        The experiment being executed.
+    start_time:
+        Wall-clock timestamp the experiment started.
+    store:
+        Checkpoint store holding committed progress P.
+    """
+
+    config: ExperimentConfig
+    start_time: float
+    store: CheckpointStore
+
+    @property
+    def deadline(self) -> float:
+        """Absolute wall-clock deadline."""
+        return self.start_time + self.config.deadline_s
+
+    def committed_progress_s(self) -> float:
+        """P — progress that survives any termination."""
+        return self.store.committed_progress_s
+
+    def leading_progress_s(self, instances: list[ZoneInstance]) -> float:
+        """Best progress counting speculative (uncheckpointed) work.
+
+        The maximum over the committed store and every running zone's
+        local run.  This is the P used by the deadline guard: a switch
+        to on-demand first checkpoints the leading computing zone, so
+        its speculative work is *not* lost during migration.
+        """
+        best = self.committed_progress_s()
+        for inst in instances:
+            if inst.state in (ZoneState.COMPUTING, ZoneState.CHECKPOINTING):
+                best = max(best, inst.local_progress_s)
+        return best
+
+    def remaining_compute_s(self, instances: list[ZoneInstance]) -> float:
+        """C_r = C - P (using leading progress)."""
+        return max(self.config.compute_s - self.leading_progress_s(instances), 0.0)
+
+    def remaining_time_s(self, now: float) -> float:
+        """T_r = D - T."""
+        return max(self.deadline - now, 0.0)
+
+    def progress_rate(self, now: float) -> float:
+        """P/T — committed progress per wall-clock second so far.
+
+        Defined as 0 at the first instant (no time has passed).
+        """
+        elapsed = now - self.start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.committed_progress_s() / elapsed
+
+    def slack_consumed_s(self, now: float, instances: list[ZoneInstance]) -> float:
+        """How much of T_l has been burned by downtime and overheads.
+
+        Elapsed wall-clock minus leading progress: zero while the
+        application computes uninterrupted from the start.
+        """
+        elapsed = now - self.start_time
+        return max(elapsed - self.leading_progress_s(instances), 0.0)
+
+    def is_complete(self, instances: list[ZoneInstance]) -> bool:
+        """True when any zone's local run has reached C."""
+        return any(
+            inst.local_progress_s >= self.config.compute_s - 1e-9
+            for inst in instances
+            if inst.state is ZoneState.COMPUTING
+        ) or self.committed_progress_s() >= self.config.compute_s - 1e-9

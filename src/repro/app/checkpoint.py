@@ -1,0 +1,77 @@
+"""Checkpoint store — the on-demand I/O server of Section 5.
+
+Checkpoints are written to an I/O server running on a (cheap,
+non-CC2) on-demand instance with persistent EBS storage; the paper
+ignores its cost because it is a small fraction of a tightly coupled
+run at scale.  What matters to the scheduling problem is the store's
+*content*: the most recent committed progress, which is what every
+zone restarts from and what survives any number of terminations.
+
+The store keeps the full commit history because the Adaptive policy
+and several diagnostics want to inspect progress over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CheckpointError(RuntimeError):
+    """Raised on invalid checkpoint operations."""
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One committed checkpoint."""
+
+    time: float
+    progress_s: float
+    zone: str
+
+
+@dataclass
+class CheckpointStore:
+    """Monotonic store of committed application progress."""
+
+    records: list[CheckpointRecord] = field(default_factory=list)
+
+    @property
+    def committed_progress_s(self) -> float:
+        """Progress guaranteed to survive any termination (0 if none)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].progress_s
+
+    @property
+    def num_checkpoints(self) -> int:
+        return len(self.records)
+
+    def commit(self, time: float, progress_s: float, zone: str) -> CheckpointRecord:
+        """Commit a checkpoint; progress must never regress.
+
+        A checkpoint of *equal* progress is accepted (e.g. an hourly
+        Periodic checkpoint during a stretch with no new computation)
+        but recorded, since it still cost ``t_c``.
+        """
+        if progress_s < 0:
+            raise CheckpointError(f"negative progress {progress_s}")
+        if progress_s + 1e-9 < self.committed_progress_s:
+            raise CheckpointError(
+                f"progress regression: {progress_s} < {self.committed_progress_s}"
+            )
+        if self.records and time < self.records[-1].time:
+            raise CheckpointError(
+                f"commit time regression: {time} < {self.records[-1].time}"
+            )
+        record = CheckpointRecord(time=time, progress_s=progress_s, zone=zone)
+        self.records.append(record)
+        return record
+
+    def progress_at(self, time: float) -> float:
+        """Committed progress as of ``time`` (0 before the first commit)."""
+        progress = 0.0
+        for record in self.records:
+            if record.time > time:
+                break
+            progress = record.progress_s
+        return progress

@@ -1,0 +1,101 @@
+"""Experiment configuration (the paper's "experiment" abstraction).
+
+Section 2.3: "The user specifies an *experiment* as a configuration of
+a number of nodes, problem size, execution time and job completion
+deadline."  Problem size and node count are fixed per experiment and
+only enter through the (user-provided) uninterrupted execution time C
+and the checkpoint/restart costs, so this dataclass carries exactly
+the quantities the system model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.market.constants import (
+    BASE_COMPUTE_HOURS,
+    CKPT_COST_LOW_S,
+    SLACK_LOW,
+    hours_to_seconds,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A time-constrained run request.
+
+    Parameters
+    ----------
+    compute_s:
+        ``C`` — uninterrupted execution time on dedicated resources, s.
+    deadline_s:
+        ``D`` — wall-clock budget from experiment start, s (D >= C).
+    ckpt_cost_s / restart_cost_s:
+        ``t_c`` / ``t_r`` — constant checkpoint and restart costs, s.
+        The paper assumes them equal (Section 5) but the model does not
+        require it.
+    num_nodes:
+        Instances per zone; costs in this package are reported *per
+        instance* exactly as in the paper's figures, so ``num_nodes``
+        only matters for :meth:`total_cost_multiplier`.
+    """
+
+    compute_s: float
+    deadline_s: float
+    ckpt_cost_s: float = CKPT_COST_LOW_S
+    restart_cost_s: float = CKPT_COST_LOW_S
+    num_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.compute_s <= 0:
+            raise ValueError(f"compute time must be positive, got {self.compute_s}")
+        if self.deadline_s < self.compute_s:
+            raise ValueError(
+                f"deadline ({self.deadline_s}) must be >= compute time "
+                f"({self.compute_s})"
+            )
+        if self.ckpt_cost_s <= 0 or self.restart_cost_s < 0:
+            raise ValueError("checkpoint cost must be > 0 and restart cost >= 0")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def slack_s(self) -> float:
+        """``T_l = D - C`` (Section 2.3)."""
+        return self.deadline_s - self.compute_s
+
+    @property
+    def slack_fraction(self) -> float:
+        """Slack as a fraction of C (the paper's 15% / 50%)."""
+        return self.slack_s / self.compute_s
+
+    def total_cost_multiplier(self) -> int:
+        """Scale a per-instance cost to the whole allocation."""
+        return self.num_nodes
+
+    def with_slack_fraction(self, fraction: float) -> "ExperimentConfig":
+        """Same experiment with deadline set to ``C * (1 + fraction)``."""
+        if fraction < 0:
+            raise ValueError(f"slack fraction must be >= 0, got {fraction}")
+        return replace(self, deadline_s=self.compute_s * (1.0 + fraction))
+
+    def with_ckpt_cost(self, ckpt_cost_s: float) -> "ExperimentConfig":
+        """Same experiment with equal checkpoint and restart costs."""
+        return replace(self, ckpt_cost_s=ckpt_cost_s, restart_cost_s=ckpt_cost_s)
+
+
+def paper_experiment(
+    slack_fraction: float = SLACK_LOW,
+    ckpt_cost_s: float = CKPT_COST_LOW_S,
+    compute_hours: float = BASE_COMPUTE_HOURS,
+) -> ExperimentConfig:
+    """The Section 5 configuration: C = 20 h, t_c = t_r, chosen slack."""
+    compute_s = hours_to_seconds(compute_hours)
+    return ExperimentConfig(
+        compute_s=compute_s,
+        deadline_s=compute_s * (1.0 + slack_fraction),
+        ckpt_cost_s=ckpt_cost_s,
+        restart_cost_s=ckpt_cost_s,
+    )

@@ -1,0 +1,247 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+::
+
+    repro-spotsim fig2                # availability bars (Figure 2)
+    repro-spotsim var                 # §3.1 VAR dependence analysis
+    repro-spotsim queuing             # §5 queuing-delay statistics
+    repro-spotsim fig4 --window high --slack 0.15
+    repro-spotsim table2 | table3
+    repro-spotsim fig5 --tc 900
+    repro-spotsim fig6 --window low
+    repro-spotsim headline
+    repro-spotsim run --policy markov-daly --bid 0.81 --zones 3
+    repro-spotsim export-trace out.csv   # dump the canonical archive
+
+All commands accept ``--experiments N`` (default 20 here; the paper
+and the benchmark suite use 80) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.app.workload import paper_experiment
+from repro.core.adaptive import AdaptiveController
+from repro.core.engine import SpotSimulator
+from repro.core.ondemand import on_demand_cost
+from repro.experiments import figures, reporting
+from repro.experiments.runner import POLICY_FACTORIES, ExperimentRunner
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+from repro.traces.library import DEFAULT_SEED, canonical_dataset, evaluation_window
+from repro.traces.io import write_trace
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--experiments", type=int, default=20,
+                        help="overlapping experiment chunks per cell (paper: 80)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spotsim",
+        description="Reproduction harness for Marathe et al., HPDC 2014.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="Figure 1/3: state-transition timeline")
+    p.add_argument("--policy", choices=("periodic", "edge"), default="periodic")
+    p.add_argument("--window", choices=("low", "high"), default="high")
+    p.add_argument("--bid", type=float, default=0.81)
+    p.add_argument("--slack", type=float, default=0.5)
+    p.add_argument("--start-hours", type=float, default=96.0)
+    p.add_argument("--width", type=int, default=96)
+    _add_common(p)
+
+    p = sub.add_parser("fig2", help="Figure 2: zone/combined availability")
+    p.add_argument("--bid", type=float, default=0.81)
+    _add_common(p)
+
+    p = sub.add_parser("var", help="Section 3.1: VAR dependence analysis")
+    _add_common(p)
+
+    p = sub.add_parser("queuing", help="Section 5: queuing-delay statistics")
+    _add_common(p)
+
+    p = sub.add_parser("fig4", help="Figure 4: policies vs best-case redundancy")
+    p.add_argument("--window", choices=("low", "high"), default="low")
+    p.add_argument("--slack", type=float, default=0.15)
+    p.add_argument("--tc", type=float, default=300.0)
+    _add_common(p)
+
+    for name, help_text in (("table2", "Table 2 (t_c=300s)"), ("table3", "Table 3 (t_c=900s)")):
+        p = sub.add_parser(name, help=help_text)
+        _add_common(p)
+
+    p = sub.add_parser("fig5", help="Figure 5: Adaptive vs other policies")
+    p.add_argument("--window", choices=("low", "high"), default="low")
+    p.add_argument("--slack", type=float, default=0.15)
+    p.add_argument("--tc", type=float, default=300.0)
+    _add_common(p)
+
+    p = sub.add_parser("fig6", help="Figure 6: Large-bid vs Adaptive")
+    p.add_argument("--window", choices=("low", "high"), default="low")
+    p.add_argument("--slack", type=float, default=0.15)
+    p.add_argument("--tc", type=float, default=300.0)
+    _add_common(p)
+
+    p = sub.add_parser("headline", help="abstract's quantitative claims")
+    _add_common(p)
+
+    p = sub.add_parser("run", help="simulate one experiment")
+    p.add_argument("--policy", choices=tuple(POLICY_FACTORIES) + ("adaptive",),
+                   default="markov-daly")
+    p.add_argument("--window", choices=("low", "high"), default="high")
+    p.add_argument("--bid", type=float, default=0.81)
+    p.add_argument("--zones", type=int, default=1, help="redundancy degree N")
+    p.add_argument("--slack", type=float, default=0.5)
+    p.add_argument("--tc", type=float, default=300.0)
+    p.add_argument("--start-hours", type=float, default=0.0,
+                   help="offset into the window")
+    _add_common(p)
+
+    p = sub.add_parser("sweep", help="parameter sweep (ablations)")
+    p.add_argument("--axis", choices=("slack", "tc", "bid", "zones"),
+                   default="slack")
+    p.add_argument("--window", choices=("low", "high"), default="high")
+    p.add_argument("--policy", choices=("periodic", "markov-daly"),
+                   default="markov-daly")
+    p.add_argument("--redundant", action="store_true")
+    _add_common(p)
+
+    p = sub.add_parser("export-trace", help="dump the canonical archive to CSV")
+    p.add_argument("path")
+    _add_common(p)
+
+    return parser
+
+
+def _reference_lines() -> dict:
+    return figures.fig4_reference_lines()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig1":
+        from repro.core.edge import RisingEdgePolicy
+        from repro.core.periodic import PeriodicPolicy as _Periodic
+        from repro.experiments.timeline import render_timeline
+
+        trace, eval_start = evaluation_window(args.window, args.seed)
+        oracle = PriceOracle(trace)
+        sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
+                            rng=np.random.default_rng(args.seed),
+                            record_timeline=True)
+        config = paper_experiment(slack_fraction=args.slack)
+        policy = _Periodic() if args.policy == "periodic" else RisingEdgePolicy()
+        result = sim.run(config, policy, args.bid, trace.zone_names[:1],
+                         eval_start + args.start_hours * 3600.0)
+        print(render_timeline(result, oracle, width=args.width,
+                              title=f"Figure 1-style timeline ({policy.name})"))
+    elif args.command == "fig2":
+        data = figures.fig2_availability(bid=args.bid, seed=args.seed)
+        print(reporting.render_availability("Figure 2 — availability", data))
+    elif args.command == "var":
+        report = figures.sec31_var_analysis(seed=args.seed)
+        print(reporting.render_var_report("Section 3.1 — VAR analysis", report))
+    elif args.command == "queuing":
+        stats = figures.sec5_queuing_stats()
+        print(reporting.render_queuing("Section 5 — spot queuing delay", stats))
+    elif args.command == "fig4":
+        runner = ExperimentRunner(args.window, args.experiments, args.seed)
+        cells = figures.fig4_quadrant(runner, args.slack, args.tc)
+        title = f"Figure 4 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
+        print(reporting.render_cells(title, cells, _reference_lines()))
+    elif args.command in ("table2", "table3"):
+        fn = figures.table2 if args.command == "table2" else figures.table3
+        rows = fn(num_experiments=args.experiments, seed=args.seed)
+        print(reporting.render_optimal_table(args.command.capitalize(), rows))
+    elif args.command == "fig5":
+        runner = ExperimentRunner(args.window, args.experiments, args.seed)
+        cells = figures.fig5_quadrant(runner, args.slack, args.tc)
+        title = f"Figure 5 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
+        print(reporting.render_cells(title, cells, _reference_lines()))
+    elif args.command == "fig6":
+        runner = ExperimentRunner(args.window, args.experiments, args.seed)
+        cells = figures.fig6_panel(runner, args.slack, args.tc)
+        title = f"Figure 6 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
+        print(reporting.render_cells(title, cells, _reference_lines()))
+    elif args.command == "headline":
+        claims = figures.headline_claims(num_experiments=args.experiments, seed=args.seed)
+        print(reporting.render_headline("Headline claims", claims))
+    elif args.command == "run":
+        trace, eval_start = evaluation_window(args.window, args.seed)
+        oracle = PriceOracle(trace)
+        sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
+                            rng=np.random.default_rng(args.seed),
+                            record_events=True)
+        config = paper_experiment(slack_fraction=args.slack, ckpt_cost_s=args.tc)
+        start = eval_start + args.start_hours * 3600.0
+        if args.policy == "adaptive":
+            controller = AdaptiveController()
+            result = sim.run(config, POLICY_FACTORIES["periodic"](),
+                             bid=args.bid, zones=trace.zone_names[:1],
+                             start_time=start, controller=controller)
+        else:
+            policy = POLICY_FACTORIES[args.policy]()
+            zones = trace.zone_names[: args.zones]
+            result = sim.run(config, policy, args.bid, zones, start)
+        shown = (
+            f"adaptive (final: {result.policy_name})"
+            if args.policy == "adaptive"
+            else result.policy_name
+        )
+        print(f"policy={shown} bid=${result.bid:.2f} zones={len(result.zones)}")
+        print(f"total cost ${result.total_cost:.2f} "
+              f"(spot ${result.spot_cost:.2f} + on-demand ${result.ondemand_cost:.2f}); "
+              f"on-demand reference ${on_demand_cost(config):.2f}")
+        print(f"completed on {result.completed_on}; met deadline: {result.met_deadline}")
+        print(f"checkpoints={result.num_checkpoints} restarts={result.num_restarts} "
+              f"terminations={result.num_provider_terminations}")
+        for event in result.events:
+            offset_h = (event.time - start) / 3600.0
+            zone = event.zone or "-"
+            print(f"  {offset_h:7.2f}h  {event.kind:<22s} {zone:<12s} {event.detail}")
+    elif args.command == "sweep":
+        from repro.experiments import sweeps
+        from repro.experiments.reporting import format_table
+
+        runner = ExperimentRunner(args.window, args.experiments, args.seed)
+        if args.axis == "slack":
+            points = sweeps.sweep_slack(
+                runner, (0.10, 0.15, 0.25, 0.50, 0.75, 1.00),
+                policy_label=args.policy, redundant=args.redundant,
+            )
+        elif args.axis == "tc":
+            points = sweeps.sweep_ckpt_cost(
+                runner, (60.0, 300.0, 600.0, 900.0, 1800.0),
+                policy_label=args.policy, redundant=args.redundant,
+            )
+        elif args.axis == "bid":
+            from repro.market.constants import bid_grid
+
+            points = sweeps.sweep_bid(
+                runner, bid_grid()[::2],
+                policy_label=args.policy, redundant=args.redundant,
+            )
+        else:
+            points = sweeps.sweep_zones(runner, (1, 2, 3),
+                                        policy_label=args.policy)
+        print(format_table(
+            [args.axis, "median $", "q3 $", "max $", "violations"],
+            [p.row() for p in points],
+        ))
+    elif args.command == "export-trace":
+        rows = write_trace(canonical_dataset(args.seed), args.path)
+        print(f"wrote {rows} price-change rows to {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

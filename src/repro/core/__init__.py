@@ -1,0 +1,53 @@
+"""The paper's contribution: Algorithm 1 engine, checkpoint policies, Adaptive.
+
+Quick map (paper section → class):
+
+* §3.2 Algorithm 1 → :class:`~repro.core.engine.SpotSimulator`
+* §4.1 Periodic → :class:`~repro.core.periodic.PeriodicPolicy`
+* §4.2 Markov-Daly → :class:`~repro.core.markov_daly.MarkovDalyPolicy`
+* §4.3 Rising Edge → :class:`~repro.core.edge.RisingEdgePolicy`
+* §4.4 Threshold → :class:`~repro.core.threshold.ThresholdPolicy`
+* §7 Adaptive → :class:`~repro.core.adaptive.AdaptiveController`
+* §7.2.2 Large-bid → :class:`~repro.core.large_bid.LargeBidPolicy`
+* on-demand baseline → :func:`~repro.core.ondemand.run_on_demand`
+"""
+
+from repro.core.engine import (
+    Controller,
+    EngineError,
+    Event,
+    RunResult,
+    SpotSimulator,
+    SwitchDecision,
+)
+from repro.core.policy import CheckpointPolicy, NeverCheckpoint, PolicyContext
+from repro.core.periodic import PeriodicPolicy
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.edge import RisingEdgePolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.core.large_bid import LargeBidPolicy, naive_policy
+from repro.core.adaptive import AdaptiveController, CandidateEstimate, make_policy
+from repro.core.ondemand import on_demand_cost, run_on_demand
+
+__all__ = [
+    "Controller",
+    "EngineError",
+    "Event",
+    "RunResult",
+    "SpotSimulator",
+    "SwitchDecision",
+    "CheckpointPolicy",
+    "NeverCheckpoint",
+    "PolicyContext",
+    "PeriodicPolicy",
+    "MarkovDalyPolicy",
+    "RisingEdgePolicy",
+    "ThresholdPolicy",
+    "LargeBidPolicy",
+    "naive_policy",
+    "AdaptiveController",
+    "CandidateEstimate",
+    "make_policy",
+    "on_demand_cost",
+    "run_on_demand",
+]

@@ -1,0 +1,314 @@
+"""Adaptive policy selection (Section 7).
+
+Adaptive bootstraps from the spot-price history prior to the
+experiment, then at each decision point evaluates every permutation of
+bid price B (the $0.27–$3.07 grid), zone count N (1, 2 or 3 — every
+zone subset), and checkpoint policy (Periodic or Markov-Daly; Edge and
+Threshold are excluded after Section 6, and Large-bid offers no cost
+bound so it is not a candidate either).  Per permutation it predicts
+the remaining cost and switches to the cheapest — but only when the
+spot market's rules make a switch free:
+
+1. the configuration's zones have all been terminated (nothing is
+   running, so nothing paid-for is abandoned);
+2. a running zone's billing hour has just ended (the committed hour
+   was fully used); or
+3. the new configuration does not change any running zone or the bid
+   in the current billing hour (pure policy change / zone addition).
+
+Cost prediction (Section 7.1).  For a permutation, the Markov model of
+each zone's trailing history yields the stationary availability
+``a_z(B)``, the expected charged rate ``E[S | S <= B, up]`` and the
+expected up time ``E[T_u]``; the policy determines the checkpoint
+interval (hourly for Periodic, Daly's interval on the combined
+``E[T_u]`` for Markov-Daly), from which a useful-work fraction and
+hence a progress rate ``P/T`` follows.  Inequality (1),
+``C_r - T_r * (P/T) > 0``, decides whether a switch to on-demand will
+eventually occur; solving the guard condition linearly splits the
+remaining time into a spot phase and an on-demand phase, each costed
+at its expected rate.  The permutation with the least predicted
+remaining cost wins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import Controller, SwitchDecision
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.constants import ON_DEMAND_PRICE, bid_grid
+from repro.market.instance import ZoneState
+from repro.stats.daly import daly_interval, expected_useful_fraction
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """Predicted remaining cost of one (bid, zones, policy) permutation."""
+
+    bid: float
+    zones: tuple[str, ...]
+    policy_kind: str
+    progress_rate: float
+    spot_hours: float
+    ondemand_hours: float
+    predicted_cost: float
+
+
+def make_policy(kind: str) -> CheckpointPolicy:
+    """Fresh policy instance for a candidate kind."""
+    if kind == "periodic":
+        return PeriodicPolicy()
+    if kind == "markov-daly":
+        return MarkovDalyPolicy()
+    raise ValueError(f"unknown candidate policy kind {kind!r}")
+
+
+@dataclass
+class AdaptiveController(Controller):
+    """The paper's Adaptive scheme, as an engine controller.
+
+    Parameters
+    ----------
+    bids:
+        Candidate bid prices (default: the paper's grid).
+    policy_kinds:
+        Candidate checkpoint policies.
+    max_zones:
+        Largest redundancy degree to consider.
+    improvement_margin:
+        Relative predicted-cost improvement a switch must offer
+        (damps flapping between near-tied candidates).
+    reevaluate_every_s:
+        How often to consider "compatible" switches (rule 3) outside
+        of terminations and hour boundaries.
+    """
+
+    bids: tuple[float, ...] = tuple(bid_grid())
+    policy_kinds: tuple[str, ...] = ("periodic", "markov-daly")
+    max_zones: int = 3
+    improvement_margin: float = 0.08
+    reevaluate_every_s: float = 3600.0
+    _zone_sets: tuple[tuple[str, ...], ...] = ()
+    _last_eval_at: float = -math.inf
+    _applied: tuple[float, tuple[str, ...], str] | None = None
+    _stats_cache: dict = field(default_factory=dict, repr=False)
+
+    #: The display name used in figures.
+    name: str = "adaptive"
+
+    def reset(self, ctx: PolicyContext) -> None:
+        names = ctx.oracle.zone_names
+        sets: list[tuple[str, ...]] = []
+        for n in range(1, min(self.max_zones, len(names)) + 1):
+            sets.extend(itertools.combinations(names, n))
+        self._zone_sets = tuple(sets)
+        self._last_eval_at = -math.inf
+        self._applied = None
+
+    # -- controller hook -----------------------------------------------------
+
+    def decide(self, ctx: PolicyContext) -> SwitchDecision | None:
+        running = [z for z in ctx.zones if ctx.instances[z].is_running]
+        none_running = not running
+        at_hour_boundary = any(
+            ctx.instances[z].billing.is_open
+            and abs(ctx.instances[z].billing.hour_start - ctx.now) < 1e-6
+            for z in running
+        )
+        periodic_recheck = ctx.now - self._last_eval_at >= self.reevaluate_every_s
+        if not (none_running or at_hour_boundary or periodic_recheck):
+            return None
+        self._last_eval_at = ctx.now
+
+        best = self.best_candidate(ctx)
+        if best is None:
+            return None
+        best_key = (best.bid, tuple(sorted(best.zones)), best.policy_kind)
+        if self._applied == best_key:
+            return None  # already running the winner
+
+        # Rule 3 guard: outside rules 1 and 2, a switch may not change
+        # a running zone's participation or the bid mid-hour.
+        if not (none_running or at_hour_boundary):
+            keeps_running_zones = set(running) <= set(best.zones)
+            same_bid = abs(best.bid - ctx.bid) < 1e-9
+            if not (keeps_running_zones and same_bid):
+                return None
+
+        # Require a real improvement over the applied configuration's
+        # own predicted cost to avoid flapping on estimator noise, and
+        # charge candidates for the speculative progress they would
+        # destroy by dropping a running zone: that progress must be
+        # recomputed, which (conservatively) costs on-demand rate.
+        if self._applied is not None:
+            bid0, zones0, kind0 = self._applied
+            current_now = self.estimate(ctx, bid0, zones0, kind0)
+            drop_penalty = 0.0
+            best_zone_set = set(best.zones)
+            for z in running:
+                if z in best_zone_set:
+                    continue
+                inst = ctx.instances[z]
+                speculative = max(
+                    inst.local_progress_s - ctx.run.committed_progress_s(), 0.0
+                )
+                drop_penalty = max(
+                    drop_penalty, speculative / 3600.0 * ON_DEMAND_PRICE
+                )
+            if best.predicted_cost + drop_penalty > current_now.predicted_cost * (
+                1.0 - self.improvement_margin
+            ):
+                return None
+
+        self._applied = best_key
+        return SwitchDecision(
+            bid=best.bid,
+            zones=best.zones,
+            policy=make_policy(best.policy_kind),
+        )
+
+    # -- the estimator ---------------------------------------------------------
+
+    def _zone_stats(
+        self, ctx: PolicyContext, zone: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(availability, expected charged rate, E[T_u]) over the bid grid."""
+        bucket = int(ctx.now // 3600.0)
+        key = (zone, bucket)
+        cached = self._stats_cache.get(key)
+        if cached is None:
+            avail = np.array(
+                [ctx.oracle.availability(zone, ctx.now, b) for b in self.bids]
+            )
+            rate = np.array(
+                [
+                    ctx.oracle.expected_price_given_up(zone, ctx.now, b)
+                    for b in self.bids
+                ]
+            )
+            uptime = np.array(
+                [ctx.oracle.expected_uptime(zone, ctx.now, b) for b in self.bids]
+            )
+            cached = (avail, rate, uptime)
+            self._stats_cache[key] = cached
+        return cached
+
+    def estimate(
+        self,
+        ctx: PolicyContext,
+        bid: float,
+        zones: tuple[str, ...],
+        policy_kind: str,
+    ) -> CandidateEstimate:
+        """Predict the remaining cost of one permutation."""
+        bid_idx = int(np.argmin(np.abs(np.asarray(self.bids) - bid)))
+        avail = np.empty(len(zones))
+        rate = np.empty(len(zones))
+        uptime = np.empty(len(zones))
+        for j, z in enumerate(zones):
+            a, r, u = self._zone_stats(ctx, z)
+            avail[j], rate[j], uptime[j] = a[bid_idx], r[bid_idx], u[bid_idx]
+        return self._estimate_from_stats(
+            ctx, float(self.bids[bid_idx]), zones, policy_kind, avail, rate, uptime
+        )
+
+    def _estimate_from_stats(
+        self,
+        ctx: PolicyContext,
+        bid: float,
+        zones: tuple[str, ...],
+        policy_kind: str,
+        avail: np.ndarray,
+        rate: np.ndarray,
+        uptime: np.ndarray,
+    ) -> CandidateEstimate:
+        config = ctx.config
+        combined_avail = 1.0 - float(np.prod(1.0 - avail))
+        combined_uptime = float(uptime.sum())
+        if policy_kind == "periodic":
+            interval = 3600.0 - config.ckpt_cost_s
+        else:
+            interval = daly_interval(combined_uptime, config.ckpt_cost_s)
+        useful = expected_useful_fraction(
+            combined_uptime, config.ckpt_cost_s, interval
+        )
+        progress_rate = combined_avail * useful  # P/T while on spot
+
+        committed = ctx.run.committed_progress_s()
+        remaining_compute = max(config.compute_s - committed, 0.0)
+        remaining_time = max(ctx.run.remaining_time_s(ctx.now), 0.0)
+        overhead = config.ckpt_cost_s + config.restart_cost_s
+
+        # $/hour while on the spot market: every up zone is charged.
+        spot_rate = float((avail * rate).sum())
+
+        if remaining_compute <= 0:
+            return CandidateEstimate(bid, zones, policy_kind, progress_rate,
+                                     0.0, 0.0, 0.0)
+        budget = remaining_time - overhead
+        if budget <= 0:
+            od_hours = (remaining_compute + config.restart_cost_s) / 3600.0
+            return CandidateEstimate(
+                bid, zones, policy_kind, progress_rate, 0.0, od_hours,
+                od_hours * ON_DEMAND_PRICE,
+            )
+
+        # Inequality (1): does this permutation finish on spot alone?
+        if progress_rate * budget >= remaining_compute and progress_rate > 0:
+            spot_s = remaining_compute / progress_rate
+            od_s = 0.0
+        elif progress_rate >= 1.0:  # cannot happen, kept for safety
+            spot_s = remaining_compute
+            od_s = 0.0
+        else:
+            # Guard fires when remaining time equals remaining compute
+            # plus overhead: T_r - t = (C_r - r t) + overhead.
+            spot_s = max(
+                (remaining_time - remaining_compute - overhead)
+                / max(1.0 - progress_rate, 1e-9),
+                0.0,
+            )
+            od_s = remaining_compute - progress_rate * spot_s + config.restart_cost_s
+        spot_hours = spot_s / 3600.0
+        od_hours = max(od_s, 0.0) / 3600.0
+        cost = spot_hours * spot_rate + od_hours * ON_DEMAND_PRICE
+        return CandidateEstimate(
+            bid=bid,
+            zones=zones,
+            policy_kind=policy_kind,
+            progress_rate=progress_rate,
+            spot_hours=spot_hours,
+            ondemand_hours=od_hours,
+            predicted_cost=cost,
+        )
+
+    def best_candidate(self, ctx: PolicyContext) -> CandidateEstimate | None:
+        """Evaluate every permutation; return the cheapest.
+
+        Ties break toward fewer zones, then lower bid — the cheaper
+        configuration to be wrong about.
+        """
+        best: CandidateEstimate | None = None
+        for zones in self._zone_sets:
+            stats = [self._zone_stats(ctx, z) for z in zones]
+            avail = np.vstack([s[0] for s in stats])
+            rate = np.vstack([s[1] for s in stats])
+            uptime = np.vstack([s[2] for s in stats])
+            for i, bid in enumerate(self.bids):
+                for kind in self.policy_kinds:
+                    est = self._estimate_from_stats(
+                        ctx, bid, zones, kind,
+                        avail[:, i], rate[:, i], uptime[:, i],
+                    )
+                    if best is None or est.predicted_cost < best.predicted_cost - 1e-9 or (
+                        abs(est.predicted_cost - best.predicted_cost) <= 1e-9
+                        and (len(est.zones), est.bid) < (len(best.zones), best.bid)
+                    ):
+                        best = est
+        return best

@@ -1,0 +1,41 @@
+"""Rising Edge policy — checkpoint on upward price movement (Section 4.3).
+
+``CheckpointCondition()`` is true whenever the spot price of an
+executing zone just moved upward: a rising S signals that S > B may
+follow, so progress is saved immediately.
+``ScheduleNextCheckpoint()`` is a no-op — the decision is made
+instantaneously from the current and previous samples of S.
+
+For a zone with stable prices Edge saves checkpoint cost relative to
+Periodic; on a sharp spike it can lose everything since the last lucky
+edge (which is why Section 6 finds it weak at low bids and excludes it
+from further evaluation).
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.instance import ZoneInstance, ZoneState
+
+
+class RisingEdgePolicy(CheckpointPolicy):
+    """Checkpoint at every upward movement of an executing zone's price."""
+
+    name = "edge"
+
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
+            return False
+        # Any executing zone's rising price triggers a save of the
+        # application's best state (the leader's).
+        for zone, inst in ctx.instances.items():
+            if zone not in ctx.zones:
+                continue
+            if inst.state is ZoneState.COMPUTING and ctx.oracle.is_rising_edge(
+                zone, ctx.now
+            ):
+                return True
+        return False
+
+    def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
+        """No-op: Edge reacts to prices, it does not schedule."""

@@ -1,0 +1,653 @@
+"""Algorithm 1 — the multi-zone checkpoint-scheduling execution engine.
+
+This is the paper's framework (Section 3.2) made executable against a
+price trace:
+
+* per-zone instance state driven by bid vs. spot price (lines 2–8 of
+  Algorithm 1), including the *waiting* state that lets an eligible
+  zone receive a checkpoint before starting;
+* the deadline guard (line 11): when the remaining wall-clock time
+  equals the remaining computation plus migration overhead, checkpoint
+  and finish on the on-demand market — this is what turns a spot-market
+  heuristic into a *guaranteed* time-constrained run;
+* pluggable ``CheckpointCondition()`` / ``ScheduleNextCheckpoint()``
+  via :class:`~repro.core.policy.CheckpointPolicy`;
+* an optional :class:`Controller` hook that lets the Adaptive policy
+  re-choose (bid, zone set, policy) at its decision points.
+
+Time advances in 5-minute ticks (the price-sampling interval); timed
+activities inside a tick (checkpoints, restarts, queuing remainders)
+are accounted at seconds granularity by the per-zone state machine.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.app.application import ApplicationRun
+from repro.app.checkpoint import CheckpointStore
+from repro.app.dynamics import DeadlineSchedule, PerformanceProfile
+from repro.app.workload import ExperimentConfig
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.constants import ON_DEMAND_PRICE, SAMPLE_INTERVAL_S
+from repro.market.instance import ZoneInstance, ZoneState
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+
+
+class EngineError(RuntimeError):
+    """Raised when a run cannot be simulated (e.g. trace too short)."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One notable simulation event, for narration and debugging."""
+
+    time: float
+    kind: str
+    zone: str | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Per-tick snapshot for Figure 1/3-style timeline rendering."""
+
+    time: float
+    #: ``(zone, ZoneState.value)`` for every zone, in trace order.
+    zone_states: tuple[tuple[str, str], ...]
+    committed_progress_s: float
+    leading_progress_s: float
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """A controller's re-configuration: new bid, zone set, and policy."""
+
+    bid: float
+    zones: tuple[str, ...]
+    policy: CheckpointPolicy
+
+
+class Controller(abc.ABC):
+    """Run-time re-configuration hook (the Adaptive scheme's seat)."""
+
+    def reset(self, ctx: PolicyContext) -> None:
+        """Called once at experiment start."""
+
+    @abc.abstractmethod
+    def decide(self, ctx: PolicyContext) -> SwitchDecision | None:
+        """Return a new configuration, or ``None`` to keep the current one."""
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated experiment.
+
+    Costs are *per instance* (one node per zone), exactly the unit of
+    the paper's figures; multiply by ``config.num_nodes`` for a whole
+    allocation.
+    """
+
+    policy_name: str
+    bid: float
+    zones: tuple[str, ...]
+    start_time: float
+    finish_time: float
+    deadline: float
+    completed_on: str  # "spot" or "ondemand"
+    spot_cost: float
+    ondemand_cost: float
+    num_checkpoints: int
+    num_restarts: int
+    num_provider_terminations: int
+    ondemand_switch_time: float | None = None
+    #: committed spot billing hours across all zones
+    spot_hours_charged: int = 0
+    events: tuple[Event, ...] = ()
+    timeline: tuple[TimelinePoint, ...] = ()
+
+    @property
+    def total_cost(self) -> float:
+        return self.spot_cost + self.ondemand_cost
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.finish_time <= self.deadline + 1e-6
+
+    @property
+    def makespan_s(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class SpotSimulator:
+    """Trace-driven simulator of Algorithm 1.
+
+    Parameters
+    ----------
+    oracle:
+        Price oracle over the evaluation trace (shared across runs so
+        its statistical caches amortize over the 80 experiments).
+    queue_model:
+        Spot acquisition delay model.
+    rng:
+        Randomness source for queuing delays.  Each call of
+        :meth:`run` consumes from it, so construct one per experiment
+        stream for reproducibility.
+    record_events:
+        Keep the full event log on the result (off by default: the
+        evaluation harness runs tens of thousands of experiments).
+    """
+
+    oracle: PriceOracle
+    queue_model: QueueDelayModel
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    record_events: bool = False
+    #: Record a per-tick state snapshot (for timeline rendering).
+    record_timeline: bool = False
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        config: ExperimentConfig,
+        policy: CheckpointPolicy,
+        bid: float,
+        zones: tuple[str, ...],
+        start_time: float,
+        controller: Controller | None = None,
+        deadline_schedule: "DeadlineSchedule | None" = None,
+        performance: "PerformanceProfile | None" = None,
+    ) -> RunResult:
+        """Simulate one experiment; returns its :class:`RunResult`.
+
+        ``deadline_schedule`` and ``performance`` realize Section 3.2's
+        run-time dynamics: because the engine re-reads ``T_r`` and ``P``
+        every tick, user deadline changes take effect at the next tick,
+        and performance variation simply scales progress accrual.  A
+        deadline *contraction* that is already infeasible when it
+        arrives triggers an immediate migration; the result then
+        reports ``met_deadline=False`` honestly (no scheduler can
+        rewind wall-clock time).  The guard converts remaining compute
+        to wall time with the *current* performance factor (capped at
+        nominal), the strongest statement possible without foresight
+        of future slowdowns.
+        """
+        if not zones:
+            raise EngineError("at least one zone is required")
+        for z in zones:
+            if z not in self.oracle.zone_names:
+                raise EngineError(f"zone {z!r} not in trace {self.oracle.zone_names}")
+        if bid <= 0:
+            raise EngineError(f"bid must be positive, got {bid}")
+        deadline = start_time + config.deadline_s
+        if deadline > self.oracle.trace.end_time:
+            raise EngineError(
+                f"trace ends at {self.oracle.trace.end_time}, before the "
+                f"deadline {deadline}"
+            )
+
+        state = _RunState(
+            config=config,
+            policy=policy,
+            bid=bid,
+            active_zones=tuple(zones),
+            start_time=start_time,
+            deadline=deadline,
+            store=CheckpointStore(),
+            instances={z: ZoneInstance(zone=z) for z in self.oracle.zone_names},
+            record=self.record_events,
+        )
+        state.run_view = ApplicationRun(
+            config=config, start_time=start_time, store=state.store
+        )
+        ctx = self._make_ctx(state, start_time)
+        policy.reset(ctx)
+        policy.schedule_next_checkpoint(ctx)
+        if controller is not None:
+            controller.reset(ctx)
+
+        state.deadline_schedule = deadline_schedule
+        state.performance = performance
+
+        dt = float(SAMPLE_INTERVAL_S)
+        t = float(start_time)
+        while True:
+            if deadline_schedule is not None:
+                new_deadline = deadline_schedule.deadline_at(t, deadline)
+                if new_deadline != state.deadline:
+                    state.log(t, "deadline-updated", None,
+                              f"D={new_deadline:.0f}")
+                    state.deadline = new_deadline
+            self._roll_billing(state, t)
+            self._market_transitions(state, t)
+            if self.record_timeline:
+                self._snapshot(state, t)
+
+            result = self._deadline_guard(state, t, dt)
+            if result is not None:
+                return self._finalize(state, result)
+
+            if controller is not None:
+                decision = controller.decide(self._make_ctx(state, t))
+                if decision is not None:
+                    self._apply_switch(state, t, decision)
+
+            self._policy_actions(state, t)
+
+            result = self._advance(state, t, dt)
+            if result is not None:
+                return self._finalize(state, result)
+            t += dt
+
+    # -- tick phases -------------------------------------------------------
+
+    def _roll_billing(self, state: "_RunState", t: float) -> None:
+        """Commit billing hours whose boundary has been reached."""
+        for inst in state.instances.values():
+            if not inst.is_running:
+                continue
+            while inst.billing.hour_end() <= t + 1e-6:
+                boundary = inst.billing.hour_end()
+                inst.billing.roll_hour(self.oracle.price(inst.zone, boundary))
+                state.log(boundary, "hour-rolled", inst.zone,
+                          f"rate={inst.billing.rate:.3f}")
+
+    def _market_transitions(self, state: "_RunState", t: float) -> None:
+        """Lines 2–8: terminate out-of-bid zones, mark eligible ones."""
+        ctx = None
+        for zone in state.active_zones:
+            inst = state.instances[zone]
+            price = self.oracle.price(zone, t)
+            if inst.is_running:
+                if price > state.bid:
+                    inst.provider_terminate()
+                    state.release_on_commit.discard(zone)
+                    state.log(t, "provider-terminated", zone, f"S={price:.3f}")
+            else:
+                if ctx is None:
+                    ctx = self._make_ctx(state, t)
+                if price <= state.bid and state.policy.eligible_to_start(
+                    ctx, zone, price
+                ):
+                    if inst.state is ZoneState.DOWN:
+                        inst.mark_waiting()
+                        state.log(t, "waiting", zone, f"S={price:.3f}")
+                elif inst.state is ZoneState.WAITING:
+                    inst.mark_down()
+        # zones outside the active set stay wherever they are (DOWN)
+
+    def _deadline_guard(
+        self, state: "_RunState", t: float, dt: float
+    ) -> RunResult | None:
+        """Line 11: switch to on-demand just in time to meet D.
+
+        The guard evaluates the best achievable migration: checkpoint
+        a computing leader (progress = its local run, overhead =
+        ``t_c + t_r``), ride out an in-flight checkpoint (progress =
+        its pending snapshot, overhead = remaining checkpoint time +
+        ``t_r``), or restore the last committed checkpoint (overhead =
+        ``t_r``).  Because a computing zone gains progress at wall
+        speed, the guard margin never shrinks by more than one tick per
+        tick, so checking with a one-tick cushion cannot overshoot.
+        The final migration checkpoint is assumed to succeed (the same
+        idealization the paper makes); its spot time is billed through
+        the full final hour charged at user termination.
+        """
+        committed = state.store.committed_progress_s
+        # The guard margin is measured on *committed* progress (the
+        # paper's P): speculative progress can be destroyed by a
+        # termination in the very next tick, so counting it could make
+        # the trigger late.  Committed margin shrinks by at most one
+        # tick per tick, so a one-tick cushion cannot be jumped over.
+        # Policies that declare termination effectively impossible
+        # (Large-bid) opt into counting speculative progress.
+        guard_progress = committed
+        if state.policy.trust_speculative:
+            for inst in state.instances.values():
+                if inst.state is ZoneState.COMPUTING:
+                    guard_progress = max(guard_progress, inst.local_progress_s)
+        def _wall_for(compute_s: float) -> float:
+            if state.performance is None:
+                return compute_s
+            return state.performance.wall_time_for(compute_s, t)
+
+        trigger_needed = (
+            _wall_for(max(state.config.compute_s - guard_progress, 0.0))
+            + state.config.ckpt_cost_s
+            + state.config.restart_cost_s
+        )
+        remaining_time = state.deadline - t
+        margin = remaining_time - trigger_needed
+
+        # Forced commit: while speculative progress exists, burning the
+        # last of the committed margin on an immediate checkpoint
+        # converts it into guaranteed progress and restores the margin
+        # — strictly better than migrating.  The window is wider than
+        # one checkpoint duration, so the shrinking margin cannot skip
+        # it, and even a termination mid-forced-checkpoint leaves one
+        # tick of margin for the on-demand switch below.
+        if margin > dt + 1e-6:
+            if margin <= state.config.ckpt_cost_s + 3.0 * dt:
+                self._force_commit(state, t)
+            return None
+
+        # Execute the cheapest migration actually available right now —
+        # checkpoint a computing leader, ride out an in-flight
+        # checkpoint, or restore the last committed checkpoint.  Every
+        # candidate needs at most ``trigger_needed`` seconds, so the
+        # deadline holds.  The second tuple element is the spot-side
+        # overhead before the on-demand phase begins (a fresh start
+        # with zero progress has no state to restore, so t_r applies
+        # only when actual progress migrates).
+        candidates: list[tuple[float, float]] = [(committed, 0.0)]
+        for inst in state.instances.values():
+            if inst.state is ZoneState.COMPUTING:
+                candidates.append(
+                    (inst.local_progress_s, state.config.ckpt_cost_s)
+                )
+            elif inst.state is ZoneState.CHECKPOINTING:
+                candidates.append(
+                    (inst.pending_checkpoint_progress_s, inst.phase_remaining_s)
+                )
+        def _restore_s(progress: float) -> float:
+            return state.config.restart_cost_s if progress > 0 else 0.0
+
+        progress, pre_od = min(
+            candidates,
+            key=lambda c: max(state.config.compute_s - c[0], 0.0)
+            + c[1]
+            + _restore_s(c[0]),
+        )
+        overhead = pre_od + _restore_s(progress)
+        remaining_compute = _wall_for(max(state.config.compute_s - progress, 0.0))
+
+        # Switch: checkpoint the leader (if computing), stop all spot
+        # instances, finish the remainder on on-demand.
+        state.log(t, "ondemand-switch", None,
+                  f"C_r={remaining_compute:.0f}s T_r={remaining_time:.0f}s")
+        for inst in state.instances.values():
+            if inst.is_running:
+                inst.user_release(t, reason="user")
+        finish = t + overhead + remaining_compute
+        od_seconds = _restore_s(progress) + remaining_compute
+        od_cost = (
+            math.ceil(od_seconds / 3600.0) * ON_DEMAND_PRICE if od_seconds > 0 else 0.0
+        )
+        return RunResult(
+            policy_name=state.policy.name,
+            bid=state.bid,
+            zones=state.active_zones,
+            start_time=state.start_time,
+            finish_time=finish,
+            deadline=state.deadline,
+            completed_on="ondemand",
+            spot_cost=0.0,  # filled by _finalize
+            ondemand_cost=od_cost,
+            num_checkpoints=state.store.num_checkpoints,
+            num_restarts=0,
+            num_provider_terminations=0,
+            ondemand_switch_time=t,
+        )
+
+    def _policy_actions(self, state: "_RunState", t: float) -> None:
+        """Checkpoint condition and waiting-zone restarts (lines 16–35)."""
+        ctx = self._make_ctx(state, t)
+        policy = state.policy
+
+        # Line 23: a committed checkpoint re-arms the schedule for the
+        # zones that keep running.
+        if state.checkpoint_just_committed:
+            policy.schedule_next_checkpoint(ctx)
+
+        # One checkpoint in flight at a time, taken by the leader.
+        leader = ctx.leader()
+        any_checkpointing = any(
+            i.state is ZoneState.CHECKPOINTING for i in state.instances.values()
+        )
+        # Join-commit: an eligible zone in WAITING can only start from a
+        # checkpoint (Algorithm 1 lines 19-24), so redundancy is real
+        # only if checkpoints actually happen while it waits.  When the
+        # computation is thin (fewer than two zones carrying it) and the
+        # leader has accumulated at least one checkpoint's worth of
+        # uncommitted progress, commit now to bring a waiting replica
+        # in.  With two or more zones already computing, waiting zones
+        # join at the policy's own cadence — rejoining on every price
+        # dip would buy little safety and pay for extra instance-hours.
+        waiting_exists = any(
+            state.instances[z].state is ZoneState.WAITING
+            for z in state.active_zones
+        )
+        running_count = sum(
+            1 for z in state.active_zones if state.instances[z].is_running
+        )
+        join_due = (
+            waiting_exists
+            and running_count < 2
+            and leader is not None
+            and leader.local_progress_s
+            >= state.store.committed_progress_s + state.config.ckpt_cost_s
+        )
+        if (
+            leader is not None
+            and not any_checkpointing
+            and (join_due or policy.checkpoint_due(ctx, leader))
+        ):
+            leader.begin_checkpoint(t, state.config.ckpt_cost_s)
+            state.log(t, "checkpoint-started", leader.zone,
+                      f"P={leader.pending_checkpoint_progress_s:.0f}s")
+            if policy.release_after_checkpoint(ctx, leader):
+                state.release_on_commit.add(leader.zone)
+
+        waiting = [
+            i
+            for z, i in state.instances.items()
+            if z in state.active_zones and i.state is ZoneState.WAITING
+        ]
+        if not waiting:
+            state.checkpoint_just_committed = False
+            return
+        any_running = any(
+            i.is_running
+            for z, i in state.instances.items()
+            if z in state.active_zones
+        )
+        if not any_running or state.checkpoint_just_committed:
+            source = "recent" if state.checkpoint_just_committed else "previous"
+            for inst in waiting:
+                self._start_instance(state, inst, t)
+                state.log(t, "restarted", inst.zone,
+                          f"from-{source}-ckpt P={state.store.committed_progress_s:.0f}s")
+            policy.schedule_next_checkpoint(self._make_ctx(state, t))
+        state.checkpoint_just_committed = False
+
+    def _advance(self, state: "_RunState", t: float, dt: float) -> RunResult | None:
+        """Advance all running zones one tick; handle commits/completion."""
+        finish: float | None = None
+        rate = 1.0
+        if state.performance is not None:
+            rate = state.performance.rate_at(t)
+        for inst in state.instances.values():
+            if not inst.is_running:
+                continue
+            committed, completion = inst.advance(
+                t, dt, state.config.compute_s, compute_rate=rate
+            )
+            if committed >= 0.0:
+                state.store.commit(t + dt, committed, inst.zone)
+                state.checkpoint_just_committed = True
+                state.log(t + dt, "checkpoint-committed", inst.zone,
+                          f"P={committed:.0f}s")
+                if inst.zone in state.release_on_commit:
+                    state.release_on_commit.discard(inst.zone)
+                    inst.user_release(t + dt, reason="user")
+                    state.log(t + dt, "user-released", inst.zone, "cost-control")
+            if completion is not None:
+                finish = t + completion if finish is None else min(finish, t + completion)
+        if finish is None:
+            return None
+        for inst in state.instances.values():
+            if inst.is_running:
+                inst.user_release(finish, reason="complete")
+        state.log(finish, "completed", None, "on spot")
+        return RunResult(
+            policy_name=state.policy.name,
+            bid=state.bid,
+            zones=state.active_zones,
+            start_time=state.start_time,
+            finish_time=finish,
+            deadline=state.deadline,
+            completed_on="spot",
+            spot_cost=0.0,  # filled by _finalize
+            ondemand_cost=0.0,
+            num_checkpoints=state.store.num_checkpoints,
+            num_restarts=0,
+            num_provider_terminations=0,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _snapshot(self, state: "_RunState", t: float) -> None:
+        committed = state.store.committed_progress_s
+        leading = committed
+        for inst in state.instances.values():
+            if inst.state in (ZoneState.COMPUTING, ZoneState.CHECKPOINTING):
+                leading = max(leading, inst.local_progress_s)
+        state.timeline.append(
+            TimelinePoint(
+                time=t,
+                zone_states=tuple(
+                    (z, state.instances[z].state.value)
+                    for z in self.oracle.zone_names
+                ),
+                committed_progress_s=committed,
+                leading_progress_s=leading,
+            )
+        )
+
+    def _force_commit(self, state: "_RunState", t: float) -> None:
+        """Deadline-pressure checkpoint of the leading computing zone.
+
+        No-op when a checkpoint is already in flight (its commit will
+        restore the margin) or no zone holds uncommitted progress.
+        """
+        if any(
+            i.state is ZoneState.CHECKPOINTING for i in state.instances.values()
+        ):
+            return
+        computing = [
+            i
+            for i in state.instances.values()
+            if i.state is ZoneState.COMPUTING
+        ]
+        if not computing:
+            return
+        leader = max(computing, key=lambda i: i.local_progress_s)
+        if leader.local_progress_s <= state.store.committed_progress_s + 1e-9:
+            return
+        leader.begin_checkpoint(t, state.config.ckpt_cost_s)
+        state.log(t, "checkpoint-started", leader.zone,
+                  f"forced P={leader.pending_checkpoint_progress_s:.0f}s")
+
+    def _start_instance(self, state: "_RunState", inst: ZoneInstance, t: float) -> None:
+        delay = self.queue_model.sample(self.rng)
+        committed = state.store.committed_progress_s
+        # a fresh start (no checkpoint yet) has no state to restore
+        restore = state.config.restart_cost_s if committed > 0 else 0.0
+        inst.start(
+            now=t,
+            spot_price=self.oracle.price(inst.zone, t),
+            queue_delay_s=delay,
+            restart_cost_s=restore,
+            from_progress_s=committed,
+        )
+
+    def _apply_switch(self, state: "_RunState", t: float, decision: SwitchDecision) -> None:
+        """Apply a controller's (bid, zones, policy) re-configuration."""
+        for z in decision.zones:
+            if z not in self.oracle.zone_names:
+                raise EngineError(f"controller chose unknown zone {z!r}")
+        dropped = set(state.active_zones) - set(decision.zones)
+        for z in dropped:
+            inst = state.instances[z]
+            if inst.is_running:
+                inst.user_release(t, reason="user")
+                state.log(t, "user-released", z, "config-switch")
+            elif inst.state is ZoneState.WAITING:
+                inst.mark_down()
+        state.bid = decision.bid
+        state.active_zones = tuple(decision.zones)
+        state.policy = decision.policy
+        ctx = self._make_ctx(state, t)
+        state.policy.reset(ctx)
+        state.policy.schedule_next_checkpoint(ctx)
+        state.log(
+            t,
+            "config-switch",
+            None,
+            f"policy={decision.policy.name} B={decision.bid:.2f} "
+            f"N={len(decision.zones)}",
+        )
+
+    def _make_ctx(self, state: "_RunState", t: float) -> PolicyContext:
+        return PolicyContext(
+            now=t,
+            bid=state.bid,
+            zones=state.active_zones,
+            oracle=self.oracle,
+            config=state.config,
+            run=state.run_view,
+            instances=state.instances,
+        )
+
+    def _finalize(self, state: "_RunState", result: RunResult) -> RunResult:
+        spot_cost = sum(i.billing.total_cost for i in state.instances.values())
+        open_meters = [
+            i.zone for i in state.instances.values() if i.billing.is_open
+        ]
+        if open_meters:  # pragma: no cover - internal invariant
+            raise EngineError(f"billing meters left open: {open_meters}")
+        return replace(
+            result,
+            spot_cost=spot_cost,
+            spot_hours_charged=sum(
+                i.billing.hours_charged for i in state.instances.values()
+            ),
+            num_restarts=sum(i.num_restarts for i in state.instances.values()),
+            num_provider_terminations=sum(
+                i.num_provider_terminations for i in state.instances.values()
+            ),
+            events=tuple(state.events) if self.record_events else (),
+            timeline=tuple(state.timeline) if self.record_timeline else (),
+        )
+
+
+@dataclass
+class _RunState:
+    """Mutable state of one run (internal)."""
+
+    config: ExperimentConfig
+    policy: CheckpointPolicy
+    bid: float
+    active_zones: tuple[str, ...]
+    start_time: float
+    deadline: float
+    store: CheckpointStore
+    instances: dict[str, ZoneInstance]
+    run_view: ApplicationRun | None = None  # set right after construction
+    checkpoint_just_committed: bool = False
+    release_on_commit: set[str] = field(default_factory=set)
+    record: bool = False
+    events: list[Event] = field(default_factory=list)
+    timeline: list[TimelinePoint] = field(default_factory=list)
+    deadline_schedule: DeadlineSchedule | None = None
+    performance: PerformanceProfile | None = None
+
+    def log(self, time: float, kind: str, zone: str | None, detail: str = "") -> None:
+        if self.record:
+            self.events.append(Event(time=time, kind=kind, zone=zone, detail=detail))

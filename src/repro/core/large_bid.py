@@ -1,0 +1,107 @@
+"""Large-bid policy (Khatua et al.), Section 7.2.2.
+
+The user submits an effectively infinite bid (B = $100, versus a
+maximum ever-observed spot price of $20.02) so EC2 essentially never
+terminates the instance; fault tolerance is replaced by raw bid power.
+Cost control comes from a second, smaller *user threshold* L:
+
+* while S <= L nothing special happens — no checkpoints are taken;
+* if S moves above L, the instance is allowed to finish its ongoing
+  (already committed-to) billing hour; if S is still above L near the
+  end of that hour, a checkpoint is taken just inside the boundary and
+  the instance is *manually* terminated;
+* the instance is re-acquired as soon as S drops back to L or below.
+
+``Naive`` is Large-bid without a threshold (L = infinity): ride the
+market unconditionally and accept whatever each hour costs.
+
+Large-bid is strictly single-zone and offers no upper bound on cost —
+a price spike inside a committed hour is paid in full at the spiked
+hourly rate, which is exactly how the $20.02 March 2013 event produces
+a $183.75 worst case.  The engine's deadline guard still applies, so
+runs complete on time by switching to on-demand when required.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.constants import LARGE_BID
+from repro.market.instance import ZoneInstance
+
+
+class LargeBidPolicy(CheckpointPolicy):
+    """Bid high, control cost with a release threshold L."""
+
+    name = "large-bid"
+    # B = $100 cannot be outbid by the market (max observed $20.02),
+    # so a running instance's progress is as safe as a checkpoint.
+    trust_speculative = True
+
+    def __init__(self, threshold: float | None) -> None:
+        """``threshold=None`` gives the Naive variant (no cost control)."""
+        if threshold is not None and threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        if threshold is None:
+            self.name = "large-bid-naive"
+        else:
+            self.name = f"large-bid-L{threshold:.2f}"
+        self._released_hours: set[tuple[str, float]] = set()
+
+    @property
+    def bid(self) -> float:
+        """The bid this policy is meant to run with."""
+        return LARGE_BID
+
+    @property
+    def control_threshold(self) -> float:
+        """L as a number (infinite for Naive)."""
+        return math.inf if self.threshold is None else self.threshold
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._released_hours.clear()
+
+    # -- Algorithm-1 hooks ----------------------------------------------------
+
+    def eligible_to_start(self, ctx: PolicyContext, zone: str, price: float) -> bool:
+        """(Re-)acquire only while S is at or below the control threshold."""
+        return price <= self.control_threshold
+
+    def _over_threshold_near_hour_end(
+        self, ctx: PolicyContext, leader: ZoneInstance
+    ) -> bool:
+        if self.threshold is None:
+            return False
+        price = ctx.price(leader.zone)
+        if price <= self.threshold:
+            return False
+        meter = leader.billing
+        if not meter.is_open:
+            return False
+        if meter.seconds_left_in_hour(ctx.now) > ctx.config.ckpt_cost_s + 1e-6:
+            return False
+        key = (leader.zone, meter.hour_start)
+        if key in self._released_hours:
+            return False
+        self._released_hours.add(key)
+        return True
+
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        """Checkpoint just inside the hour boundary when S exceeds L."""
+        if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
+            return False
+        return self._over_threshold_near_hour_end(ctx, leader)
+
+    def release_after_checkpoint(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        """Every Large-bid checkpoint is followed by manual termination."""
+        return True
+
+    def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
+        """No-op: the only trigger is the threshold-at-hour-end rule."""
+
+
+def naive_policy() -> LargeBidPolicy:
+    """Large-bid with no cost control at all (the figure's "Naive")."""
+    return LargeBidPolicy(threshold=None)

@@ -1,0 +1,99 @@
+"""Markov-Daly policy — predicted up time drives the checkpoint interval.
+
+Section 4.2 / Algorithm 2: ``ScheduleNextCheckpoint()`` asks the
+Markov model (Appendix B) for the expected up time ``E[T_u]`` at the
+current bid, then arms the next checkpoint Daly's optimal interval
+into the future (``T_s = T + opt_ckpt(E[T_u], t_c)``).
+
+For redundant configurations the combined ``E[T_u]`` is the *sum* of
+the per-zone expected up times (price movements across zones being
+near-independent, Section 3.1), so the interval stretches — fewer
+checkpoints — as N grows.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.instance import ZoneInstance
+from repro.stats.daly import daly_interval
+
+
+class MarkovDalyPolicy(CheckpointPolicy):
+    """Expected-uptime-driven checkpoint scheduling (single or multi zone)."""
+
+    name = "markov-daly"
+
+    def __init__(self) -> None:
+        self._next_checkpoint_at: float | None = None
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._next_checkpoint_at = None
+
+    @property
+    def scheduled_at(self) -> float | None:
+        """The currently armed T_s (None before the first schedule)."""
+        return self._next_checkpoint_at
+
+    def expected_uptime(self, ctx: PolicyContext) -> float:
+        """Combined E[T_u] over the configuration's zones, seconds."""
+        return ctx.oracle.combined_expected_uptime(
+            list(ctx.zones), ctx.now, ctx.bid
+        )
+
+    def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
+        """Daly's interval, clamped into the deadline-feasible band.
+
+        The engine guarantees D on *committed* progress, so two
+        deadline constraints bound the usable interval beyond Daly's
+        market-driven optimum:
+
+        * **Afford-all-commits floor** — each commit burns ``t_c`` of
+          slack; finishing the remaining computation within the slack
+          budget needs intervals of at least ``C_r * t_c / budget``.
+          Checkpointing more often than that spends slack faster than
+          it buys safety, which degenerates into an early switch to
+          on-demand.
+        * **Committed-lag ceiling** — the committed margin decays one
+          second per second between commits, so an interval longer
+          than the current margin (minus the engine's forced-commit
+          reserve) would trip the forced-commit floor anyway.
+
+        When the band is empty (the experiment cannot afford Daly-rate
+        commits *and* has little margin), the ceiling wins: commit as
+        late as the margin allows and maximize spot progress before
+        the inevitable on-demand switch.
+        """
+        config = ctx.config
+        uptime = self.expected_uptime(ctx)
+        interval = daly_interval(uptime, config.ckpt_cost_s)
+
+        committed = ctx.run.committed_progress_s()
+        remaining_compute = max(config.compute_s - committed, 0.0)
+        margin = (
+            ctx.run.remaining_time_s(ctx.now)
+            - remaining_compute
+            - config.ckpt_cost_s
+            - config.restart_cost_s
+        )
+        reserve = config.ckpt_cost_s + 4.0 * 300.0  # forced-commit window + ticks
+        budget = margin - reserve
+        if budget > 0:
+            afford_floor = remaining_compute * config.ckpt_cost_s / budget
+            interval = max(interval, afford_floor)
+            interval = min(interval, max(budget, config.ckpt_cost_s))
+        else:
+            interval = max(margin, config.ckpt_cost_s)
+        self._next_checkpoint_at = ctx.now + interval
+
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        if self._next_checkpoint_at is None:
+            # engine always schedules at start; be safe if driven manually
+            self.schedule_next_checkpoint(ctx)
+        if ctx.now + 1e-6 < self._next_checkpoint_at:
+            return False
+        # Nothing new to commit: push the schedule instead of writing a
+        # no-progress checkpoint.
+        if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
+            self.schedule_next_checkpoint(ctx)
+            return False
+        return True

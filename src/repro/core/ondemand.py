@@ -1,0 +1,43 @@
+"""Pure on-demand baseline — the naive strategy the paper's headline
+numbers are measured against.
+
+Running the whole experiment on dedicated on-demand instances needs no
+checkpointing and no bidding: cost is simply the compute time rounded
+up to whole hours at $2.40/hour, and the finish time is ``start + C``.
+For the paper's 20-hour experiment this is the $48.00 grey reference
+line of Figures 4–6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.app.workload import ExperimentConfig
+from repro.core.engine import RunResult
+from repro.market.constants import ON_DEMAND_PRICE
+
+
+def run_on_demand(config: ExperimentConfig, start_time: float) -> RunResult:
+    """Synthesize the RunResult of an uninterrupted on-demand run."""
+    finish = start_time + config.compute_s
+    cost = math.ceil(config.compute_s / 3600.0) * ON_DEMAND_PRICE
+    return RunResult(
+        policy_name="on-demand",
+        bid=ON_DEMAND_PRICE,
+        zones=(),
+        start_time=start_time,
+        finish_time=finish,
+        deadline=start_time + config.deadline_s,
+        completed_on="ondemand",
+        spot_cost=0.0,
+        ondemand_cost=cost,
+        num_checkpoints=0,
+        num_restarts=0,
+        num_provider_terminations=0,
+        ondemand_switch_time=start_time,
+    )
+
+
+def on_demand_cost(config: ExperimentConfig) -> float:
+    """Dollar cost of the pure on-demand run (per instance)."""
+    return math.ceil(config.compute_s / 3600.0) * ON_DEMAND_PRICE

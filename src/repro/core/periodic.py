@@ -1,0 +1,52 @@
+"""Periodic policy — checkpointing at hour boundaries (Section 4.1).
+
+``ScheduleNextCheckpoint()`` arms a checkpoint at regular intervals —
+the end of every billing hour in the paper — such that the checkpoint
+*completes* within the hour boundary (``T_s = hour - t_c``): work paid
+for in an hour is committed before the next hour can be interrupted.
+``CheckpointCondition()`` fires when the leader's open billing hour
+has exactly ``t_c`` seconds left, at most once per billing hour.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.instance import ZoneInstance
+
+
+class PeriodicPolicy(CheckpointPolicy):
+    """Hour-boundary checkpointing (Yi et al.'s scheme, generalized to N zones)."""
+
+    name = "periodic"
+
+    def __init__(self) -> None:
+        self._done_hours: set[tuple[str, float]] = set()
+
+    def reset(self, ctx: PolicyContext) -> None:
+        self._done_hours.clear()
+
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        """True when the leader's billing hour has <= t_c seconds left.
+
+        A 1-second tolerance absorbs float drift from second-granular
+        phase accounting; the per-(zone, hour) latch guarantees one
+        checkpoint per paid hour even if the condition stays true for
+        several ticks (e.g. t_c = 900 s spans three ticks).
+        """
+        meter = leader.billing
+        if not meter.is_open:
+            return False
+        left = meter.seconds_left_in_hour(ctx.now)
+        if left > ctx.config.ckpt_cost_s + 1e-6:
+            return False
+        key = (leader.zone, meter.hour_start)
+        if key in self._done_hours:
+            return False
+        # Nothing new to commit yet (still queuing/restarting this hour)
+        if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
+            return False
+        self._done_hours.add(key)
+        return True
+
+    def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
+        """No-op: the schedule is implied by the billing-hour clock."""

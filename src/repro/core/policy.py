@@ -1,0 +1,123 @@
+"""Checkpoint-policy interface (Algorithm 1's two plug-in functions).
+
+Algorithm 1 is generic over ``CheckpointCondition()`` and
+``ScheduleNextCheckpoint()``; a policy object supplies both, plus two
+optional hooks that let Large-bid express its cost-control behaviour
+(release an overpriced zone at the hour boundary and gate its
+re-acquisition on the control threshold rather than the bid).
+
+Policies are *stateful per run*: the engine calls :meth:`reset` at
+experiment start, then :meth:`schedule_next_checkpoint` at every
+restart and after every committed checkpoint (the two call sites of
+Algorithm 1), and queries :meth:`checkpoint_due` each tick.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.app.application import ApplicationRun
+from repro.app.workload import ExperimentConfig
+from repro.market.instance import ZoneInstance
+from repro.market.spot_market import PriceOracle
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may observe at a decision point.
+
+    Mirrors the inputs of Algorithm 1: current time, bid and spot
+    prices (through the oracle), checkpoint/restart costs (through the
+    config), application progress (through the run), and per-zone
+    instance state.
+    """
+
+    now: float
+    bid: float
+    zones: tuple[str, ...]
+    oracle: PriceOracle
+    config: ExperimentConfig
+    run: ApplicationRun
+    instances: dict[str, ZoneInstance]
+
+    def price(self, zone: str) -> float:
+        """Spot price of ``zone`` at the current tick."""
+        return self.oracle.price(zone, self.now)
+
+    def computing_instances(self) -> list[ZoneInstance]:
+        """Instances currently making progress."""
+        from repro.market.instance import ZoneState
+
+        return [
+            inst
+            for inst in self.instances.values()
+            if inst.state is ZoneState.COMPUTING
+        ]
+
+    def leader(self) -> ZoneInstance | None:
+        """The computing instance with the most local progress."""
+        computing = self.computing_instances()
+        if not computing:
+            return None
+        return max(computing, key=lambda inst: inst.local_progress_s)
+
+
+class CheckpointPolicy(abc.ABC):
+    """Base class for all checkpoint-scheduling policies."""
+
+    #: Short name used in figures and tables (e.g. ``"periodic"``).
+    name: str = "abstract"
+
+    #: When True, the engine's deadline guard counts a computing zone's
+    #: *speculative* (uncommitted) progress toward the margin.  Only
+    #: sound when provider termination is effectively impossible —
+    #: Large-bid's B = $100 against a historical maximum of $20.02 —
+    #: because a termination would destroy progress the guard already
+    #: spent slack against.
+    trust_speculative: bool = False
+
+    def reset(self, ctx: PolicyContext) -> None:
+        """Forget all per-run state; called once at experiment start."""
+
+    @abc.abstractmethod
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        """``CheckpointCondition()`` — should the leader checkpoint now?"""
+
+    def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
+        """``ScheduleNextCheckpoint()`` — (re)arm the policy's timer.
+
+        Called after every restart and after every committed
+        checkpoint.  Policies that react instantaneously to prices
+        (Edge, Threshold) leave this a no-op.
+        """
+
+    # -- Large-bid style hooks (default behaviour = plain Algorithm 1) ----
+
+    def eligible_to_start(self, ctx: PolicyContext, zone: str, price: float) -> bool:
+        """May a down zone enter WAITING at this price?
+
+        Algorithm 1's condition is ``B >= S``; Large-bid re-acquires a
+        self-released zone only once the price drops below its control
+        threshold L.
+        """
+        return price <= ctx.bid
+
+    def release_after_checkpoint(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        """Should the engine user-terminate the leader once the
+        checkpoint it just requested commits?  (Large-bid's manual
+        termination near the hour boundary.)"""
+        return False
+
+
+class NeverCheckpoint(CheckpointPolicy):
+    """Degenerate policy that never checkpoints.
+
+    Useful as a baseline in tests and ablations: all fault tolerance
+    comes from the deadline guard's switch to on-demand.
+    """
+
+    name = "never"
+
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        return False

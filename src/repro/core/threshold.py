@@ -1,0 +1,58 @@
+"""Threshold policy — Edge with price and time guards (Section 4.4).
+
+Jung et al.'s refinement of Rising Edge.  ``CheckpointCondition()``
+fires in an executing zone when either:
+
+1. **Price threshold** — the price shows a rising edge *and* has
+   climbed at least halfway from the historical minimum toward the
+   bid: ``PriceThresh = (S_min + B) / 2`` and ``S >= PriceThresh``.
+   Low wobbles far from the bid no longer trigger checkpoints.
+2. **Time threshold** — the zone has been executing at bid B since
+   its last restart or checkpoint for longer than ``TimeThresh``, the
+   probabilistic average up time of the zone (estimated here as the
+   mean up-run length at B over the trailing history).  Long quiet
+   stretches still get committed occasionally.
+
+``ScheduleNextCheckpoint()`` is again a no-op: both conditions are
+evaluated instantaneously.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CheckpointPolicy, PolicyContext
+from repro.market.instance import ZoneInstance, ZoneState
+
+
+class ThresholdPolicy(CheckpointPolicy):
+    """Two-threshold checkpoint scheduling (price + execution time)."""
+
+    name = "threshold"
+
+    def price_threshold(self, ctx: PolicyContext, zone: str) -> float:
+        """``(S_min + B) / 2`` with S_min from the trailing history."""
+        return 0.5 * (ctx.oracle.min_price(zone, ctx.now) + ctx.bid)
+
+    def time_threshold(self, ctx: PolicyContext, zone: str) -> float:
+        """Probabilistic average up time of the zone at B, seconds."""
+        return ctx.oracle.mean_up_run(zone, ctx.now, ctx.bid)
+
+    def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
+        if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
+            return False
+        for zone, inst in ctx.instances.items():
+            if zone not in ctx.zones or inst.state is not ZoneState.COMPUTING:
+                continue
+            price = ctx.price(zone)
+            if (
+                ctx.oracle.is_rising_edge(zone, ctx.now)
+                and price >= self.price_threshold(ctx, zone)
+            ):
+                return True
+            exec_time = inst.execution_time_at_bid(ctx.now)
+            time_thresh = self.time_threshold(ctx, zone)
+            if time_thresh > 0 and exec_time > time_thresh:
+                return True
+        return False
+
+    def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
+        """No-op: thresholds are evaluated from current state."""

@@ -1,0 +1,34 @@
+"""Evaluation harness: experiment grids, metrics, figure/table assembly."""
+
+from repro.experiments.metrics import (
+    RunRecord,
+    best_case_per_start,
+    box,
+    costs,
+    deadline_violations,
+    group_by,
+)
+from repro.experiments.runner import (
+    DEFAULT_NUM_EXPERIMENTS,
+    POLICY_FACTORIES,
+    RETAINED_POLICIES,
+    ExperimentRunner,
+)
+from repro.experiments import figures, reporting, sweeps, timeline
+
+__all__ = [
+    "RunRecord",
+    "best_case_per_start",
+    "box",
+    "costs",
+    "deadline_violations",
+    "group_by",
+    "DEFAULT_NUM_EXPERIMENTS",
+    "POLICY_FACTORIES",
+    "RETAINED_POLICIES",
+    "ExperimentRunner",
+    "figures",
+    "reporting",
+    "sweeps",
+    "timeline",
+]

@@ -1,0 +1,91 @@
+"""Run records and cost accounting for the evaluation harness.
+
+A :class:`RunRecord` is one experiment's outcome tagged with the
+labels the paper's figures group by (policy label, bid, window, slack,
+checkpoint cost).  :class:`CostSample` collections turn lists of
+records into the boxplot statistics of Figures 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.engine import RunResult
+from repro.stats.descriptive import BoxplotStats
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One experiment outcome plus the grouping labels of the figures."""
+
+    label: str
+    window: str
+    slack_fraction: float
+    ckpt_cost_s: float
+    bid: float
+    start_time: float
+    result: RunResult
+
+    @property
+    def cost(self) -> float:
+        return self.result.total_cost
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.result.met_deadline
+
+
+def costs(records: Iterable[RunRecord]) -> np.ndarray:
+    """Cost-per-instance array across records."""
+    return np.array([r.cost for r in records], dtype=np.float64)
+
+
+def box(records: Sequence[RunRecord]) -> BoxplotStats:
+    """Boxplot statistics of the records' costs."""
+    if not records:
+        raise ValueError("no records to summarize")
+    return BoxplotStats.from_samples(costs(records))
+
+
+def group_by(
+    records: Iterable[RunRecord], key: Callable[[RunRecord], object]
+) -> dict:
+    """Group records by an arbitrary key function (insertion-ordered)."""
+    groups: dict = {}
+    for record in records:
+        groups.setdefault(key(record), []).append(record)
+    return groups
+
+
+def best_case_per_start(
+    groups: Sequence[Sequence[RunRecord]],
+) -> list[RunRecord]:
+    """Per-experiment best case across several record groups.
+
+    The paper's "best-case redundancy-based policy" boxplots take, for
+    each experiment (start offset), the cheapest outcome among the
+    candidate redundancy policies.  All groups must cover the same
+    start offsets.
+    """
+    if not groups:
+        raise ValueError("no groups supplied")
+    by_start: dict[float, RunRecord] = {}
+    expected = {r.start_time for r in groups[0]}
+    for group in groups:
+        starts = {r.start_time for r in group}
+        if starts != expected:
+            raise ValueError("groups do not cover identical start offsets")
+        for record in group:
+            cur = by_start.get(record.start_time)
+            if cur is None or record.cost < cur.cost:
+                by_start[record.start_time] = record
+    return [by_start[s] for s in sorted(by_start)]
+
+
+def deadline_violations(records: Iterable[RunRecord]) -> list[RunRecord]:
+    """Records that missed their deadline (must be empty: Algorithm 1
+    guarantees completion within D)."""
+    return [r for r in records if not r.met_deadline]

@@ -1,0 +1,232 @@
+"""Experiment grids over the evaluation windows (Section 5's protocol).
+
+The paper runs 80 experiments over partially overlapping chunks of
+each volatility window, for each combination of policy, bid, slack and
+checkpoint cost.  :class:`ExperimentRunner` owns one window's trace
+and oracle (so Markov caches amortize across the whole grid) and
+exposes the run shapes the figures need:
+
+* single-zone policy sweeps, merged over the three zones (one boxplot
+  per policy in Figure 4);
+* redundancy-based sweeps over all three zones;
+* Adaptive (controller-driven) sweeps;
+* Large-bid sweeps over the control threshold L.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.app.workload import ExperimentConfig
+from repro.core.adaptive import AdaptiveController
+from repro.core.edge import RisingEdgePolicy
+from repro.core.engine import SpotSimulator
+from repro.core.large_bid import LargeBidPolicy
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.core.policy import CheckpointPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.core.large_bid import naive_policy
+from repro.experiments.metrics import RunRecord, best_case_per_start
+from repro.market.constants import LARGE_BID, SAMPLE_INTERVAL_S
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+from repro.traces.library import DEFAULT_SEED, evaluation_window
+from repro.traces.model import overlapping_starts
+
+#: Paper default: 80 partially overlapping chunks per window.
+DEFAULT_NUM_EXPERIMENTS: int = 80
+
+#: Factories for the four Algorithm-1 policies by label.
+POLICY_FACTORIES: dict[str, Callable[[], CheckpointPolicy]] = {
+    "periodic": PeriodicPolicy,
+    "markov-daly": MarkovDalyPolicy,
+    "edge": RisingEdgePolicy,
+    "threshold": ThresholdPolicy,
+}
+
+#: Policies the paper keeps after Section 6 (Edge and Threshold are
+#: dropped for high recovery costs).
+RETAINED_POLICIES: tuple[str, ...] = ("periodic", "markov-daly")
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs experiment grids against one evaluation window.
+
+    Parameters
+    ----------
+    window:
+        ``"low"`` or ``"high"`` — the Section 5 volatility windows.
+    num_experiments:
+        Overlapping start offsets per grid cell (paper: 80).
+    seed:
+        Seeds both the trace archive and the queuing-delay draws.
+    """
+
+    window: str
+    num_experiments: int = DEFAULT_NUM_EXPERIMENTS
+    seed: int = DEFAULT_SEED
+    queue_model: QueueDelayModel = field(default_factory=QueueDelayModel)
+
+    def __post_init__(self) -> None:
+        trace, eval_start = evaluation_window(self.window, self.seed)
+        self.trace = trace
+        self.eval_start = eval_start
+        self.oracle = PriceOracle(trace)
+
+    # -- experiment geometry ----------------------------------------------
+
+    def starts(self, config: ExperimentConfig) -> np.ndarray:
+        """Absolute start times of the overlapping experiment chunks."""
+        eval_span = self.trace.end_time - self.eval_start
+        # keep one tick of headroom at the trace end for the last tick's
+        # price lookup
+        usable = eval_span - SAMPLE_INTERVAL_S
+        offsets = overlapping_starts(
+            usable, config.deadline_s, self.num_experiments
+        )
+        return self.eval_start + offsets
+
+    def simulator(self, start_time: float) -> SpotSimulator:
+        """A simulator whose queue-delay stream is derived from the
+        experiment's start offset, so every (policy, bid) cell sees the
+        same acquisition delays at the same start."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(int(start_time),)
+            )
+        )
+        return SpotSimulator(
+            oracle=self.oracle, queue_model=self.queue_model, rng=rng
+        )
+
+    # -- grid cells -------------------------------------------------------
+
+    def _record(
+        self,
+        label: str,
+        config: ExperimentConfig,
+        bid: float,
+        start: float,
+        result,
+    ) -> RunRecord:
+        return RunRecord(
+            label=label,
+            window=self.window,
+            slack_fraction=config.slack_fraction,
+            ckpt_cost_s=config.ckpt_cost_s,
+            bid=bid,
+            start_time=start,
+            result=result,
+        )
+
+    def run_single_zone(
+        self,
+        policy_label: str,
+        config: ExperimentConfig,
+        bid: float,
+        zones: Sequence[str] | None = None,
+    ) -> list[RunRecord]:
+        """One single-zone policy, merged over zones (paper's boxplots).
+
+        Runs every (zone, start) pair; the returned records pool all
+        zones, matching "we merge the results from all three individual
+        zones ... to generate one boxplot".
+        """
+        factory = POLICY_FACTORIES[policy_label]
+        zones = tuple(zones) if zones is not None else self.trace.zone_names
+        records = []
+        for start in self.starts(config):
+            sim = self.simulator(start)
+            for zone in zones:
+                result = sim.run(config, factory(), bid, (zone,), start)
+                records.append(
+                    self._record(policy_label, config, bid, start, result)
+                )
+        return records
+
+    def run_redundant(
+        self,
+        policy_label: str,
+        config: ExperimentConfig,
+        bid: float,
+        num_zones: int = 3,
+    ) -> list[RunRecord]:
+        """One redundancy-based policy over the first ``num_zones`` zones."""
+        factory = POLICY_FACTORIES[policy_label]
+        zones = self.trace.zone_names[:num_zones]
+        label = f"{policy_label}-r{num_zones}"
+        records = []
+        for start in self.starts(config):
+            sim = self.simulator(start)
+            result = sim.run(config, factory(), bid, zones, start)
+            records.append(self._record(label, config, bid, start, result))
+        return records
+
+    def run_best_redundant(
+        self,
+        config: ExperimentConfig,
+        bid: float,
+        policy_labels: Sequence[str] = RETAINED_POLICIES + ("edge", "threshold"),
+        num_zones: int = 3,
+    ) -> list[RunRecord]:
+        """Best-case redundancy per experiment (Figure 4's "R" boxes)."""
+        groups = [
+            self.run_redundant(label, config, bid, num_zones)
+            for label in policy_labels
+        ]
+        return best_case_per_start(groups)
+
+    def run_adaptive(
+        self,
+        config: ExperimentConfig,
+        controller_factory: Callable[[], AdaptiveController] = AdaptiveController,
+    ) -> list[RunRecord]:
+        """The Adaptive scheme: the controller picks bid/zones/policy.
+
+        The initial configuration is a placeholder — the controller's
+        first decision (before anything runs) replaces it.
+        """
+        records = []
+        for start in self.starts(config):
+            sim = self.simulator(start)
+            controller = controller_factory()
+            result = sim.run(
+                config,
+                PeriodicPolicy(),
+                bid=controller.bids[0],
+                zones=self.trace.zone_names[:1],
+                start_time=start,
+                controller=controller,
+            )
+            records.append(
+                self._record("adaptive", config, result.bid, start, result)
+            )
+        return records
+
+    def run_large_bid(
+        self,
+        config: ExperimentConfig,
+        threshold: float | None,
+        zone: str | None = None,
+    ) -> list[RunRecord]:
+        """Large-bid at control threshold L (None = Naive), merged zones."""
+        zones = (zone,) if zone is not None else self.trace.zone_names
+        records = []
+        for start in self.starts(config):
+            sim = self.simulator(start)
+            for z in zones:
+                policy = (
+                    naive_policy()
+                    if threshold is None
+                    else LargeBidPolicy(threshold)
+                )
+                result = sim.run(config, policy, LARGE_BID, (z,), start)
+                records.append(
+                    self._record(policy.name, config, LARGE_BID, start, result)
+                )
+        return records

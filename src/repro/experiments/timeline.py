@@ -1,0 +1,144 @@
+"""ASCII timeline rendering — Figures 1 and 3 regenerated from runs.
+
+Figure 1 of the paper shows, for one scenario, (a) the spot price
+moving around the bid and (b) the instance's state transitions with
+checkpoint/restart costs and the net progress bar.  Figure 3 shows the
+same anatomy for the Rising Edge policy.  Given a run executed with
+``record_timeline=True``, :func:`render_timeline` reproduces that
+diagram in text::
+
+    price za   ----^^^^----------^^--------
+    state za   ##########..wwr#######c#####
+    progress   ____________========________
+
+Legend (per sample): price row — ``-`` at/below bid, ``^`` above bid;
+state row — ``.`` down, ``w`` waiting, ``q`` queuing, ``r`` restoring,
+``#`` computing, ``c`` checkpointing; progress row — ``=`` committed
+fraction of C (scaled to the row), ``>`` speculative lead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import RunResult
+from repro.market.spot_market import PriceOracle
+
+#: ZoneState.value -> timeline glyph.
+STATE_GLYPHS: dict[str, str] = {
+    "down": ".",
+    "waiting": "w",
+    "queuing": "q",
+    "restarting": "r",
+    "computing": "#",
+    "checkpointing": "c",
+}
+
+
+class TimelineError(ValueError):
+    """Raised when a run cannot be rendered."""
+
+
+@dataclass(frozen=True)
+class TimelineRows:
+    """The rendered rows before text assembly."""
+
+    times: list[float]
+    price_rows: dict[str, str]
+    state_rows: dict[str, str]
+    progress_row: str
+
+    def span_hours(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        return (self.times[-1] - self.times[0]) / 3600.0
+
+
+def _downsample(indices: int, width: int) -> list[int]:
+    """Indices of the samples to display for a target width."""
+    if indices <= width:
+        return list(range(indices))
+    step = indices / width
+    return [int(i * step) for i in range(width)]
+
+
+def build_rows(
+    result: RunResult,
+    oracle: PriceOracle,
+    width: int = 96,
+) -> TimelineRows:
+    """Build the glyph rows from a recorded run."""
+    if not result.timeline:
+        raise TimelineError(
+            "run has no timeline; execute with record_timeline=True"
+        )
+    points = result.timeline
+    picks = _downsample(len(points), width)
+    times = [points[i].time for i in picks]
+
+    zones = [z for z, _ in points[0].zone_states]
+    price_rows: dict[str, str] = {}
+    state_rows: dict[str, str] = {}
+    for zone_idx, zone in enumerate(zones):
+        price_chars = []
+        state_chars = []
+        for i in picks:
+            point = points[i]
+            price = oracle.price(zone, point.time)
+            price_chars.append("^" if price > result.bid else "-")
+            state = point.zone_states[zone_idx][1]
+            state_chars.append(STATE_GLYPHS.get(state, "?"))
+        price_rows[zone] = "".join(price_chars)
+        state_rows[zone] = "".join(state_chars)
+
+    total = max(
+        (p.leading_progress_s for p in points), default=0.0
+    )
+    compute_s = max(total, 1.0)
+    progress_chars = []
+    for i in picks:
+        point = points[i]
+        committed_frac = point.committed_progress_s / compute_s
+        leading_frac = point.leading_progress_s / compute_s
+        if committed_frac >= 0.999:
+            progress_chars.append("=")
+        elif leading_frac > committed_frac + 1e-9:
+            progress_chars.append(">")
+        elif committed_frac > 0:
+            progress_chars.append("=")
+        else:
+            progress_chars.append("_")
+    return TimelineRows(
+        times=times,
+        price_rows=price_rows,
+        state_rows=state_rows,
+        progress_row="".join(progress_chars),
+    )
+
+
+def render_timeline(
+    result: RunResult,
+    oracle: PriceOracle,
+    width: int = 96,
+    title: str | None = None,
+) -> str:
+    """Figure 1/3-style text diagram of one run."""
+    rows = build_rows(result, oracle, width)
+    label_width = max(len(f"price {z}") for z in rows.price_rows) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':<{label_width}}start={rows.times[0]:.0f}s  "
+        f"span={rows.span_hours():.1f}h  bid=${result.bid:.2f}  "
+        f"cost=${result.total_cost:.2f} ({result.completed_on})"
+    )
+    for zone in rows.price_rows:
+        lines.append(f"{f'price {zone}':<{label_width}}{rows.price_rows[zone]}")
+        lines.append(f"{f'state {zone}':<{label_width}}{rows.state_rows[zone]}")
+    lines.append(f"{'progress':<{label_width}}{rows.progress_row}")
+    lines.append(
+        f"{'':<{label_width}}legend: . down  w waiting  q queuing  "
+        f"r restore  # compute  c checkpoint | ^ price>bid"
+    )
+    return "\n".join(lines)

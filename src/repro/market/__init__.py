@@ -1,0 +1,47 @@
+"""EC2 market substrate: billing rules, instance lifecycle, price oracle."""
+
+from repro.market.constants import (
+    BILLING_HOUR_S,
+    LARGE_BID,
+    LOWEST_SPOT_PRICE,
+    MAX_OBSERVED_SPOT_PRICE,
+    ON_DEMAND_PRICE,
+    SAMPLE_INTERVAL_S,
+    ZONES,
+    bid_grid,
+)
+from repro.market.billing import BillingError, BillingMeter, ChargedHour, ondemand_cost
+from repro.market.instance import (
+    RUNNING_STATES,
+    InstanceError,
+    ZoneInstance,
+    ZoneState,
+)
+from repro.market.ioserver import DEFAULT_IO_SERVER_PRICE, IOServerBill, io_server_cost
+from repro.market.queuing import FixedQueueDelay, QueueDelayModel
+from repro.market.spot_market import PriceOracle
+
+__all__ = [
+    "BILLING_HOUR_S",
+    "LARGE_BID",
+    "LOWEST_SPOT_PRICE",
+    "MAX_OBSERVED_SPOT_PRICE",
+    "ON_DEMAND_PRICE",
+    "SAMPLE_INTERVAL_S",
+    "ZONES",
+    "bid_grid",
+    "BillingError",
+    "BillingMeter",
+    "ChargedHour",
+    "ondemand_cost",
+    "RUNNING_STATES",
+    "InstanceError",
+    "ZoneInstance",
+    "ZoneState",
+    "FixedQueueDelay",
+    "QueueDelayModel",
+    "PriceOracle",
+    "DEFAULT_IO_SERVER_PRICE",
+    "IOServerBill",
+    "io_server_cost",
+]

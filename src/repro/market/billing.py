@@ -1,0 +1,158 @@
+"""Hour-boundary billing of spot and on-demand instances (Section 2.1).
+
+EC2's spot billing rules during the study period, all of which this
+meter implements literally:
+
+* **Hour-boundary pricing** — each billing hour is charged at the spot
+  price in force at the *start* of that hour (never the bid); price
+  movement inside the hour does not change the rate.
+* **Partial-hour usage** — an hour cut short because EC2 terminated
+  the instance (out-of-bid) is free.
+* A partial hour ended by the *user* (manual termination or job
+  completion) is charged in full, as EC2 did at the time.
+
+One :class:`BillingMeter` tracks one instance (one zone); totals
+aggregate across zones in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BillingError(RuntimeError):
+    """Raised on out-of-order billing operations."""
+
+
+@dataclass(frozen=True)
+class ChargedHour:
+    """One committed billing hour (or charged partial hour)."""
+
+    hour_start: float
+    rate: float
+    #: seconds of the hour actually used (3600 unless the user ended it)
+    used_s: float
+    #: why the charge committed: "boundary", "user", or "complete"
+    reason: str
+
+
+@dataclass
+class BillingMeter:
+    """Billing state of one instance.
+
+    The engine drives it with four calls:
+
+    * :meth:`open_hour` when an instance is granted (or at each hour
+      boundary, with the then-current spot price);
+    * :meth:`roll_hour` when the clock crosses the open hour's end;
+    * :meth:`provider_terminate` on out-of-bid termination (open
+      partial hour forfeited);
+    * :meth:`user_close` on manual termination or job completion
+      (open hour charged in full).
+    """
+
+    charges: list[ChargedHour] = field(default_factory=list)
+    hour_start: float | None = None
+    rate: float = 0.0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        return self.hour_start is not None
+
+    @property
+    def total_cost(self) -> float:
+        """Dollars committed so far (open hour excluded)."""
+        return sum(c.rate for c in self.charges)
+
+    @property
+    def hours_charged(self) -> int:
+        return len(self.charges)
+
+    def hour_end(self) -> float:
+        """End timestamp of the open billing hour."""
+        if self.hour_start is None:
+            raise BillingError("no billing hour is open")
+        return self.hour_start + 3600.0
+
+    def seconds_left_in_hour(self, now: float) -> float:
+        """Seconds until the open hour's boundary (>= 0)."""
+        return max(self.hour_end() - now, 0.0)
+
+    # -- transitions ------------------------------------------------------
+
+    def open_hour(self, start: float, rate: float) -> None:
+        """Begin a billing hour at ``rate`` $/h."""
+        if self.hour_start is not None:
+            raise BillingError("billing hour already open")
+        if rate <= 0:
+            raise BillingError(f"rate must be positive, got {rate}")
+        self.hour_start = start
+        self.rate = rate
+
+    def roll_hour(self, next_rate: float) -> None:
+        """Commit the open hour at its rate and open the next one.
+
+        ``next_rate`` is the spot price at the new hour's start.
+        """
+        if self.hour_start is None:
+            raise BillingError("no billing hour open to roll")
+        end = self.hour_end()
+        self.charges.append(
+            ChargedHour(hour_start=self.hour_start, rate=self.rate,
+                        used_s=3600.0, reason="boundary")
+        )
+        self.hour_start = None
+        self.open_hour(end, next_rate)
+
+    def provider_terminate(self) -> float:
+        """EC2 terminated the instance: the open partial hour is free.
+
+        Returns the dollars forfeited by the provider (for reporting).
+        """
+        if self.hour_start is None:
+            raise BillingError("no billing hour open")
+        forfeited = self.rate
+        self.hour_start = None
+        self.rate = 0.0
+        return forfeited
+
+    def user_close(self, now: float, reason: str = "user") -> float:
+        """User ended the instance: the open hour is charged in full.
+
+        A close at the very boundary of a freshly opened hour (less
+        than one second used) is free: terminating "at the hour
+        boundary" consumes nothing of the new hour.  This is what lets
+        Adaptive and Large-bid release a zone when its paid hour ends
+        without being billed for the next one.
+
+        Returns the dollars charged.
+        """
+        if self.hour_start is None:
+            raise BillingError("no billing hour open")
+        used = min(max(now - self.hour_start, 0.0), 3600.0)
+        self.hour_start = None
+        charged_rate = self.rate
+        self.rate = 0.0
+        if used < 1.0:
+            return 0.0
+        self.charges.append(
+            ChargedHour(hour_start=now - used, rate=charged_rate,
+                        used_s=used, reason=reason)
+        )
+        return charged_rate
+
+
+def ondemand_cost(compute_s: float, price_per_hour: float) -> float:
+    """Cost of running ``compute_s`` seconds on on-demand instances.
+
+    On-demand is billed in whole hours; any started hour is charged.
+    """
+    if compute_s < 0:
+        raise ValueError(f"compute seconds must be >= 0, got {compute_s}")
+    if compute_s == 0:
+        return 0.0
+    import math
+
+    return math.ceil(compute_s / 3600.0) * price_per_hour

@@ -1,0 +1,89 @@
+"""Market-wide constants for the EC2 CC2 spot-market model.
+
+All values come from Section 5 of Marathe et al. (HPDC 2014) and from
+the Amazon EC2 price sheet as of the paper's study period (December
+2012 -- January 2014).  Everything is expressed in SI seconds and US
+dollars per instance-hour so that the rest of the code base never has
+to guess at units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Wall-clock length of one price sample in the traces (Section 5: the
+#: state of spot prices in all zones is sampled at a 5-minute interval).
+SAMPLE_INTERVAL_S: int = 300
+
+#: Billing quantum on EC2 in the study period: one hour.
+BILLING_HOUR_S: int = 3600
+
+#: Number of price samples per billing hour.
+SAMPLES_PER_HOUR: int = BILLING_HOUR_S // SAMPLE_INTERVAL_S
+
+#: Fixed on-demand price for a CC2 (cc2.8xlarge) instance, $/hour.
+ON_DEMAND_PRICE: float = 2.40
+
+#: Reference lowest spot price observed in the paper's 14-month data,
+#: used as the black reference line in Figures 4--6.
+LOWEST_SPOT_PRICE: float = 0.27
+
+#: The largest spot price the authors observed in 12 months of data
+#: (Section 7.2.2): a $20.02 spike between March 13th and 14th, 2013.
+MAX_OBSERVED_SPOT_PRICE: float = 20.02
+
+#: The "effectively infinite" bid used by the Large-bid policy.
+LARGE_BID: float = 100.0
+
+#: The three CC2 availability zones in the US-East region (Figure 2).
+ZONES: tuple[str, ...] = ("us-east-1a", "us-east-1b", "us-east-1c")
+
+#: Number of zones available for redundancy.
+NUM_ZONES: int = len(ZONES)
+
+#: Bid grid explored by the evaluation and by the Adaptive policy
+#: (Section 5): $0.27 to $3.07 in steps of $0.20.
+BID_GRID_START: float = 0.27
+BID_GRID_STOP: float = 3.07
+BID_GRID_STEP: float = 0.20
+
+#: Checkpoint/restart costs studied in the paper, in seconds.
+CKPT_COST_LOW_S: float = 300.0
+CKPT_COST_HIGH_S: float = 900.0
+
+#: Uninterrupted application execution time assumed in the simulations
+#: (Section 5): 20 hours.
+BASE_COMPUTE_HOURS: float = 20.0
+
+#: Slack fractions studied: 15% (low) and 50% (high) of C.
+SLACK_LOW: float = 0.15
+SLACK_HIGH: float = 0.50
+
+#: Price history used to bootstrap the Markov model (Section 5): 2 days.
+MARKOV_HISTORY_S: int = 2 * 24 * 3600
+
+#: Queuing-delay statistics measured on the spot market for CC2
+#: instances (Section 5): average / best case / worst case in seconds.
+QUEUE_DELAY_MEAN_S: float = 299.6
+QUEUE_DELAY_MIN_S: float = 143.0
+QUEUE_DELAY_MAX_S: float = 880.0
+
+
+def bid_grid() -> np.ndarray:
+    """Return the paper's bid grid: $0.27 ... $3.07 in $0.20 steps.
+
+    The grid has 15 points; the upper portion (> $2.40) exists to ride
+    out occasional spot-price spikes of up to ~$3.00 (Section 5).
+    """
+    n = int(round((BID_GRID_STOP - BID_GRID_START) / BID_GRID_STEP)) + 1
+    return np.round(BID_GRID_START + BID_GRID_STEP * np.arange(n), 2)
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return float(hours) * 3600.0
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return float(seconds) / 3600.0

@@ -1,0 +1,81 @@
+"""Optional I/O-server cost accounting.
+
+Section 5: "Checkpoints are stored onto an I/O server that runs in an
+on-demand instance as long as spot instances are running. ... A
+typical I/O server setup (non-CC2) at the on-demand price costs only
+a fraction of the total cost of running a tightly coupled MPI
+application at scale.  Hence, we ignore the cost of running such I/O
+server setup in our experiments."
+
+The reproduction follows the paper (costs in all figures exclude the
+I/O server), but a downstream user sizing a real deployment wants the
+number the paper waves away.  :func:`io_server_cost` computes it from
+a finished run: the I/O server runs on-demand from experiment start
+until the spot phase ends (the on-demand switch, or completion), and
+is billed in whole hours like any on-demand instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid the market <-> core import cycle
+    from repro.core.engine import RunResult
+
+#: On-demand price of a typical non-CC2 I/O node in the study period
+#: (m1.large, US-East), $/hour.
+DEFAULT_IO_SERVER_PRICE: float = 0.24
+
+
+@dataclass(frozen=True)
+class IOServerBill:
+    """The I/O server's share of a run's cost."""
+
+    hours: int
+    price_per_hour: float
+    cost: float
+    #: the I/O server cost as a fraction of the run's per-instance
+    #: cost scaled to the whole allocation
+    fraction_of_total: float
+
+
+def io_server_cost(
+    result: "RunResult",
+    num_nodes: int = 32,
+    price_per_hour: float = DEFAULT_IO_SERVER_PRICE,
+) -> IOServerBill:
+    """Cost of the checkpoint I/O server for one finished run.
+
+    Parameters
+    ----------
+    result:
+        A finished run.
+    num_nodes:
+        Instances per zone of the actual allocation — the paper's
+        "fraction of the total cost" claim only makes sense against a
+        multi-node job (``result`` costs are per instance).
+    price_per_hour:
+        On-demand price of the I/O node.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if price_per_hour <= 0:
+        raise ValueError(f"price must be positive, got {price_per_hour}")
+    spot_phase_end = (
+        result.ondemand_switch_time
+        if result.ondemand_switch_time is not None
+        else result.finish_time
+    )
+    span_s = max(spot_phase_end - result.start_time, 0.0)
+    hours = math.ceil(span_s / 3600.0) if span_s > 0 else 0
+    cost = hours * price_per_hour
+    total_allocation_cost = result.total_cost * num_nodes
+    fraction = cost / total_allocation_cost if total_allocation_cost > 0 else 0.0
+    return IOServerBill(
+        hours=hours,
+        price_per_hour=price_per_hour,
+        cost=cost,
+        fraction_of_total=fraction,
+    )

@@ -1,0 +1,80 @@
+"""Spot-instance queuing (acquisition) delay model.
+
+Section 5 measures the delay between submitting a spot request (at
+S <= B) and the instance accepting SSH logins: average 299.6 s, best
+case 143 s, worst case 880 s over two months of twice-daily probes.
+
+We model the delay as a log-normal clipped to the observed range —
+boot/provisioning delays are classically right-skewed and the paper
+reports exactly these three statistics, which the model matches (see
+``tests/market/test_queuing.py``).  A deterministic variant is
+provided for engine tests that need exact arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.constants import (
+    QUEUE_DELAY_MAX_S,
+    QUEUE_DELAY_MEAN_S,
+    QUEUE_DELAY_MIN_S,
+)
+
+
+@dataclass(frozen=True)
+class QueueDelayModel:
+    """Log-normal queuing delay clipped to ``[min_s, max_s]``.
+
+    The default parameters were chosen so the clipped mean lands on the
+    paper's 299.6 s: ``median_s`` is the log-normal median and
+    ``sigma`` the log-space standard deviation.
+    """
+
+    median_s: float = 265.0
+    sigma: float = 0.50
+    min_s: float = QUEUE_DELAY_MIN_S
+    max_s: float = QUEUE_DELAY_MAX_S
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0 or self.sigma <= 0:
+            raise ValueError("median_s and sigma must be positive")
+        if not (0 < self.min_s < self.max_s):
+            raise ValueError(f"bad clip range [{self.min_s}, {self.max_s}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one acquisition delay in seconds."""
+        raw = self.median_s * math.exp(self.sigma * rng.standard_normal())
+        return float(min(max(raw, self.min_s), self.max_s))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` delays (vectorized)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        raw = self.median_s * np.exp(self.sigma * rng.standard_normal(n))
+        return np.clip(raw, self.min_s, self.max_s)
+
+    def mean(self, rng: np.random.Generator | None = None, n: int = 200_000) -> float:
+        """Monte-Carlo clipped mean (the statistic the paper reports)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return float(self.sample_many(rng, n).mean())
+
+
+@dataclass(frozen=True)
+class FixedQueueDelay:
+    """Constant acquisition delay — deterministic engine tests."""
+
+    delay_s: float = QUEUE_DELAY_MEAN_S
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay_s}")
+
+    def sample(self, rng: np.random.Generator) -> float:  # rng unused by design
+        return float(self.delay_s)
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.delay_s, dtype=np.float64)

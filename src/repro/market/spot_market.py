@@ -1,0 +1,163 @@
+"""Market view and cached price-history oracle.
+
+Policies never touch raw traces: they see a :class:`PriceOracle`,
+which answers "what is the spot price of zone Z now", "what was the
+trailing history", and the derived statistical questions (Markov
+expected up time, stationary availability, mean up-run length) that
+the Markov-Daly, Threshold, and Adaptive policies ask on every
+scheduling decision.
+
+The derived quantities are *cached per billing-hour bucket*: the
+2-day history window slides by one sample every 5 minutes, which
+changes the fitted Markov chain imperceptibly, but naively refitting
+per query makes Adaptive (15 bids x 3 zone counts x policies, every 5
+minutes) intractable.  Bucketing by hour keeps each experiment's
+statistics fresh while letting the 80 overlapping experiments of each
+evaluation window share almost all of the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.market.constants import MARKOV_HISTORY_S, SAMPLE_INTERVAL_S
+from repro.stats.availability import mean_up_run_s
+from repro.stats.markov import PriceMarkovModel
+from repro.traces.model import SpotPriceTrace, ZoneTrace
+
+
+@dataclass
+class PriceOracle:
+    """Cached statistical view over one multi-zone price trace."""
+
+    trace: SpotPriceTrace
+    history_s: int = MARKOV_HISTORY_S
+    _markov_cache: dict = field(default_factory=dict, repr=False)
+    _uptime_cache: dict = field(default_factory=dict, repr=False)
+    _stationary_cache: dict = field(default_factory=dict, repr=False)
+    _uprun_cache: dict = field(default_factory=dict, repr=False)
+
+    # -- raw prices -------------------------------------------------------
+
+    @property
+    def zone_names(self) -> tuple[str, ...]:
+        return self.trace.zone_names
+
+    def price(self, zone: str, t: float) -> float:
+        """Spot price of ``zone`` in force at time ``t``."""
+        return self.trace.zone(zone).price_at(t)
+
+    def previous_price(self, zone: str, t: float) -> float:
+        """Spot price one sample before ``t`` (clamped at trace start)."""
+        z = self.trace.zone(zone)
+        i = z.index_at(t)
+        return float(z.prices[max(i - 1, 0)])
+
+    def is_rising_edge(self, zone: str, t: float) -> bool:
+        """True when the price moved upward at the sample covering ``t``."""
+        return self.price(zone, t) > self.previous_price(zone, t)
+
+    def history(self, zone: str, t: float) -> np.ndarray:
+        """Trailing price history of ``zone``: samples in ``[t - H, t)``.
+
+        Clamped to the trace start; always contains at least two
+        samples so the Markov fit is defined.
+        """
+        z = self.trace.zone(zone)
+        i1 = z.index_at(t)
+        i0 = max(i1 - self.history_s // z.interval_s, 0)
+        if i1 - i0 < 2:
+            i1 = min(i0 + 2, len(z))
+        return z.prices[i0:i1]
+
+    def history_matrix(self, t: float) -> np.ndarray:
+        """Trailing history of all zones, shape ``(samples, zones)``."""
+        return np.column_stack([self.history(z, t) for z in self.zone_names])
+
+    def min_price(self, zone: str, t: float) -> float:
+        """Lowest price in the trailing history (Threshold's S_min)."""
+        return float(self.history(zone, t).min())
+
+    # -- cached derived statistics -----------------------------------------
+
+    def _bucket(self, t: float) -> int:
+        return int(t // 3600.0)
+
+    def markov_model(self, zone: str, t: float) -> PriceMarkovModel:
+        """Markov chain fitted on the trailing history, hourly refreshed."""
+        key = (zone, self._bucket(t))
+        model = self._markov_cache.get(key)
+        if model is None:
+            model = PriceMarkovModel.fit(
+                self.history(zone, t), current_price=self.price(zone, t)
+            )
+            self._markov_cache[key] = model
+        return model
+
+    def expected_uptime(self, zone: str, t: float, bid: float) -> float:
+        """Markov expected up time of ``zone`` at ``bid``, seconds."""
+        model = self.markov_model(zone, t)
+        # the model is conditioned on the bucket's fit; key also by the
+        # current price level so intra-bucket price moves are honoured
+        level = float(self.price(zone, t))
+        key = (zone, self._bucket(t), round(bid, 4), level)
+        value = self._uptime_cache.get(key)
+        if value is None:
+            if level != float(model.levels[int(np.argmax(model.initial))]):
+                model = PriceMarkovModel.fit(
+                    self.history(zone, t), current_price=level
+                )
+            value = model.expected_uptime(bid)
+            self._uptime_cache[key] = value
+        return value
+
+    def combined_expected_uptime(self, zones: list[str], t: float, bid: float) -> float:
+        """Sum of per-zone expected up times (Section 4.2's combination)."""
+        if not zones:
+            raise ValueError("no zones supplied")
+        return float(sum(self.expected_uptime(z, t, bid) for z in zones))
+
+    def _stationary(self, zone: str, t: float) -> tuple[np.ndarray, np.ndarray]:
+        """(levels, stationary distribution) of the bucket's Markov chain."""
+        key = (zone, self._bucket(t))
+        cached = self._stationary_cache.get(key)
+        if cached is None:
+            model = self.markov_model(zone, t)
+            evals, evecs = np.linalg.eig(model.trans.T)
+            i = int(np.argmin(np.abs(evals - 1.0)))
+            v = np.abs(np.real(evecs[:, i]))
+            v = v / v.sum()
+            cached = (model.levels, v)
+            self._stationary_cache[key] = cached
+        return cached
+
+    def availability(self, zone: str, t: float, bid: float) -> float:
+        """Stationary probability that ``zone`` is up at ``bid``."""
+        levels, v = self._stationary(zone, t)
+        return float(v[levels <= bid].sum())
+
+    def expected_price_given_up(self, zone: str, t: float, bid: float) -> float:
+        """Stationary mean charged rate while up at ``bid``, $/hour."""
+        levels, v = self._stationary(zone, t)
+        mask = levels <= bid
+        mass = float(v[mask].sum())
+        if mass <= 0.0:
+            return float(bid)
+        return float((v[mask] * levels[mask]).sum() / mass)
+
+    def mean_up_run(self, zone: str, t: float, bid: float) -> float:
+        """Empirical mean up-run length over the trailing history, seconds.
+
+        The Threshold policy's ``TimeThresh``.
+        """
+        key = (zone, self._bucket(t), round(bid, 4))
+        value = self._uprun_cache.get(key)
+        if value is None:
+            hist = self.history(zone, t)
+            zt = ZoneTrace(zone=zone, start_time=0.0, prices=hist,
+                           interval_s=SAMPLE_INTERVAL_S)
+            value = mean_up_run_s(zt, bid)
+            self._uprun_cache[key] = value
+        return value

@@ -1,0 +1,55 @@
+"""Analysis substrate: Markov uptime model, Daly intervals, VAR, availability."""
+
+from repro.stats.markov import MarkovError, PriceMarkovModel, combined_expected_uptime
+from repro.stats.daly import (
+    daly_interval,
+    daly_interval_first_order,
+    expected_useful_fraction,
+)
+from repro.stats.var import (
+    VARError,
+    VARResult,
+    fit_var,
+    select_order_aic,
+    zone_dependence_report,
+)
+from repro.stats.availability import (
+    AvailabilityReport,
+    Segment,
+    availability_fraction,
+    availability_report,
+    combined_segments,
+    mean_up_run_s,
+    zone_segments,
+)
+from repro.stats.descriptive import (
+    BoxplotStats,
+    best_policy_by_median,
+    median_improvement,
+    merge_samples,
+)
+
+__all__ = [
+    "MarkovError",
+    "PriceMarkovModel",
+    "combined_expected_uptime",
+    "daly_interval",
+    "daly_interval_first_order",
+    "expected_useful_fraction",
+    "VARError",
+    "VARResult",
+    "fit_var",
+    "select_order_aic",
+    "zone_dependence_report",
+    "AvailabilityReport",
+    "Segment",
+    "availability_fraction",
+    "availability_report",
+    "combined_segments",
+    "mean_up_run_s",
+    "zone_segments",
+    "BoxplotStats",
+    "best_policy_by_median",
+    "median_improvement",
+    "merge_samples",
+]

@@ -1,0 +1,95 @@
+"""Descriptive statistics for cost distributions (the paper's boxplots).
+
+Figures 4–6 report costs as boxplots over 80 experiments.  This module
+provides the five-number summary those boxplots draw, plus small
+helpers for comparing policies the way the paper's prose does
+("X% lower median cost than ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus mean and count, as a boxplot would show."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float] | np.ndarray) -> "BoxplotStats":
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot summarize zero samples")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("samples contain NaN or infinity")
+        q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+        return cls(
+            minimum=float(arr.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            count=int(arr.size),
+        )
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range — the paper's "range of the second and
+        third quartile costs" (its low-variance argument for Adaptive)."""
+        return self.q3 - self.q1
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "mean": self.mean,
+            "n": self.count,
+        }
+
+
+def merge_samples(groups: Iterable[Sequence[float]]) -> np.ndarray:
+    """Pool samples from several groups into one array.
+
+    The paper merges the three zones' results into a single boxplot for
+    each single-zone policy ("we merge the results from all three
+    individual zones ... to generate one boxplot").
+    """
+    pooled = [np.asarray(list(g), dtype=np.float64) for g in groups]
+    if not pooled:
+        raise ValueError("no groups to merge")
+    return np.concatenate(pooled)
+
+
+def median_improvement(better: BoxplotStats, worse: BoxplotStats) -> float:
+    """Relative median cost reduction of ``better`` vs ``worse``.
+
+    Returns e.g. 0.239 for the paper's "23.9% lower costs than
+    Periodic" comparison.
+    """
+    if worse.median <= 0:
+        raise ValueError("reference median must be positive")
+    return (worse.median - better.median) / worse.median
+
+
+def best_policy_by_median(stats: Mapping[str, BoxplotStats]) -> tuple[str, BoxplotStats]:
+    """Name and stats of the policy with the lowest median cost."""
+    if not stats:
+        raise ValueError("no policies to compare")
+    name = min(stats, key=lambda k: stats[k].median)
+    return name, stats[name]

@@ -1,0 +1,307 @@
+"""Markov model of spot-price movements (paper Appendix B).
+
+The model discretizes the recent price history of a zone into its
+distinct price levels (the state space), estimates a transition matrix
+``TRANS`` between consecutive 5-minute samples, and propagates a
+probability row-vector ``PROB`` through a censored Chapman–Kolmogorov
+recurrence (Equation 2): at each step, states whose price exceeds the
+bid are zeroed (the instance would be terminated there), so the
+surviving mass is the probability the instance is still up.
+
+The expected up time (Equation 3) is the discrete survival-time mean
+
+    E[T_u] = sum_k k * P(terminated exactly at step k)
+
+iterated until it is stable at seconds granularity.
+
+For N zones with (near-)independent prices, Section 4.2 combines the
+zones by summing their individual expected up times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.constants import SAMPLE_INTERVAL_S
+
+
+class MarkovError(ValueError):
+    """Raised for degenerate price histories."""
+
+
+@dataclass(frozen=True)
+class PriceMarkovModel:
+    """Discrete Markov chain over a zone's distinct price levels.
+
+    Attributes
+    ----------
+    levels:
+        Sorted distinct prices observed in the history window.
+    trans:
+        Row-stochastic transition matrix between levels at 5-minute lag.
+    initial:
+        Probability row-vector for the current state; by default a
+        point mass on the most recent observed price.
+    step_s:
+        Seconds per Markov step (the sampling interval).
+    """
+
+    levels: np.ndarray
+    trans: np.ndarray
+    initial: np.ndarray
+    step_s: float = float(SAMPLE_INTERVAL_S)
+    #: Length of the history window the chain was fitted on, seconds.
+    #: An expected up time cannot be statistically justified beyond the
+    #: window it was estimated from, so it is capped here.
+    fit_window_s: float | None = None
+
+    def __post_init__(self) -> None:
+        n = self.levels.size
+        if n == 0:
+            raise MarkovError("empty state space")
+        if self.trans.shape != (n, n):
+            raise MarkovError(
+                f"transition matrix shape {self.trans.shape} != ({n}, {n})"
+            )
+        if self.initial.shape != (n,):
+            raise MarkovError(f"initial vector shape {self.initial.shape} != ({n},)")
+        rows = self.trans.sum(axis=1)
+        if not np.allclose(rows, 1.0, atol=1e-9):
+            raise MarkovError("transition matrix rows must sum to 1")
+        if not np.isclose(self.initial.sum(), 1.0, atol=1e-9):
+            raise MarkovError("initial vector must sum to 1")
+
+    @property
+    def num_states(self) -> int:
+        return int(self.levels.size)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        prices: np.ndarray,
+        current_price: float | None = None,
+        step_s: float = float(SAMPLE_INTERVAL_S),
+        smoothing: float | None = None,
+    ) -> "PriceMarkovModel":
+        """Estimate the chain from a price history window.
+
+        Parameters
+        ----------
+        prices:
+            The trailing price history (Section 5 uses 2 days = 576
+            samples), oldest first.
+        current_price:
+            Price to condition the initial state on; defaults to the
+            last history sample.  If it is not one of the observed
+            levels, the nearest level is used.
+        smoothing:
+            Every row is mixed with the marginal next-state
+            distribution at this weight: ``(1-s)*empirical +
+            s*marginal``.  A finite history inevitably leaves some
+            rare level's row with no observed path to a termination
+            state; un-smoothed, such closed classes make the expected
+            up time diverge on sampling noise alone.  Default:
+            ``1 / (2 * number of transitions)`` — half a pseudo-count,
+            negligible against observed structure.
+        """
+        prices = np.asarray(prices, dtype=np.float64)
+        if prices.ndim != 1 or prices.size < 2:
+            raise MarkovError("need at least two samples to fit transitions")
+        levels, inverse = np.unique(prices, return_inverse=True)
+        n = levels.size
+        counts = np.zeros((n, n), dtype=np.float64)
+        np.add.at(counts, (inverse[:-1], inverse[1:]), 1.0)
+        row_sums = counts.sum(axis=1, keepdims=True)
+        trans = np.where(row_sums > 0, counts / np.where(row_sums == 0, 1, row_sums), 0.0)
+        marginal = counts.sum(axis=0)
+        total = marginal.sum()
+        marginal = marginal / total if total > 0 else np.full(n, 1.0 / n)
+        # Rows with no observed outgoing transition (a level appearing
+        # only as the very last sample) back off to the marginal.
+        empty = np.flatnonzero(row_sums[:, 0] == 0)
+        if empty.size:
+            trans[empty] = marginal
+        if smoothing is None:
+            smoothing = 1.0 / (2.0 * max(prices.size - 1, 1))
+        if not (0.0 <= smoothing < 1.0):
+            raise MarkovError(f"smoothing must be in [0, 1), got {smoothing}")
+        if smoothing > 0.0:
+            trans = (1.0 - smoothing) * trans + smoothing * marginal[np.newaxis, :]
+
+        if current_price is None:
+            current_price = float(prices[-1])
+        start = int(np.argmin(np.abs(levels - current_price)))
+        initial = np.zeros(n)
+        initial[start] = 1.0
+        return cls(levels=levels, trans=trans, initial=initial, step_s=step_s,
+                   fit_window_s=prices.size * step_s)
+
+    # ------------------------------------------------------------------
+
+    def up_mask(self, bid: float) -> np.ndarray:
+        """Indicator ``I(i) = 1`` iff level i keeps the instance up (P_i <= B)."""
+        return (self.levels <= bid).astype(np.float64)
+
+    #: Absolute expected-uptime cap for chains whose up-states are
+    #: absorbing (the censored walk never terminates): 30 days.  When
+    #: the chain was fitted from data, the fit window length is the
+    #: effective (smaller) cap.
+    UPTIME_CAP_S: float = 30 * 24 * 3600.0
+
+    def _uptime_cap(self) -> float:
+        if self.fit_window_s is not None:
+            return float(min(self.UPTIME_CAP_S, self.fit_window_s))
+        return self.UPTIME_CAP_S
+
+    def expected_uptime(self, bid: float) -> float:
+        """Expected up time in seconds at bid ``bid`` (Appendix B, Eq. 3).
+
+        The censored Chapman–Kolmogorov recurrence of Equation 2 zeroes
+        the probability mass of every over-bid state after each step;
+        Equation 3 sums ``k * P(first termination at step k)``.  That
+        series has the exact closed form of an absorbing Markov chain:
+        with ``Q`` the transition sub-matrix among up states and ``p0``
+        the initial distribution conditioned on being up,
+
+            E[steps up] = p0^T (I - Q)^{-1} 1
+
+        which we evaluate with one linear solve instead of iterating
+        Equation 2 to its horizon ``Th`` (identical result, and fast
+        enough for Adaptive's per-permutation queries).  If the up
+        states form an absorbing class (``I - Q`` singular: at this
+        bid the chain can never terminate), the expected up time is
+        truncated at :attr:`UPTIME_CAP_S`.
+        """
+        up_mask = self.levels <= bid
+        up_idx = np.flatnonzero(up_mask)
+        if up_idx.size == 0:
+            return 0.0
+        p0_full = self.initial * up_mask
+        alive = float(p0_full.sum())
+        if alive <= 0.0:
+            return 0.0
+
+        # Restrict to up states actually reachable from the initial
+        # distribution: an unreachable closed class elsewhere in the
+        # history would otherwise make (I - Q) singular even though the
+        # censored walk from *here* terminates in finite expected time.
+        cap = self._uptime_cap()
+        reachable = _reachable_up_states(self.trans, up_mask, p0_full > 0)
+        q = self.trans[np.ix_(reachable, reachable)]
+        # If the reachable class is closed (every row already sums to
+        # 1 within the class), the walk never terminates at this bid.
+        if np.all(q.sum(axis=1) > 1.0 - 1e-12):
+            return cap
+        p0 = p0_full[reachable] / alive
+        n = reachable.size
+        try:
+            steps = float(p0 @ np.linalg.solve(np.eye(n) - q, np.ones(n)))
+        except np.linalg.LinAlgError:
+            # A closed sub-class is reachable with positive
+            # probability: the expectation diverges.
+            return cap
+        if not np.isfinite(steps) or steps < 0:
+            return cap
+        return float(min(steps * self.step_s, cap))
+
+    def expected_uptime_iterative(
+        self,
+        bid: float,
+        max_steps: int = 4096,
+    ) -> float:
+        """Reference implementation iterating Equation 2 literally.
+
+        Used in tests to validate :meth:`expected_uptime`; O(max_steps
+        * n^2), so not for production queries.
+        """
+        up = self.up_mask(bid)
+        prob = self.initial * up
+        alive = float(prob.sum())
+        if alive <= 0.0:
+            return 0.0
+        prob = prob / alive
+        expected_steps = 0.0
+        for k in range(1, max_steps + 1):
+            prob = prob @ self.trans
+            dead = float((prob * (1.0 - up)).sum())
+            expected_steps += k * dead
+            prob = prob * up
+            if float(prob.sum()) <= 1e-12:
+                break
+        expected_steps += max_steps * float(prob.sum())
+        return min(expected_steps * self.step_s, self._uptime_cap())
+
+    def availability(self, bid: float) -> float:
+        """Stationary probability of being up at ``bid``.
+
+        Uses the empirical occupancy implied by the fitted transition
+        counts (the history distribution), not the asymptotic
+        eigenvector, matching how the paper's Threshold policy derives
+        its probabilistic average up time.
+        """
+        # Occupancy of each level in the history = expected row mass.
+        # Reconstruct from transition matrix is not possible; store via
+        # initial is a point mass, so use the left eigenvector instead.
+        evals, evecs = np.linalg.eig(self.trans.T)
+        i = int(np.argmin(np.abs(evals - 1.0)))
+        v = np.real(evecs[:, i])
+        v = np.abs(v)
+        total = v.sum()
+        if total <= 0:
+            raise MarkovError("degenerate stationary distribution")
+        v = v / total
+        return float((v * self.up_mask(bid)).sum())
+
+    def expected_price_given_up(self, bid: float) -> float:
+        """Mean price over up states under the stationary distribution.
+
+        This is the rate a bidder expects to be charged per billing
+        hour while the zone is up — the quantity Adaptive's cost
+        estimator needs.
+        """
+        evals, evecs = np.linalg.eig(self.trans.T)
+        i = int(np.argmin(np.abs(evals - 1.0)))
+        v = np.abs(np.real(evecs[:, i]))
+        v = v / v.sum()
+        up = self.up_mask(bid)
+        mass = float((v * up).sum())
+        if mass <= 0.0:
+            return float(bid)
+        return float((v * up * self.levels).sum() / mass)
+
+
+def _reachable_up_states(
+    trans: np.ndarray, up_mask: np.ndarray, start_mask: np.ndarray
+) -> np.ndarray:
+    """Indices of up states reachable from ``start_mask`` via up states.
+
+    Breadth-first closure over positive transition probabilities,
+    never stepping through a down state (the walk would have been
+    terminated there).
+    """
+    frontier = start_mask & up_mask
+    seen = frontier.copy()
+    adjacency = (trans > 0.0) & up_mask[np.newaxis, :]
+    while frontier.any():
+        frontier = adjacency[frontier].any(axis=0) & ~seen
+        seen |= frontier
+    return np.flatnonzero(seen)
+
+
+def combined_expected_uptime(
+    models: list[PriceMarkovModel], bid: float
+) -> float:
+    """Combined expected up time for redundant zones (Section 4.2).
+
+    For zones with independent price movements the paper takes the
+    combined ``E[T_u]`` as the *sum* of the per-zone expected up times,
+    so redundancy always (weakly) increases the expected up time and
+    therefore stretches the Daly checkpoint interval.
+    """
+    if not models:
+        raise MarkovError("no zone models supplied")
+    return float(sum(m.expected_uptime(bid) for m in models))

@@ -1,0 +1,194 @@
+"""Vector autoregression for cross-zone price dependence (Section 3.1).
+
+The paper justifies redundancy by fitting a VAR to the three zones'
+price series (lag order chosen by the Akaike information criterion)
+and observing that own-zone lagged effects dominate cross-zone ones by
+1–2 orders of magnitude.  This module implements exactly that
+analysis: least-squares VAR(p) estimation, AIC-based lag selection,
+and the own- vs cross-zone coefficient magnitude summary.
+
+Implementation is plain stacked least squares via
+:func:`numpy.linalg.lstsq`; with three zones and a few lags the design
+matrices are tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class VARError(ValueError):
+    """Raised for unusable inputs to the VAR estimator."""
+
+
+@dataclass(frozen=True)
+class VARResult:
+    """A fitted VAR(p) model ``y_t = c + sum_l A_l y_{t-l} + e_t``.
+
+    Attributes
+    ----------
+    order:
+        Lag order ``p``.
+    intercept:
+        ``(k,)`` intercept vector.
+    coefficients:
+        ``(p, k, k)`` array; ``coefficients[l][i, j]`` is the effect of
+        series ``j`` at lag ``l+1`` on series ``i`` now.
+    sigma:
+        ``(k, k)`` residual covariance (ML estimate).
+    aic:
+        Akaike information criterion of the fit.
+    nobs:
+        Number of usable observations (rows of the regression).
+    """
+
+    order: int
+    intercept: np.ndarray
+    coefficients: np.ndarray
+    sigma: np.ndarray
+    aic: float
+    nobs: int
+
+    @property
+    def num_series(self) -> int:
+        return int(self.intercept.size)
+
+    def own_effect_magnitude(self) -> float:
+        """Mean |coefficient| over own-zone (diagonal) lagged terms."""
+        diags = [np.abs(np.diag(self.coefficients[l])) for l in range(self.order)]
+        return float(np.mean(np.concatenate(diags)))
+
+    def cross_effect_magnitude(self) -> float:
+        """Mean |coefficient| over cross-zone (off-diagonal) lagged terms."""
+        k = self.num_series
+        if k < 2:
+            raise VARError("cross effects need at least two series")
+        mask = ~np.eye(k, dtype=bool)
+        offs = [np.abs(self.coefficients[l][mask]) for l in range(self.order)]
+        return float(np.mean(np.concatenate(offs)))
+
+    def effect_ratio(self) -> float:
+        """Own-zone / cross-zone mean magnitude ratio.
+
+        Section 3.1 reports this ratio at 1–2 orders of magnitude,
+        which is the statistical licence for treating zones as
+        independent when combining expected up times.
+        """
+        cross = self.cross_effect_magnitude()
+        if cross == 0.0:
+            return float("inf")
+        return self.own_effect_magnitude() / cross
+
+    def predict_next(self, history: np.ndarray) -> np.ndarray:
+        """One-step forecast given the last ``order`` rows of history."""
+        history = np.asarray(history, dtype=np.float64)
+        if history.shape != (self.order, self.num_series):
+            raise VARError(
+                f"history must be ({self.order}, {self.num_series}), "
+                f"got {history.shape}"
+            )
+        out = self.intercept.copy()
+        for l in range(self.order):
+            out += self.coefficients[l] @ history[-(l + 1)]
+        return out
+
+
+def fit_var(series: np.ndarray, order: int) -> VARResult:
+    """Least-squares VAR(p) fit.
+
+    Parameters
+    ----------
+    series:
+        ``(T, k)`` array, one column per zone, oldest row first.
+    order:
+        Lag order ``p >= 1``.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise VARError(f"series must be 2-D (T, k), got shape {series.shape}")
+    T, k = series.shape
+    if order < 1:
+        raise VARError(f"order must be >= 1, got {order}")
+    nobs = T - order
+    min_rows = 1 + k * order
+    if nobs < min_rows:
+        raise VARError(
+            f"too few observations ({T}) for VAR({order}) on {k} series"
+        )
+
+    # Design matrix: [1, y_{t-1}, ..., y_{t-p}] rows.
+    blocks = [np.ones((nobs, 1))]
+    for l in range(1, order + 1):
+        blocks.append(series[order - l : T - l])
+    X = np.hstack(blocks)
+    Y = series[order:]
+
+    beta, _, _, _ = np.linalg.lstsq(X, Y, rcond=None)
+    resid = Y - X @ beta
+    sigma = (resid.T @ resid) / nobs
+
+    intercept = beta[0]
+    coefficients = np.empty((order, k, k))
+    for l in range(order):
+        # rows 1 + l*k ... 1 + (l+1)*k of beta map series j -> series i;
+        # transpose so [i, j] means "effect of j on i".
+        coefficients[l] = beta[1 + l * k : 1 + (l + 1) * k].T
+
+    # Gaussian log-likelihood based AIC with the standard multivariate
+    # form: AIC = log|Sigma| + 2 * (number of parameters) / nobs.
+    sign, logdet = np.linalg.slogdet(
+        sigma + 1e-12 * np.eye(k)  # guard exact collinearity
+    )
+    if sign <= 0:
+        logdet = float("inf")
+    n_params = k * (1 + k * order)
+    aic = float(logdet + 2.0 * n_params / nobs)
+    return VARResult(
+        order=order,
+        intercept=intercept,
+        coefficients=coefficients,
+        sigma=sigma,
+        aic=aic,
+        nobs=nobs,
+    )
+
+
+def select_order_aic(series: np.ndarray, max_order: int = 12) -> VARResult:
+    """Fit VAR(1..max_order) and return the AIC-minimizing model.
+
+    This is the paper's "Akaike criteria to determine the optimal
+    number of lags" step.
+    """
+    if max_order < 1:
+        raise VARError(f"max_order must be >= 1, got {max_order}")
+    best: VARResult | None = None
+    for p in range(1, max_order + 1):
+        try:
+            fit = fit_var(series, p)
+        except VARError:
+            break  # ran out of observations for higher orders
+        if best is None or fit.aic < best.aic:
+            best = fit
+    if best is None:
+        raise VARError("no VAR order could be fitted")
+    return best
+
+
+def zone_dependence_report(series: np.ndarray, max_order: int = 12) -> dict:
+    """The Section 3.1 analysis as a plain dictionary.
+
+    Returns the selected lag order, own/cross mean coefficient
+    magnitudes, their ratio, and its base-10 order of magnitude.
+    """
+    fit = select_order_aic(series, max_order=max_order)
+    ratio = fit.effect_ratio()
+    return {
+        "order": fit.order,
+        "nobs": fit.nobs,
+        "own_effect": fit.own_effect_magnitude(),
+        "cross_effect": fit.cross_effect_magnitude(),
+        "ratio": ratio,
+        "orders_of_magnitude": float(np.log10(ratio)) if np.isfinite(ratio) else float("inf"),
+    }

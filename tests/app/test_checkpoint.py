@@ -1,0 +1,75 @@
+"""Unit tests for the checkpoint store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.app.checkpoint import CheckpointError, CheckpointStore
+
+
+class TestCommit:
+    def test_initial_state(self):
+        store = CheckpointStore()
+        assert store.committed_progress_s == 0.0
+        assert store.num_checkpoints == 0
+
+    def test_commit_advances_progress(self):
+        store = CheckpointStore()
+        store.commit(100.0, 500.0, "za")
+        assert store.committed_progress_s == 500.0
+        assert store.num_checkpoints == 1
+
+    def test_equal_progress_accepted(self):
+        store = CheckpointStore()
+        store.commit(100.0, 500.0, "za")
+        store.commit(200.0, 500.0, "zb")
+        assert store.num_checkpoints == 2
+
+    def test_regression_rejected(self):
+        store = CheckpointStore()
+        store.commit(100.0, 500.0, "za")
+        with pytest.raises(CheckpointError):
+            store.commit(200.0, 400.0, "za")
+
+    def test_time_regression_rejected(self):
+        store = CheckpointStore()
+        store.commit(100.0, 500.0, "za")
+        with pytest.raises(CheckpointError):
+            store.commit(50.0, 600.0, "za")
+
+    def test_negative_progress_rejected(self):
+        with pytest.raises(CheckpointError):
+            CheckpointStore().commit(0.0, -1.0, "za")
+
+    def test_record_contents(self):
+        store = CheckpointStore()
+        rec = store.commit(100.0, 500.0, "zb")
+        assert rec.time == 100.0
+        assert rec.progress_s == 500.0
+        assert rec.zone == "zb"
+
+
+class TestProgressAt:
+    def test_progress_as_of_time(self):
+        store = CheckpointStore()
+        store.commit(100.0, 500.0, "za")
+        store.commit(200.0, 900.0, "za")
+        assert store.progress_at(50.0) == 0.0
+        assert store.progress_at(150.0) == 500.0
+        assert store.progress_at(200.0) == 900.0
+
+
+@given(
+    progresses=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50
+    )
+)
+def test_monotone_commits_always_accepted(progresses):
+    store = CheckpointStore()
+    sorted_progress = sorted(progresses)
+    for i, p in enumerate(sorted_progress):
+        store.commit(float(i), p, "za")
+    assert store.committed_progress_s == sorted_progress[-1]
+    assert store.num_checkpoints == len(progresses)

@@ -1,0 +1,157 @@
+"""Unit tests for run-time dynamics (deadline updates, perf variation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.dynamics import (
+    NOMINAL_PERFORMANCE,
+    STATIC_DEADLINE,
+    DeadlineSchedule,
+    PerformanceProfile,
+)
+
+
+class TestDeadlineSchedule:
+    def test_static_returns_initial(self):
+        assert STATIC_DEADLINE.deadline_at(500.0, 1000.0) == 1000.0
+
+    def test_update_takes_effect(self):
+        sched = DeadlineSchedule(updates=((100.0, 2000.0),))
+        assert sched.deadline_at(50.0, 1000.0) == 1000.0
+        assert sched.deadline_at(100.0, 1000.0) == 2000.0
+        assert sched.deadline_at(500.0, 1000.0) == 2000.0
+
+    def test_later_update_overrides(self):
+        sched = DeadlineSchedule(updates=((100.0, 2000.0), (200.0, 1500.0)))
+        assert sched.deadline_at(150.0, 1000.0) == 2000.0
+        assert sched.deadline_at(250.0, 1000.0) == 1500.0
+
+    def test_next_change(self):
+        sched = DeadlineSchedule(updates=((100.0, 2000.0), (200.0, 1500.0)))
+        assert sched.next_change_after(0.0) == 100.0
+        assert sched.next_change_after(150.0) == 200.0
+        assert sched.next_change_after(300.0) is None
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineSchedule(updates=((200.0, 2000.0), (100.0, 1500.0)))
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineSchedule(updates=((100.0, 0.0),))
+
+
+class TestPerformanceProfile:
+    def test_nominal_everywhere_by_default(self):
+        assert NOMINAL_PERFORMANCE.rate_at(1234.5) == 1.0
+
+    def test_piecewise_lookup(self):
+        profile = PerformanceProfile(segments=((100.0, 0.5), (300.0, 1.0)))
+        assert profile.rate_at(0.0) == 1.0
+        assert profile.rate_at(100.0) == 0.5
+        assert profile.rate_at(299.0) == 0.5
+        assert profile.rate_at(300.0) == 1.0
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceProfile(segments=((300.0, 0.5), (100.0, 1.0)))
+
+    def test_insane_factor_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceProfile(segments=((0.0, -0.1),))
+        with pytest.raises(ValueError):
+            PerformanceProfile(segments=((0.0, 11.0),))
+
+
+class TestEngineIntegration:
+    """Section 3.2's claim: the engine handles both dynamics."""
+
+    def _sim_and_config(self, slack_fraction=1.0):
+        from tests.conftest import flat_trace, make_sim, small_config
+
+        trace = flat_trace(price=0.30, num_samples=400)
+        return make_sim(trace), small_config(compute_h=2.0,
+                                             slack_fraction=slack_fraction)
+
+    def test_deadline_extension_relaxes_guard(self):
+        from repro.core.periodic import PeriodicPolicy
+        from tests.conftest import flat_trace, make_sim, small_config
+
+        # market never affordable -> would migrate at slack exhaustion;
+        # extending the deadline delays the migration
+        trace = flat_trace(price=1.0, num_samples=400)
+        sim = make_sim(trace)
+        config = small_config(compute_h=2.0, slack_fraction=0.5)
+        base = sim.run(config, PeriodicPolicy(), 0.5, ("za",), 0.0)
+        extended = make_sim(trace).run(
+            config, PeriodicPolicy(), 0.5, ("za",), 0.0,
+            deadline_schedule=DeadlineSchedule(
+                updates=((600.0, config.deadline_s + 3600.0),)
+            ),
+        )
+        assert extended.ondemand_switch_time > base.ondemand_switch_time
+        assert extended.met_deadline
+
+    def test_deadline_contraction_migrates_early(self):
+        from repro.core.periodic import PeriodicPolicy
+
+        sim, config = self._sim_and_config(slack_fraction=2.0)
+        # halve the deadline one hour in: still feasible, but the run
+        # must hurry (guard fires earlier than the original would)
+        new_deadline = config.compute_s + 0.5 * 3600.0
+        result = sim.run(
+            config, PeriodicPolicy(), 0.81, ("za",), 0.0,
+            deadline_schedule=DeadlineSchedule(updates=((3600.0, new_deadline),)),
+        )
+        assert result.finish_time <= new_deadline + 1e-6
+        assert result.met_deadline
+
+    def test_infeasible_contraction_reported_honestly(self):
+        from repro.core.periodic import PeriodicPolicy
+
+        sim, config = self._sim_and_config(slack_fraction=1.0)
+        # at t=3600 demand completion by t=3900: physically impossible
+        result = sim.run(
+            config, PeriodicPolicy(), 0.81, ("za",), 0.0,
+            deadline_schedule=DeadlineSchedule(updates=((3600.0, 3900.0),)),
+        )
+        assert not result.met_deadline
+        assert result.finish_time > 3900.0
+
+    def test_slowdown_stretches_makespan(self):
+        from repro.core.periodic import PeriodicPolicy
+
+        sim, config = self._sim_and_config(slack_fraction=2.0)
+        nominal = sim.run(config, PeriodicPolicy(), 0.81, ("za",), 0.0)
+        slow = self._sim_and_config(slack_fraction=2.0)[0].run(
+            config, PeriodicPolicy(), 0.81, ("za",), 0.0,
+            performance=PerformanceProfile(segments=((0.0, 0.5),)),
+        )
+        # half-speed application takes roughly twice the compute time
+        assert slow.makespan_s > nominal.makespan_s * 1.7
+        assert slow.met_deadline
+
+    def test_speedup_shortens_makespan(self):
+        from repro.core.periodic import PeriodicPolicy
+
+        sim, config = self._sim_and_config(slack_fraction=1.0)
+        nominal = sim.run(config, PeriodicPolicy(), 0.81, ("za",), 0.0)
+        fast = self._sim_and_config()[0].run(
+            config, PeriodicPolicy(), 0.81, ("za",), 0.0,
+            performance=PerformanceProfile(segments=((0.0, 2.0),)),
+        )
+        assert fast.makespan_s < nominal.makespan_s
+
+    def test_stall_consumes_slack_then_guard_saves(self):
+        from repro.core.periodic import PeriodicPolicy
+
+        sim, config = self._sim_and_config(slack_fraction=1.0)
+        # the application stalls completely after 30 minutes; the
+        # deadline guard must still deliver by D via on-demand --
+        # assuming on-demand instances resume nominal rate (the stall
+        # profile here ends before the switch)
+        profile = PerformanceProfile(segments=((1800.0, 0.0), (5400.0, 1.0)))
+        result = sim.run(config, PeriodicPolicy(), 0.81, ("za",), 0.0,
+                         performance=profile)
+        assert result.met_deadline

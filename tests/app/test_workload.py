@@ -1,0 +1,73 @@
+"""Unit tests for experiment configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.workload import ExperimentConfig, paper_experiment
+
+
+class TestValidation:
+    def test_valid(self):
+        cfg = ExperimentConfig(compute_s=7200.0, deadline_s=10800.0)
+        assert cfg.slack_s == 3600.0
+
+    def test_deadline_before_compute_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(compute_s=7200.0, deadline_s=7000.0)
+
+    def test_nonpositive_compute_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(compute_s=0.0, deadline_s=100.0)
+
+    def test_nonpositive_ckpt_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(compute_s=100.0, deadline_s=200.0, ckpt_cost_s=0.0)
+
+    def test_negative_restart_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(compute_s=100.0, deadline_s=200.0,
+                             restart_cost_s=-1.0)
+
+    def test_num_nodes_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(compute_s=100.0, deadline_s=200.0, num_nodes=0)
+
+
+class TestDerived:
+    def test_slack_fraction(self):
+        cfg = ExperimentConfig(compute_s=20 * 3600.0, deadline_s=23 * 3600.0)
+        assert cfg.slack_fraction == pytest.approx(0.15)
+
+    def test_with_slack_fraction(self):
+        cfg = ExperimentConfig(compute_s=7200.0, deadline_s=7200.0)
+        cfg2 = cfg.with_slack_fraction(0.5)
+        assert cfg2.deadline_s == pytest.approx(10800.0)
+
+    def test_with_slack_negative_rejected(self):
+        cfg = ExperimentConfig(compute_s=7200.0, deadline_s=7200.0)
+        with pytest.raises(ValueError):
+            cfg.with_slack_fraction(-0.1)
+
+    def test_with_ckpt_cost_sets_both(self):
+        cfg = ExperimentConfig(compute_s=7200.0, deadline_s=10800.0)
+        cfg2 = cfg.with_ckpt_cost(900.0)
+        assert cfg2.ckpt_cost_s == 900.0
+        assert cfg2.restart_cost_s == 900.0
+
+    def test_cost_multiplier(self):
+        cfg = ExperimentConfig(compute_s=100.0, deadline_s=200.0, num_nodes=32)
+        assert cfg.total_cost_multiplier() == 32
+
+
+class TestPaperExperiment:
+    def test_defaults_match_section5(self):
+        cfg = paper_experiment()
+        assert cfg.compute_s == 20 * 3600.0
+        assert cfg.slack_fraction == pytest.approx(0.15)
+        assert cfg.ckpt_cost_s == 300.0
+        assert cfg.restart_cost_s == 300.0
+
+    def test_high_slack(self):
+        cfg = paper_experiment(slack_fraction=0.5)
+        assert cfg.deadline_s == pytest.approx(30 * 3600.0)

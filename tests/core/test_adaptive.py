@@ -1,0 +1,150 @@
+"""Unit tests for the Adaptive controller (Section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.app.application import ApplicationRun
+from repro.app.checkpoint import CheckpointStore
+from repro.core.adaptive import AdaptiveController, make_policy
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.core.policy import PolicyContext
+from repro.market.instance import ZoneInstance, ZoneState
+from repro.market.spot_market import PriceOracle
+
+from tests.conftest import make_sim, multi_step_trace, small_config
+
+
+def make_ctx(trace, now=None, bid=0.47, zones=None, config=None):
+    config = config or small_config(compute_h=2.0, slack_fraction=1.0)
+    now = now if now is not None else trace.start_time + 86400.0
+    zones = zones or trace.zone_names[:1]
+    run = ApplicationRun(config=config, start_time=now, store=CheckpointStore())
+    instances = {z: ZoneInstance(zone=z) for z in trace.zone_names}
+    return PolicyContext(now=now, bid=bid, zones=zones,
+                         oracle=PriceOracle(trace), config=config, run=run,
+                         instances=instances)
+
+
+def market_trace(cheap_zone_price=0.30, pricey_zone_price=2.0):
+    per_zone = {
+        "za": [(3, cheap_zone_price), (1, 1.0)] * 160,
+        "zb": [(2, pricey_zone_price), (2, 2.5)] * 160,
+    }
+    return multi_step_trace(per_zone)
+
+
+class TestMakePolicy:
+    def test_kinds(self):
+        assert isinstance(make_policy("periodic"), PeriodicPolicy)
+        assert isinstance(make_policy("markov-daly"), MarkovDalyPolicy)
+        with pytest.raises(ValueError):
+            make_policy("edge")  # excluded after Section 6
+
+
+class TestEstimator:
+    def test_candidate_space_covers_all_zone_subsets(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        assert len(ctrl._zone_sets) == 3  # {a}, {b}, {a,b}
+
+    def test_estimates_cheaper_zone_cheaper(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        cheap = ctrl.estimate(ctx, 1.07, ("za",), "periodic")
+        pricey = ctrl.estimate(ctx, 1.07, ("zb",), "periodic")
+        assert cheap.predicted_cost < pricey.predicted_cost
+
+    def test_unaffordable_bid_predicts_on_demand(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        est = ctrl.estimate(ctx, 0.27, ("zb",), "periodic")
+        # zone zb never at/below $0.27: all compute lands on on-demand
+        assert est.progress_rate == pytest.approx(0.0, abs=0.05)
+        assert est.ondemand_hours > 0
+
+    def test_best_candidate_prefers_viable_config(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        best = ctrl.best_candidate(ctx)
+        assert "za" in best.zones
+        assert best.predicted_cost < 4.80  # beats pure on-demand
+
+    def test_completed_run_costs_zero(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        ctx.run.store.commit(ctx.now, ctx.config.compute_s, "za")
+        est = ctrl.estimate(ctx, 0.47, ("za",), "periodic")
+        assert est.predicted_cost == 0.0
+
+
+class TestDecisionRules:
+    def test_first_decision_when_nothing_running(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        decision = ctrl.decide(ctx)
+        assert decision is not None
+        assert decision.bid > 0
+
+    def test_no_flapping_to_same_config(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace)
+        ctrl.reset(ctx)
+        first = ctrl.decide(ctx)
+        ctx2 = make_ctx(trace, now=ctx.now, bid=first.bid,
+                        zones=first.zones)
+        assert ctrl.decide(ctx2) is None
+
+    def test_mid_hour_switch_blocked_for_running_zone(self):
+        trace = market_trace()
+        ctrl = AdaptiveController()
+        ctx = make_ctx(trace, zones=("zb",), bid=2.67)
+        ctrl.reset(ctx)
+        # pretend zb is mid-billing-hour
+        inst = ctx.instances["zb"]
+        inst.mark_waiting()
+        inst.start(now=ctx.now - 1800.0, spot_price=2.0, queue_delay_s=0.0,
+                   restart_cost_s=0.0, from_progress_s=0.0)
+        ctrl._applied = (2.67, ("zb",), "periodic")
+        ctrl._last_eval_at = -float("inf")
+        decision = ctrl.decide(ctx)
+        # the better config (za) would drop running zb mid-hour: deferred
+        assert decision is None
+
+
+class TestEndToEnd:
+    def test_adaptive_run_meets_deadline_and_beats_on_demand(self):
+        trace = market_trace()
+        sim = make_sim(trace)
+        config = small_config(compute_h=2.0, slack_fraction=1.0)
+        ctrl = AdaptiveController()
+        result = sim.run(config, PeriodicPolicy(), 0.47,
+                         trace.zone_names[:1], trace.start_time + 86400.0,
+                         controller=ctrl)
+        assert result.met_deadline
+        assert result.total_cost < 4.80  # on-demand for 2 h
+
+    def test_adaptive_switches_are_logged(self):
+        trace = market_trace()
+        sim = make_sim(trace, record_events=True)
+        config = small_config(compute_h=2.0, slack_fraction=1.0)
+        result = sim.run(config, PeriodicPolicy(), 0.47,
+                         trace.zone_names[:1], trace.start_time + 86400.0,
+                         controller=AdaptiveController())
+        switches = [e for e in result.events if e.kind == "config-switch"]
+        assert switches, "controller never configured the run"

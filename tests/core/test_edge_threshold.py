@@ -1,0 +1,117 @@
+"""Unit tests for the Rising Edge and Threshold policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.application import ApplicationRun
+from repro.app.checkpoint import CheckpointStore
+from repro.core.edge import RisingEdgePolicy
+from repro.core.policy import PolicyContext
+from repro.core.threshold import ThresholdPolicy
+from repro.market.instance import ZoneInstance, ZoneState
+from repro.market.spot_market import PriceOracle
+
+from tests.conftest import make_sim, multi_step_trace, small_config
+
+
+def ctx_at(trace, now, bid=0.5, committed=0.0, exec_since=None):
+    config = small_config(compute_h=2.0, slack_fraction=1.0)
+    store = CheckpointStore()
+    if committed:
+        store.commit(0.0, committed, "za")
+    run = ApplicationRun(config=config, start_time=0.0, store=store)
+    inst = ZoneInstance(zone="za")
+    inst.state = ZoneState.COMPUTING
+    inst.computed_s = committed + 600.0  # always some new progress
+    inst.computing_since = exec_since if exec_since is not None else now - 600.0
+    return (
+        PolicyContext(now=now, bid=bid, zones=("za",),
+                      oracle=PriceOracle(trace), config=config, run=run,
+                      instances={"za": inst}),
+        inst,
+    )
+
+
+def edgy_trace():
+    # prices: 0.30 x4, 0.40 (rising), 0.40, 0.45 (rising), 0.30 ...
+    return multi_step_trace(
+        {"za": [(4, 0.30), (2, 0.40), (1, 0.45), (100, 0.30)]}
+    )
+
+
+class TestRisingEdge:
+    def test_fires_exactly_on_upward_movement(self):
+        trace = edgy_trace()
+        policy = RisingEdgePolicy()
+        ctx, leader = ctx_at(trace, now=4 * 300.0)  # 0.30 -> 0.40
+        assert policy.checkpoint_due(ctx, leader)
+        ctx2, leader2 = ctx_at(trace, now=5 * 300.0)  # 0.40 -> 0.40
+        assert not policy.checkpoint_due(ctx2, leader2)
+        ctx3, leader3 = ctx_at(trace, now=7 * 300.0)  # 0.45 -> 0.30
+        assert not policy.checkpoint_due(ctx3, leader3)
+
+    def test_requires_new_progress(self):
+        trace = edgy_trace()
+        policy = RisingEdgePolicy()
+        ctx, leader = ctx_at(trace, now=4 * 300.0, committed=0.0)
+        leader.computed_s = 0.0  # nothing to save
+        assert not policy.checkpoint_due(ctx, leader)
+
+    def test_end_to_end_checkpoints_at_edges_only(self):
+        trace = multi_step_trace(
+            {"za": [(6, 0.30), (1, 0.40), (20, 0.40), (1, 0.45), (100, 0.45)]}
+        )
+        sim = make_sim(trace, record_events=True)
+        config = small_config(compute_h=1.0, slack_fraction=2.0)
+        result = sim.run(config, RisingEdgePolicy(), 0.81, ("za",), 0.0)
+        starts = [e for e in result.events
+                  if e.kind == "checkpoint-started" and "forced" not in e.detail]
+        # two rising edges within the run window
+        assert 1 <= len(starts) <= 2
+
+
+class TestThreshold:
+    def test_price_threshold_is_midpoint(self):
+        trace = edgy_trace()
+        policy = ThresholdPolicy()
+        ctx, _ = ctx_at(trace, now=6 * 300.0, bid=0.5)
+        # S_min over trailing history = 0.30; thresh = (0.30+0.50)/2
+        assert policy.price_threshold(ctx, "za") == pytest.approx(0.40)
+
+    def test_edge_below_threshold_ignored(self):
+        # rising edge to 0.40 at bid 1.0: PriceThresh = (0.3+1.0)/2=0.65
+        trace = edgy_trace()
+        policy = ThresholdPolicy()
+        ctx, leader = ctx_at(trace, now=4 * 300.0, bid=1.0)
+        assert not policy.checkpoint_due(ctx, leader)
+
+    def test_edge_above_threshold_fires(self):
+        trace = edgy_trace()
+        policy = ThresholdPolicy()
+        ctx, leader = ctx_at(trace, now=4 * 300.0, bid=0.45)
+        # PriceThresh = (0.30+0.45)/2 = 0.375 <= 0.40 -> fire
+        assert policy.checkpoint_due(ctx, leader)
+
+    def test_time_threshold_fires_after_long_run(self):
+        # flat cheap prices: no edges; TimeThresh = mean up run
+        trace = multi_step_trace({"za": [(40, 0.30), (1, 0.60), (200, 0.30)]})
+        policy = ThresholdPolicy()
+        now = 150 * 300.0
+        ctx, leader = ctx_at(trace, now=now, bid=0.5,
+                             exec_since=now - 20 * 3600.0)
+        assert policy.checkpoint_due(ctx, leader)
+
+    def test_short_execution_does_not_fire(self):
+        trace = multi_step_trace({"za": [(40, 0.30), (1, 0.60), (200, 0.30)]})
+        policy = ThresholdPolicy()
+        now = 150 * 300.0
+        ctx, leader = ctx_at(trace, now=now, bid=0.5, exec_since=now - 300.0)
+        assert not policy.checkpoint_due(ctx, leader)
+
+    def test_end_to_end_meets_deadline(self):
+        trace = multi_step_trace({"za": [(3, 0.30), (1, 0.60)] * 150})
+        sim = make_sim(trace)
+        config = small_config(compute_h=2.0, slack_fraction=1.0)
+        result = sim.run(config, ThresholdPolicy(), 0.50, ("za",), 0.0)
+        assert result.met_deadline

@@ -1,0 +1,103 @@
+"""Unit tests for the Large-bid policy (Section 7.2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.large_bid import LargeBidPolicy, naive_policy
+from repro.market.constants import LARGE_BID
+
+from tests.conftest import make_sim, multi_step_trace, small_config
+
+
+def spike_trace(spike_price=0.90, before=10, spike=14, after=100):
+    """Cheap, then a spike spanning hour boundaries, then cheap again."""
+    return multi_step_trace(
+        {"za": [(before, 0.30), (spike, spike_price), (after, 0.30)]}
+    )
+
+
+class TestConstruction:
+    def test_threshold_names(self):
+        assert LargeBidPolicy(0.81).name == "large-bid-L0.81"
+        assert naive_policy().name == "large-bid-naive"
+
+    def test_control_threshold(self):
+        assert LargeBidPolicy(0.5).control_threshold == 0.5
+        assert math.isinf(naive_policy().control_threshold)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LargeBidPolicy(0.0)
+
+    def test_bid_is_effectively_infinite(self):
+        assert LargeBidPolicy(0.5).bid == LARGE_BID
+
+    def test_trusts_speculative_progress(self):
+        # B=$100 cannot be outbid: the guard may count local progress
+        assert LargeBidPolicy(0.5).trust_speculative
+        assert naive_policy().trust_speculative
+
+
+class TestNaive:
+    def test_rides_through_spikes_and_pays(self):
+        trace = spike_trace()
+        sim = make_sim(trace, queue_delay_s=300.0, record_events=True)
+        config = small_config(compute_h=2.0, slack_fraction=1.0)
+        result = sim.run(config, naive_policy(), LARGE_BID, ("za",), 0.0)
+        assert result.completed_on == "spot"
+        assert result.num_provider_terminations == 0
+        # hour 1 charged at 0.30, hour 2 at the spiked 0.90 (price at
+        # that hour's start), hour 3 at 0.30
+        assert result.spot_cost == pytest.approx(0.30 + 0.90 + 0.30)
+
+    def test_never_checkpoints_on_its_own(self):
+        trace = spike_trace()
+        sim = make_sim(trace, record_events=True)
+        config = small_config(compute_h=2.0, slack_fraction=1.0)
+        result = sim.run(config, naive_policy(), LARGE_BID, ("za",), 0.0)
+        voluntary = [e for e in result.events
+                     if e.kind == "checkpoint-started" and "forced" not in e.detail]
+        assert voluntary == []
+
+
+class TestThresholded:
+    def test_releases_when_over_threshold_at_hour_end(self):
+        # spike 0.90 from t=3000 to t=7200; L=0.5: near the end of the
+        # billing hour [0,3600) S>L -> checkpoint at 3300, release 3600
+        trace = spike_trace(before=10, spike=14)
+        sim = make_sim(trace, queue_delay_s=300.0, record_events=True)
+        config = small_config(compute_h=2.0, slack_fraction=1.5)
+        result = sim.run(config, LargeBidPolicy(0.50), LARGE_BID, ("za",), 0.0)
+        released = [e for e in result.events if e.kind == "user-released"]
+        assert released, "never released despite S > L at hour end"
+        restarted = [e for e in result.events if e.kind == "restarted"]
+        # re-acquired once the price fell back below L
+        assert len(restarted) >= 2
+        assert result.met_deadline
+
+    def test_paid_less_than_naive_during_spike(self):
+        trace = spike_trace(spike_price=2.50)
+        config = small_config(compute_h=2.0, slack_fraction=1.5)
+        run_naive = make_sim(trace).run(
+            config, naive_policy(), LARGE_BID, ("za",), 0.0
+        )
+        run_thresh = make_sim(trace).run(
+            config, LargeBidPolicy(0.50), LARGE_BID, ("za",), 0.0
+        )
+        assert run_thresh.total_cost < run_naive.total_cost
+
+    def test_does_not_release_below_threshold(self):
+        trace = multi_step_trace({"za": [(120, 0.30)]})
+        sim = make_sim(trace, record_events=True)
+        config = small_config(compute_h=2.0, slack_fraction=1.0)
+        result = sim.run(config, LargeBidPolicy(0.50), LARGE_BID, ("za",), 0.0)
+        assert not [e for e in result.events if e.kind == "user-released"]
+
+    def test_eligibility_gated_on_threshold(self):
+        policy = LargeBidPolicy(0.50)
+        assert policy.eligible_to_start(None, "za", 0.45)
+        assert not policy.eligible_to_start(None, "za", 0.55)
+        assert naive_policy().eligible_to_start(None, "za", 99.0)

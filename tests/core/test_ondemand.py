@@ -1,0 +1,30 @@
+"""Unit tests for the on-demand baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.workload import paper_experiment
+from repro.core.ondemand import on_demand_cost, run_on_demand
+
+from tests.conftest import small_config
+
+
+class TestOnDemand:
+    def test_paper_reference(self):
+        # 20 h at $2.40/h = the $48.00 grey line
+        assert on_demand_cost(paper_experiment()) == pytest.approx(48.00)
+
+    def test_partial_hours_round_up(self):
+        config = small_config(compute_h=1.5)
+        assert on_demand_cost(config) == pytest.approx(4.80)
+
+    def test_run_result_shape(self):
+        config = paper_experiment()
+        result = run_on_demand(config, start_time=1000.0)
+        assert result.total_cost == pytest.approx(48.00)
+        assert result.finish_time == 1000.0 + config.compute_s
+        assert result.met_deadline
+        assert result.completed_on == "ondemand"
+        assert result.num_checkpoints == 0
+        assert result.spot_cost == 0.0

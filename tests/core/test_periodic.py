@@ -1,0 +1,64 @@
+"""Unit tests for the Periodic (hour-boundary) policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.periodic import PeriodicPolicy
+
+from tests.conftest import flat_trace, make_sim, small_config
+
+
+def run_calm(compute_h=3.0, slack_fraction=1.0, ckpt_cost_s=300.0,
+             queue_delay_s=300.0):
+    trace = flat_trace(price=0.30, num_samples=400)
+    sim = make_sim(trace, queue_delay_s=queue_delay_s, record_events=True)
+    config = small_config(compute_h=compute_h, slack_fraction=slack_fraction,
+                          ckpt_cost_s=ckpt_cost_s)
+    return sim.run(config, PeriodicPolicy(), 0.81, ("za",), 0.0)
+
+
+class TestHourBoundaryScheduling:
+    def test_one_checkpoint_per_paid_hour(self):
+        result = run_calm(compute_h=3.0)
+        # finish = 300 + 10800 + n_ckpt*300; hours spanned ~3.2 => 3 ckpts
+        assert result.num_checkpoints == 3
+
+    def test_checkpoints_complete_at_hour_boundaries(self):
+        result = run_calm()
+        commits = [e for e in result.events if e.kind == "checkpoint-committed"]
+        for e in commits:
+            assert e.time % 3600.0 == pytest.approx(0.0)
+
+    def test_starts_t_c_before_boundary(self):
+        result = run_calm(ckpt_cost_s=900.0)
+        starts = [e for e in result.events if e.kind == "checkpoint-started"]
+        hour_aligned = [e for e in starts if (e.time + 900.0) % 3600.0 == 0.0]
+        assert hour_aligned, "no checkpoint aligned to complete at a boundary"
+
+    def test_no_checkpoint_without_new_progress(self):
+        # queue delay eats most of the first hour: with a 3500 s delay
+        # the first hour has only 100 s of... still progress; use a
+        # delay past the hour boundary instead
+        trace = flat_trace(price=0.30, num_samples=400)
+        sim = make_sim(trace, queue_delay_s=3500.0, record_events=True)
+        config = small_config(compute_h=1.0, slack_fraction=3.0)
+        result = sim.run(config, PeriodicPolicy(), 0.81, ("za",), 0.0)
+        commits = [e for e in result.events if e.kind == "checkpoint-committed"]
+        # first hour: no checkpoint condition fires while still queuing
+        assert all(e.time > 3600.0 for e in commits)
+
+
+class TestLatch:
+    def test_latch_prevents_duplicate_in_same_hour(self):
+        # t_c=900 spans 3 ticks of the due-window; only one checkpoint
+        result = run_calm(compute_h=2.0, ckpt_cost_s=900.0)
+        starts = [e for e in result.events if e.kind == "checkpoint-started"]
+        hours = [int(e.time // 3600) for e in starts if "forced" not in e.detail]
+        assert len(hours) == len(set(hours))
+
+    def test_reset_clears_latch(self):
+        policy = PeriodicPolicy()
+        policy._done_hours.add(("za", 0.0))
+        policy.reset(None)
+        assert not policy._done_hours

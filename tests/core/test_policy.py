@@ -1,0 +1,84 @@
+"""Unit tests for the policy interface and context helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.application import ApplicationRun
+from repro.app.checkpoint import CheckpointStore
+from repro.core.policy import CheckpointPolicy, NeverCheckpoint, PolicyContext
+from repro.market.instance import ZoneInstance, ZoneState
+from repro.market.spot_market import PriceOracle
+from repro.traces.model import SpotPriceTrace
+
+from tests.conftest import small_config
+
+
+def make_ctx(states: dict[str, tuple[ZoneState, float]]):
+    """Context with instances in given (state, local_progress) pairs."""
+    trace = SpotPriceTrace.from_arrays(
+        0.0, {z: [0.3, 0.4] for z in states}
+    )
+    config = small_config()
+    instances = {}
+    for zone, (state, progress) in states.items():
+        inst = ZoneInstance(zone=zone)
+        inst.state = state
+        inst.computed_s = progress
+        instances[zone] = inst
+    run = ApplicationRun(config=config, start_time=0.0, store=CheckpointStore())
+    return PolicyContext(
+        now=300.0, bid=0.5, zones=tuple(states), oracle=PriceOracle(trace),
+        config=config, run=run, instances=instances,
+    )
+
+
+class TestPolicyContext:
+    def test_price(self):
+        ctx = make_ctx({"za": (ZoneState.COMPUTING, 10.0)})
+        assert ctx.price("za") == 0.4
+
+    def test_computing_instances(self):
+        ctx = make_ctx({
+            "za": (ZoneState.COMPUTING, 10.0),
+            "zb": (ZoneState.DOWN, 0.0),
+            "zc": (ZoneState.CHECKPOINTING, 5.0),
+        })
+        computing = ctx.computing_instances()
+        assert [i.zone for i in computing] == ["za"]
+
+    def test_leader_is_most_progressed(self):
+        ctx = make_ctx({
+            "za": (ZoneState.COMPUTING, 10.0),
+            "zb": (ZoneState.COMPUTING, 99.0),
+        })
+        assert ctx.leader().zone == "zb"
+
+    def test_leader_none_when_nothing_computing(self):
+        ctx = make_ctx({"za": (ZoneState.WAITING, 0.0)})
+        assert ctx.leader() is None
+
+
+class TestDefaults:
+    def test_eligibility_default_is_bid(self):
+        policy = NeverCheckpoint()
+        ctx = make_ctx({"za": (ZoneState.DOWN, 0.0)})
+        assert policy.eligible_to_start(ctx, "za", 0.5)
+        assert not policy.eligible_to_start(ctx, "za", 0.51)
+
+    def test_release_default_false(self):
+        policy = NeverCheckpoint()
+        ctx = make_ctx({"za": (ZoneState.COMPUTING, 10.0)})
+        assert not policy.release_after_checkpoint(ctx, ctx.leader())
+
+    def test_never_checkpoint(self):
+        policy = NeverCheckpoint()
+        ctx = make_ctx({"za": (ZoneState.COMPUTING, 10.0)})
+        assert not policy.checkpoint_due(ctx, ctx.leader())
+
+    def test_abstract_policy_not_instantiable(self):
+        with pytest.raises(TypeError):
+            CheckpointPolicy()
+
+    def test_speculative_trust_default_off(self):
+        assert not NeverCheckpoint().trust_speculative

@@ -1,0 +1,88 @@
+"""Smoke tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["fig2"],
+            ["var"],
+            ["queuing"],
+            ["fig4", "--window", "high", "--slack", "0.5"],
+            ["table2"],
+            ["table3"],
+            ["fig5", "--tc", "900"],
+            ["fig6"],
+            ["headline"],
+            ["run", "--policy", "adaptive"],
+            ["export-trace", "/tmp/x.csv"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+
+class TestExecution:
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out
+
+    def test_queuing(self, capsys):
+        assert main(["queuing"]) == 0
+        assert "delay" in capsys.readouterr().out
+
+    def test_run_single_policy(self, capsys):
+        assert main(["run", "--policy", "periodic", "--window", "low",
+                     "--slack", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "total cost" in out
+        assert "met deadline: True" in out
+
+    def test_run_adaptive(self, capsys):
+        assert main(["run", "--policy", "adaptive", "--window", "low",
+                     "--slack", "0.5"]) == 0
+        assert "adaptive" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--window", "low", "--slack", "0.5",
+                     "--experiments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "redundant-best" in out
+
+    def test_export_trace(self, tmp_path, capsys):
+        path = tmp_path / "archive.csv"
+        assert main(["export-trace", str(path)]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_parses(self):
+        parser = build_parser()
+        for axis in ("slack", "tc", "bid", "zones"):
+            args = parser.parse_args(["sweep", "--axis", axis])
+            assert args.axis == axis
+
+    def test_sweep_zones_executes(self, capsys):
+        assert main(["sweep", "--axis", "zones", "--window", "low",
+                     "--experiments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+        assert "zones" in out
+
+
+class TestFig1Command:
+    def test_fig1_renders_timeline(self, capsys):
+        assert main(["fig1", "--window", "low", "--slack", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "price us-east-1a" in out
+        assert "legend" in out

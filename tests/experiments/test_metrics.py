@@ -1,0 +1,77 @@
+"""Unit tests for run records and cost aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import RunResult
+from repro.experiments.metrics import (
+    RunRecord,
+    best_case_per_start,
+    box,
+    costs,
+    deadline_violations,
+    group_by,
+)
+
+
+def record(label="p", cost=10.0, start=0.0, met=True):
+    finish = 100.0 if met else 99999.0
+    result = RunResult(
+        policy_name=label, bid=0.81, zones=("za",), start_time=start,
+        finish_time=finish, deadline=1000.0, completed_on="spot",
+        spot_cost=cost, ondemand_cost=0.0, num_checkpoints=0,
+        num_restarts=0, num_provider_terminations=0,
+    )
+    return RunRecord(label=label, window="low", slack_fraction=0.15,
+                     ckpt_cost_s=300.0, bid=0.81, start_time=start,
+                     result=result)
+
+
+class TestBasics:
+    def test_cost_and_deadline_proxies(self):
+        r = record(cost=12.5)
+        assert r.cost == 12.5
+        assert r.met_deadline
+
+    def test_costs_array(self):
+        assert list(costs([record(cost=1.0), record(cost=2.0)])) == [1.0, 2.0]
+
+    def test_box(self):
+        stats = box([record(cost=c) for c in (1.0, 2.0, 3.0)])
+        assert stats.median == 2.0
+
+    def test_box_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box([])
+
+    def test_group_by(self):
+        records = [record(label="a"), record(label="b"), record(label="a")]
+        groups = group_by(records, lambda r: r.label)
+        assert len(groups["a"]) == 2
+        assert len(groups["b"]) == 1
+
+    def test_violations(self):
+        records = [record(met=True), record(met=False)]
+        assert len(deadline_violations(records)) == 1
+
+
+class TestBestCase:
+    def test_per_start_minimum(self):
+        g1 = [record(label="p", cost=10.0, start=0.0),
+              record(label="p", cost=5.0, start=300.0)]
+        g2 = [record(label="m", cost=7.0, start=0.0),
+              record(label="m", cost=9.0, start=300.0)]
+        best = best_case_per_start([g1, g2])
+        assert [r.cost for r in best] == [7.0, 5.0]
+        assert [r.label for r in best] == ["m", "p"]
+
+    def test_mismatched_starts_rejected(self):
+        g1 = [record(start=0.0)]
+        g2 = [record(start=300.0)]
+        with pytest.raises(ValueError):
+            best_case_per_start([g1, g2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_case_per_start([])

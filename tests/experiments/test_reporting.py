@@ -1,0 +1,87 @@
+"""Unit tests for text rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import PolicyCell
+from repro.experiments.reporting import (
+    format_table,
+    render_availability,
+    render_cells,
+    render_headline,
+    render_optimal_table,
+    render_queuing,
+    render_var_report,
+)
+from repro.stats.descriptive import BoxplotStats
+
+
+def cell(label="periodic", bid=0.81):
+    return PolicyCell(
+        label=label, bid=bid,
+        stats=BoxplotStats.from_samples([5.0, 6.0, 7.0]),
+        violations=0,
+    )
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.50" in lines[2]
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty_rows(self):
+        text = format_table(["x", "y"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderers:
+    def test_render_cells_contains_summary(self):
+        text = render_cells("Title", [cell()], {"on_demand": 48.0})
+        assert "Title" in text
+        assert "periodic" in text
+        assert "6.00" in text  # median
+        assert "on_demand=$48.00" in text
+
+    def test_render_optimal_table(self):
+        rows = [{"window": "low", "slack": 0.15, "winner": "periodic@0.81",
+                 "winner_median": 6.5, "medians": {}}]
+        text = render_optimal_table("T2", rows)
+        assert "periodic@0.81" in text
+        assert "15%" in text
+
+    def test_render_availability(self):
+        data = {"bid": 0.81, "window_hours": 15.0,
+                "per_zone": {"za": 0.7}, "combined": 0.99,
+                "redundancy_gain": 0.29}
+        text = render_availability("F2", data)
+        assert "combined" in text and "29.00%" in text
+
+    def test_render_var(self):
+        text = render_var_report("VAR", {
+            "order": 3, "nobs": 100, "own_effect": 0.5,
+            "cross_effect": 0.01, "ratio": 50.0, "orders_of_magnitude": 1.7,
+        })
+        assert "lag order" in text
+
+    def test_render_queuing(self):
+        text = render_queuing("Q", {
+            "num_probes": 120, "mean_s": 300.0, "min_s": 143.0,
+            "max_s": 880.0, "population_mean_s": 299.6,
+        })
+        assert "299.6" in text
+
+    def test_render_headline(self):
+        text = render_headline("HL", {
+            "on_demand_cost": 48.0,
+            "max_on_demand_over_adaptive": 7.2,
+            "max_improvement_over_best_single": 0.41,
+            "worst_case_over_on_demand": 1.1,
+        })
+        assert "7.20" in text
+        assert "up to 44%" in text

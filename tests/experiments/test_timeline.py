@@ -1,0 +1,96 @@
+"""Unit tests for the Figure 1/3 timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.periodic import PeriodicPolicy
+from repro.experiments.timeline import (
+    STATE_GLYPHS,
+    TimelineError,
+    build_rows,
+    render_timeline,
+)
+
+from tests.conftest import flat_trace, make_sim, multi_step_trace, small_config
+
+
+def recorded_run(trace=None, record_timeline=True):
+    trace = trace or multi_step_trace(
+        {"za": [(8, 0.30), (5, 0.90), (100, 0.30)]}
+    )
+    sim = make_sim(trace, queue_delay_s=300.0)
+    sim.record_timeline = record_timeline
+    config = small_config(compute_h=2.0, slack_fraction=2.0)
+    result = sim.run(config, PeriodicPolicy(), 0.50, ("za",), 0.0)
+    return result, sim.oracle
+
+
+class TestBuildRows:
+    def test_requires_timeline(self):
+        result, oracle = recorded_run(record_timeline=False)
+        with pytest.raises(TimelineError):
+            build_rows(result, oracle)
+
+    def test_rows_equal_length(self):
+        result, oracle = recorded_run()
+        rows = build_rows(result, oracle, width=50)
+        n = len(rows.times)
+        assert len(rows.progress_row) == n
+        for zone in rows.price_rows:
+            assert len(rows.price_rows[zone]) == n
+            assert len(rows.state_rows[zone]) == n
+
+    def test_downsampling_respects_width(self):
+        result, oracle = recorded_run()
+        rows = build_rows(result, oracle, width=20)
+        assert len(rows.times) <= 20
+
+    def test_glyph_vocabulary(self):
+        result, oracle = recorded_run()
+        rows = build_rows(result, oracle, width=60)
+        allowed = set(STATE_GLYPHS.values())
+        assert set(rows.state_rows["za"]) <= allowed
+        assert set(rows.price_rows["za"]) <= {"-", "^"}
+        assert set(rows.progress_row) <= {"_", ">", "="}
+
+    def test_price_marks_match_bid(self):
+        result, oracle = recorded_run()
+        rows = build_rows(result, oracle, width=200)
+        for mark, time in zip(rows.price_rows["za"], rows.times):
+            expected = "^" if oracle.price("za", time) > result.bid else "-"
+            assert mark == expected
+
+    def test_termination_shows_down_glyphs(self):
+        result, oracle = recorded_run()
+        rows = build_rows(result, oracle, width=200)
+        assert "." in rows.state_rows["za"]
+        assert "#" in rows.state_rows["za"]
+
+
+class TestRenderTimeline:
+    def test_renders_all_rows(self):
+        result, oracle = recorded_run()
+        text = render_timeline(result, oracle, title="T")
+        assert text.startswith("T")
+        assert "price za" in text
+        assert "state za" in text
+        assert "progress" in text
+        assert "legend" in text
+
+    def test_header_mentions_cost_and_bid(self):
+        result, oracle = recorded_run()
+        text = render_timeline(result, oracle)
+        assert f"bid=${result.bid:.2f}" in text
+        assert f"cost=${result.total_cost:.2f}" in text
+
+    def test_multi_zone_rendering(self):
+        trace = multi_step_trace(
+            {"za": [(60, 0.30)], "zb": [(30, 0.90), (30, 0.30)]}
+        )
+        sim = make_sim(trace)
+        sim.record_timeline = True
+        config = small_config(compute_h=1.0, slack_fraction=1.0)
+        result = sim.run(config, PeriodicPolicy(), 0.50, ("za", "zb"), 0.0)
+        text = render_timeline(result, sim.oracle)
+        assert "state za" in text and "state zb" in text

@@ -1,0 +1,115 @@
+"""Unit tests for the hour-boundary billing rules (Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market.billing import BillingError, BillingMeter, ondemand_cost
+
+
+class TestOpenRoll:
+    def test_open_then_roll_charges_previous_hour(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.roll_hour(0.50)
+        assert m.total_cost == pytest.approx(0.30)
+        assert m.rate == 0.50
+        assert m.hour_start == 3600.0
+
+    def test_charged_at_hour_start_rate_not_bid(self):
+        # rate is the spot price at hour start, whatever happens later
+        m = BillingMeter()
+        m.open_hour(0.0, 0.27)
+        m.roll_hour(2.00)
+        m.roll_hour(0.27)
+        assert [c.rate for c in m.charges] == [0.27, 2.00]
+
+    def test_double_open_rejected(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.3)
+        with pytest.raises(BillingError):
+            m.open_hour(10.0, 0.3)
+
+    def test_roll_without_open_rejected(self):
+        with pytest.raises(BillingError):
+            BillingMeter().roll_hour(0.3)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(BillingError):
+            BillingMeter().open_hour(0.0, 0.0)
+
+    def test_seconds_left(self):
+        m = BillingMeter()
+        m.open_hour(100.0, 0.3)
+        assert m.seconds_left_in_hour(100.0) == 3600.0
+        assert m.seconds_left_in_hour(3400.0) == 300.0
+        assert m.seconds_left_in_hour(5000.0) == 0.0
+
+
+class TestProviderTermination:
+    def test_partial_hour_free(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        forfeited = m.provider_terminate()
+        assert forfeited == 0.30
+        assert m.total_cost == 0.0
+        assert not m.is_open
+
+    def test_completed_hours_still_charged(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.roll_hour(0.40)
+        m.provider_terminate()
+        assert m.total_cost == pytest.approx(0.30)
+
+    def test_terminate_without_open_rejected(self):
+        with pytest.raises(BillingError):
+            BillingMeter().provider_terminate()
+
+
+class TestUserClose:
+    def test_user_close_charges_full_hour(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        charged = m.user_close(1800.0)
+        assert charged == pytest.approx(0.30)
+        assert m.total_cost == pytest.approx(0.30)
+        assert m.charges[-1].used_s == 1800.0
+
+    def test_close_at_boundary_is_free(self):
+        # terminating at the instant a fresh hour opened consumes nothing
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.roll_hour(0.40)
+        charged = m.user_close(3600.0)
+        assert charged == 0.0
+        assert m.total_cost == pytest.approx(0.30)
+
+    def test_close_reason_recorded(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.user_close(100.0, reason="complete")
+        assert m.charges[-1].reason == "complete"
+
+    def test_close_without_open_rejected(self):
+        with pytest.raises(BillingError):
+            BillingMeter().user_close(0.0)
+
+
+class TestOnDemandCost:
+    def test_whole_hours(self):
+        assert ondemand_cost(7200.0, 2.40) == pytest.approx(4.80)
+
+    def test_partial_hour_rounds_up(self):
+        assert ondemand_cost(3601.0, 2.40) == pytest.approx(4.80)
+
+    def test_zero_seconds_free(self):
+        assert ondemand_cost(0.0, 2.40) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ondemand_cost(-1.0, 2.40)
+
+    def test_paper_reference_cost(self):
+        # 20 hours of CC2 on-demand = the $48 grey line of Figures 4-6
+        assert ondemand_cost(20 * 3600.0, 2.40) == pytest.approx(48.00)

@@ -1,0 +1,63 @@
+"""Property-based tests for billing invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.market.billing import BillingMeter
+
+rates = st.floats(min_value=0.01, max_value=25.0, allow_nan=False)
+
+#: A billing life: open, some rolls, then one of the three closings.
+operations = st.lists(rates, min_size=0, max_size=30)
+
+
+@given(first_rate=rates, roll_rates=operations)
+def test_total_cost_is_sum_of_committed_hours(first_rate, roll_rates):
+    m = BillingMeter()
+    m.open_hour(0.0, first_rate)
+    for rate in roll_rates:
+        m.roll_hour(rate)
+    expected = sum([first_rate, *roll_rates][: len(roll_rates)])
+    assert m.total_cost == pytest.approx(expected)
+    assert m.hours_charged == len(roll_rates)
+
+
+@given(first_rate=rates, roll_rates=operations)
+def test_provider_termination_forfeits_exactly_open_hour(first_rate, roll_rates):
+    m = BillingMeter()
+    m.open_hour(0.0, first_rate)
+    for rate in roll_rates:
+        m.roll_hour(rate)
+    before = m.total_cost
+    open_rate = m.rate
+    forfeited = m.provider_terminate()
+    assert forfeited == open_rate
+    assert m.total_cost == before  # nothing extra charged
+    assert not m.is_open
+
+
+@given(first_rate=rates, roll_rates=operations,
+       used=st.floats(min_value=1.0, max_value=3600.0))
+def test_user_close_charges_open_rate(first_rate, roll_rates, used):
+    m = BillingMeter()
+    m.open_hour(0.0, first_rate)
+    for rate in roll_rates:
+        m.roll_hour(rate)
+    before = m.total_cost
+    open_rate = m.rate
+    charged = m.user_close(m.hour_start + used)
+    assert charged == pytest.approx(open_rate)
+    assert m.total_cost == pytest.approx(before + open_rate)
+
+
+@given(first_rate=rates, roll_rates=operations)
+def test_hour_boundaries_are_contiguous(first_rate, roll_rates):
+    m = BillingMeter()
+    m.open_hour(0.0, first_rate)
+    for rate in roll_rates:
+        m.roll_hour(rate)
+    starts = [c.hour_start for c in m.charges]
+    assert starts == [3600.0 * i for i in range(len(starts))]

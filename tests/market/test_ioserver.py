@@ -1,0 +1,50 @@
+"""Unit tests for the I/O-server cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import RunResult
+from repro.market.ioserver import DEFAULT_IO_SERVER_PRICE, io_server_cost
+
+
+def result(start=0.0, finish=20 * 3600.0, switch=None, spot=6.0, od=0.0):
+    return RunResult(
+        policy_name="p", bid=0.81, zones=("za",), start_time=start,
+        finish_time=finish, deadline=finish + 3600.0, completed_on="spot",
+        spot_cost=spot, ondemand_cost=od, num_checkpoints=3,
+        num_restarts=1, num_provider_terminations=0,
+        ondemand_switch_time=switch,
+    )
+
+
+class TestIOServerCost:
+    def test_runs_for_whole_spot_phase(self):
+        bill = io_server_cost(result())
+        assert bill.hours == 20
+        assert bill.cost == pytest.approx(20 * DEFAULT_IO_SERVER_PRICE)
+
+    def test_stops_at_ondemand_switch(self):
+        bill = io_server_cost(result(switch=10 * 3600.0, od=24.0))
+        assert bill.hours == 10
+
+    def test_partial_hours_round_up(self):
+        bill = io_server_cost(result(finish=3601.0))
+        assert bill.hours == 2
+
+    def test_fraction_of_allocation(self):
+        # 20h x $0.24 = $4.80 against 32 nodes x $6 = $192: 2.5%
+        bill = io_server_cost(result(spot=6.0), num_nodes=32)
+        assert bill.fraction_of_total == pytest.approx(4.80 / 192.0)
+
+    def test_paper_claim_fraction_is_small(self):
+        """The §5 justification: the I/O server is a small fraction of
+        a tightly coupled run at scale."""
+        bill = io_server_cost(result(spot=6.0), num_nodes=32)
+        assert bill.fraction_of_total < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            io_server_cost(result(), num_nodes=0)
+        with pytest.raises(ValueError):
+            io_server_cost(result(), price_per_hour=0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for the queuing-delay model (Section 5 statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.constants import (
+    QUEUE_DELAY_MAX_S,
+    QUEUE_DELAY_MEAN_S,
+    QUEUE_DELAY_MIN_S,
+)
+from repro.market.queuing import FixedQueueDelay, QueueDelayModel
+
+
+class TestQueueDelayModel:
+    def test_samples_within_observed_range(self):
+        model = QueueDelayModel()
+        samples = model.sample_many(np.random.default_rng(0), 10_000)
+        assert samples.min() >= QUEUE_DELAY_MIN_S
+        assert samples.max() <= QUEUE_DELAY_MAX_S
+
+    def test_mean_matches_paper(self):
+        model = QueueDelayModel()
+        assert abs(model.mean() - QUEUE_DELAY_MEAN_S) < 15.0
+
+    def test_single_sample_in_range(self):
+        model = QueueDelayModel()
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            d = model.sample(rng)
+            assert QUEUE_DELAY_MIN_S <= d <= QUEUE_DELAY_MAX_S
+
+    def test_right_skewed(self):
+        model = QueueDelayModel()
+        samples = model.sample_many(np.random.default_rng(0), 50_000)
+        assert np.median(samples) < samples.mean()
+
+    def test_paper_campaign_extremes_reachable(self):
+        # two months of twice-daily probes occasionally hit both clips
+        model = QueueDelayModel()
+        samples = model.sample_many(np.random.default_rng(3), 120)
+        assert samples.min() == QUEUE_DELAY_MIN_S  # the 143 s best case
+        assert samples.max() > 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueDelayModel(median_s=0.0)
+        with pytest.raises(ValueError):
+            QueueDelayModel(sigma=-1.0)
+        with pytest.raises(ValueError):
+            QueueDelayModel(min_s=900.0, max_s=800.0)
+
+    def test_sample_many_zero(self):
+        model = QueueDelayModel()
+        assert model.sample_many(np.random.default_rng(0), 0).size == 0
+
+    def test_sample_many_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QueueDelayModel().sample_many(np.random.default_rng(0), -1)
+
+
+class TestFixedQueueDelay:
+    def test_constant(self):
+        model = FixedQueueDelay(123.0)
+        rng = np.random.default_rng(0)
+        assert model.sample(rng) == 123.0
+        assert list(model.sample_many(rng, 3)) == [123.0] * 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedQueueDelay(-1.0)

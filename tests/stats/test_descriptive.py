@@ -1,0 +1,91 @@
+"""Unit tests for boxplot statistics and policy comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import (
+    BoxplotStats,
+    best_policy_by_median,
+    median_improvement,
+    merge_samples,
+)
+
+
+class TestBoxplotStats:
+    def test_five_number_summary(self):
+        s = BoxplotStats.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.minimum == 1.0
+        assert s.median == 3.0
+        assert s.maximum == 5.0
+        assert s.mean == 3.0
+        assert s.count == 5
+
+    def test_iqr(self):
+        s = BoxplotStats.from_samples(np.arange(1, 101, dtype=float))
+        assert s.iqr == pytest.approx(s.q3 - s.q1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxplotStats.from_samples([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            BoxplotStats.from_samples([1.0, float("nan")])
+
+    def test_row_keys(self):
+        s = BoxplotStats.from_samples([1.0, 2.0])
+        assert set(s.row()) == {"min", "q1", "median", "q3", "max", "mean", "n"}
+
+
+class TestMerge:
+    def test_pools_groups(self):
+        merged = merge_samples([[1.0, 2.0], [3.0], [4.0, 5.0]])
+        assert sorted(merged) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            merge_samples([])
+
+
+class TestComparisons:
+    def test_median_improvement(self):
+        better = BoxplotStats.from_samples([7.0, 8.0, 9.0])
+        worse = BoxplotStats.from_samples([10.0, 10.0, 10.0])
+        assert median_improvement(better, worse) == pytest.approx(0.2)
+
+    def test_improvement_negative_when_worse(self):
+        a = BoxplotStats.from_samples([12.0])
+        b = BoxplotStats.from_samples([10.0])
+        assert median_improvement(a, b) < 0
+
+    def test_zero_reference_rejected(self):
+        z = BoxplotStats.from_samples([0.0])
+        with pytest.raises(ValueError):
+            median_improvement(z, z)
+
+    def test_best_policy(self):
+        stats = {
+            "a": BoxplotStats.from_samples([5.0, 6.0]),
+            "b": BoxplotStats.from_samples([2.0, 3.0]),
+        }
+        name, best = best_policy_by_median(stats)
+        assert name == "b"
+        assert best.median == 2.5
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_policy_by_median({})
+
+
+@given(samples=st.lists(st.floats(min_value=0.0, max_value=1e4),
+                        min_size=1, max_size=300))
+def test_summary_orderings(samples):
+    s = BoxplotStats.from_samples(samples)
+    assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+    eps = 1e-9 * max(abs(s.minimum), abs(s.maximum), 1.0)
+    assert s.minimum - eps <= s.mean <= s.maximum + eps
+    assert s.count == len(samples)

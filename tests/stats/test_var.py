@@ -1,0 +1,112 @@
+"""Unit tests for the VAR estimator (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.var import (
+    VARError,
+    fit_var,
+    select_order_aic,
+    zone_dependence_report,
+)
+
+
+def simulate_var1(
+    a_own: float, a_cross: float, n: int = 4000, seed: int = 0, k: int = 2
+) -> np.ndarray:
+    """Simulate a stationary VAR(1) with known coefficients."""
+    rng = np.random.default_rng(seed)
+    coef = np.full((k, k), a_cross)
+    np.fill_diagonal(coef, a_own)
+    y = np.zeros((n, k))
+    for t in range(1, n):
+        y[t] = coef @ y[t - 1] + 0.1 * rng.standard_normal(k)
+    return y
+
+
+class TestFitVar:
+    def test_recovers_var1_coefficients(self):
+        y = simulate_var1(0.8, 0.05)
+        fit = fit_var(y, order=1)
+        assert fit.coefficients[0][0, 0] == pytest.approx(0.8, abs=0.05)
+        assert fit.coefficients[0][0, 1] == pytest.approx(0.05, abs=0.05)
+
+    def test_own_vs_cross_magnitudes(self):
+        y = simulate_var1(0.8, 0.01)
+        fit = fit_var(y, order=1)
+        assert fit.own_effect_magnitude() > 10 * fit.cross_effect_magnitude()
+
+    def test_effect_ratio_infinite_when_independent(self):
+        fit = fit_var(simulate_var1(0.8, 0.0, n=200), order=1)
+        assert fit.effect_ratio() > 5  # near-zero cross effects
+
+    def test_nobs(self):
+        y = simulate_var1(0.5, 0.0, n=100)
+        fit = fit_var(y, order=3)
+        assert fit.nobs == 97
+
+    def test_validation(self):
+        y = simulate_var1(0.5, 0.0, n=100)
+        with pytest.raises(VARError):
+            fit_var(y, order=0)
+        with pytest.raises(VARError):
+            fit_var(y[:3], order=5)
+        with pytest.raises(VARError):
+            fit_var(y[:, 0], order=1)  # 1-D
+
+    def test_predict_next(self):
+        y = simulate_var1(0.9, 0.0, n=2000)
+        fit = fit_var(y, order=1)
+        pred = fit.predict_next(y[-1:])
+        assert pred.shape == (2,)
+        assert pred == pytest.approx(fit.intercept + fit.coefficients[0] @ y[-1],
+                                     rel=1e-9)
+
+    def test_predict_shape_checked(self):
+        fit = fit_var(simulate_var1(0.5, 0.0, n=100), order=2)
+        with pytest.raises(VARError):
+            fit.predict_next(np.zeros((1, 2)))
+
+
+class TestOrderSelection:
+    def test_aic_selects_reasonable_order(self):
+        y = simulate_var1(0.8, 0.02, n=3000)
+        best = select_order_aic(y, max_order=5)
+        assert 1 <= best.order <= 5
+
+    def test_aic_improves_over_misfit(self):
+        # AR(2)-like process: y_t = 0.5 y_{t-1} + 0.3 y_{t-2} + e
+        rng = np.random.default_rng(1)
+        n = 3000
+        y = np.zeros((n, 1))
+        for t in range(2, n):
+            y[t] = 0.5 * y[t - 1] + 0.3 * y[t - 2] + 0.1 * rng.standard_normal(1)
+        best = select_order_aic(y, max_order=6)
+        assert best.order >= 2
+
+    def test_bad_max_order(self):
+        with pytest.raises(VARError):
+            select_order_aic(simulate_var1(0.5, 0.0, n=50), max_order=0)
+
+
+class TestDependenceReport:
+    def test_report_fields(self):
+        y = simulate_var1(0.8, 0.02, n=2000)
+        report = zone_dependence_report(y, max_order=4)
+        assert set(report) == {
+            "order", "nobs", "own_effect", "cross_effect", "ratio",
+            "orders_of_magnitude",
+        }
+        assert report["ratio"] > 1.0
+
+    def test_canonical_archive_shows_paper_structure(self):
+        """The Section 3.1 result on the synthetic archive itself."""
+        from repro.traces.library import evaluation_window
+
+        trace, eval_start = evaluation_window("high")
+        series = trace.slice(eval_start, eval_start + 14 * 86400.0).matrix().T
+        report = zone_dependence_report(series, max_order=6)
+        # own-zone effects dominate by about 1-2 orders of magnitude
+        assert 0.5 <= report["orders_of_magnitude"] <= 2.5

@@ -1,0 +1,62 @@
+"""Smoke tests: every documented example must run end to end.
+
+The examples are the package's front door; each is executed as a
+subprocess (as a user would) and checked for its headline output.
+These are the slowest tests in the suite (~seconds each) but they
+guard everything README.md promises.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "on-demand reference: $48.00" in out
+    assert "adaptive (self-configuring)" in out
+    assert "pure on-demand" in out
+    # every configuration met its deadline
+    assert "False" not in out
+
+
+def test_weather_deadline():
+    out = run_example("weather_deadline.py", "--window", "low")
+    assert "before the newscast" in out
+    assert "saved" in out
+
+
+def test_zone_arbitrage():
+    out = run_example("zone_arbitrage.py")
+    assert "combined" in out
+    assert "VAR" in out
+    assert "diminishing returns" in out
+
+
+def test_replay_custom_trace():
+    out = run_example("replay_custom_trace.py")
+    assert "loaded 3 zones" in out
+    assert "met deadline: True" in out
+
+
+def test_bidding_strategies():
+    out = run_example("bidding_strategies.py")
+    assert "naive (no threshold)" in out
+    assert "183" in out  # the $183.x worst case

@@ -1,0 +1,96 @@
+"""Unit tests for calibration targets and robust statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.calibration import (
+    HIGH_VOLATILITY_TARGET,
+    LOW_VOLATILITY_TARGET,
+    SPIKE_CUTOFF_FACTOR,
+    WindowTarget,
+    robust_bulk,
+    verify_window,
+)
+from repro.traces.model import ZoneTrace
+
+
+def zone(prices):
+    return ZoneTrace(zone="za", start_time=0.0, prices=np.asarray(prices, float))
+
+
+class TestRobustBulk:
+    def test_keeps_everything_when_no_spikes(self):
+        prices = np.full(100, 0.3)
+        assert len(robust_bulk(prices)) == 100
+
+    def test_drops_outliers_above_cutoff(self):
+        prices = np.concatenate([np.full(99, 0.3), [20.02]])
+        bulk = robust_bulk(prices)
+        assert len(bulk) == 99
+        assert 20.02 not in bulk
+
+    def test_cutoff_relative_to_median(self):
+        prices = np.concatenate([np.full(50, 1.0), np.full(50, 4.9)])
+        # median 2.95, cutoff 14.75 -> everything kept
+        assert len(robust_bulk(prices)) == 100
+
+    def test_never_empties(self):
+        prices = np.array([0.3])
+        assert len(robust_bulk(prices)) == 1
+
+
+class TestWindowTarget:
+    def _target(self):
+        return WindowTarget(
+            name="t", mean_low=0.25, mean_high=0.35, variance_max=0.01,
+            min_price_low=0.2, min_price_high=0.3,
+        )
+
+    def test_passing_zone(self):
+        z = zone(np.full(100, 0.3) + np.linspace(-0.05, 0.05, 100))
+        assert self._target().check(z) == []
+
+    def test_mean_violation_reported(self):
+        z = zone(np.full(100, 0.9))
+        problems = self._target().check(z)
+        assert any("mean" in p for p in problems)
+
+    def test_variance_violation_reported(self):
+        prices = np.where(np.arange(100) % 2 == 0, 0.21, 0.45)
+        problems = self._target().check(zone(prices))
+        assert any("variance" in p for p in problems)
+
+    def test_min_violation_reported(self):
+        z = zone(np.full(100, 0.32))
+        problems = self._target().check(z)
+        assert any("min price" in p for p in problems)
+
+    def test_spike_excluded_from_bulk_check(self):
+        prices = np.concatenate([np.full(999, 0.3), [20.0]])
+        problems = [p for p in self._target().check(zone(prices))
+                    if "variance" in p or "mean" in p]
+        assert problems == []
+
+    def test_verify_window_raises_with_details(self):
+        z = zone(np.full(10, 5.0))
+        with pytest.raises(ValueError, match="fails calibration"):
+            verify_window([z], self._target())
+
+
+class TestPaperTargets:
+    def test_low_target_matches_paper_numbers(self):
+        # mean ~= $0.30, variance < 0.01
+        assert LOW_VOLATILITY_TARGET.mean_low <= 0.30 <= LOW_VOLATILITY_TARGET.mean_high
+        assert LOW_VOLATILITY_TARGET.variance_max == 0.01
+
+    def test_high_target_matches_paper_numbers(self):
+        # per-zone means $0.70-$1.12, variance up to 2.02
+        assert HIGH_VOLATILITY_TARGET.mean_low <= 0.70
+        assert HIGH_VOLATILITY_TARGET.mean_high >= 1.12
+        assert HIGH_VOLATILITY_TARGET.variance_max >= 2.02
+
+    def test_cutoff_factor_excludes_freak_spike(self):
+        # $20.02 against a $0.30 median is way past the cutoff
+        assert 20.02 > SPIKE_CUTOFF_FACTOR * 0.30

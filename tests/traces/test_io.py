@@ -1,0 +1,132 @@
+"""Unit tests for CSV trace I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    format_timestamp,
+    parse_timestamp,
+    read_price_events,
+    read_trace,
+    resample_events,
+    trace_to_csv_string,
+    write_trace,
+)
+from repro.traces.model import SpotPriceTrace, TraceError
+
+CSV = """timestamp,availability_zone,instance_type,product_description,spot_price
+2013-01-01T00:00:00Z,us-east-1a,cc2.8xlarge,Linux/UNIX,0.270
+2013-01-01T00:00:00Z,us-east-1b,cc2.8xlarge,Linux/UNIX,0.300
+2013-01-01T01:00:00Z,us-east-1a,cc2.8xlarge,Linux/UNIX,0.500
+2013-01-01T02:00:00Z,us-east-1a,cc2.8xlarge,Linux/UNIX,0.270
+2013-01-01T02:30:00Z,us-east-1b,cc2.8xlarge,Linux/UNIX,0.310
+"""
+
+
+class TestTimestamps:
+    def test_parse_z_suffix(self):
+        assert parse_timestamp("2013-01-01T00:00:00Z") == 1356998400.0
+
+    def test_parse_offset(self):
+        assert parse_timestamp("2013-01-01T01:00:00+01:00") == 1356998400.0
+
+    def test_parse_naive_assumed_utc(self):
+        assert parse_timestamp("2013-01-01T00:00:00") == 1356998400.0
+
+    def test_bad_timestamp(self):
+        with pytest.raises(TraceError):
+            parse_timestamp("yesterday")
+
+    def test_round_trip(self):
+        t = 1356998400.0
+        assert parse_timestamp(format_timestamp(t)) == t
+
+
+class TestReadEvents:
+    def test_events_sorted_per_zone(self):
+        shuffled = CSV.splitlines()
+        shuffled = [shuffled[0]] + list(reversed(shuffled[1:]))
+        events = read_price_events(io.StringIO("\n".join(shuffled)))
+        times_a = [t for t, _ in events["us-east-1a"]]
+        assert times_a == sorted(times_a)
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(TraceError):
+            read_price_events(io.StringIO("a,b\n1,2\n"))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceError):
+            read_price_events(io.StringIO(""))
+
+    def test_no_rows_rejected(self):
+        header = CSV.splitlines()[0]
+        with pytest.raises(TraceError):
+            read_price_events(io.StringIO(header + "\n"))
+
+    def test_nonpositive_price_rejected(self):
+        bad = CSV + "2013-01-01T03:00:00Z,us-east-1a,cc2.8xlarge,Linux/UNIX,0\n"
+        with pytest.raises(TraceError):
+            read_price_events(io.StringIO(bad))
+
+
+class TestResample:
+    def test_forward_fill(self):
+        events = [(0.0, 0.3), (700.0, 0.5)]
+        grid = resample_events(events, 0.0, 4)
+        # samples at 0, 300, 600 before the change; 900 after
+        assert list(grid) == [0.3, 0.3, 0.3, 0.5]
+
+    def test_event_after_start_rejected(self):
+        with pytest.raises(TraceError):
+            resample_events([(500.0, 0.3)], 0.0, 3)
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(TraceError):
+            resample_events([], 0.0, 3)
+
+
+class TestReadWrite:
+    def test_read_trace_from_csv(self):
+        t = read_trace(io.StringIO(CSV))
+        assert t.zone_names == ("us-east-1a", "us-east-1b")
+        assert t.zone("us-east-1a").price_at(t.start_time) == 0.27
+        # after the 01:00 change
+        one_am = parse_timestamp("2013-01-01T01:00:00Z")
+        assert t.zone("us-east-1a").price_at(one_am) == 0.5
+
+    def test_grid_spans_overlap_only(self):
+        t = read_trace(io.StringIO(CSV))
+        # both zones defined from 00:00; last events 02:00 and 02:30
+        assert t.start_time == parse_timestamp("2013-01-01T00:00:00Z")
+        assert t.end_time >= parse_timestamp("2013-01-01T02:00:00Z")
+
+    def test_round_trip_preserves_grid(self):
+        original = SpotPriceTrace.from_arrays(
+            1356998400.0,
+            {"za": [0.3, 0.3, 0.5, 0.4], "zb": [0.2, 0.2, 0.2, 0.9]},
+        )
+        text = trace_to_csv_string(original)
+        restored = read_trace(io.StringIO(text))
+        assert np.allclose(restored.matrix(), original.matrix())
+        assert restored.start_time == original.start_time
+
+    def test_write_emits_change_rows_only(self):
+        trace = SpotPriceTrace.from_arrays(
+            0.0, {"za": [0.3, 0.3, 0.3, 0.5]}
+        )
+        buf = io.StringIO()
+        rows = write_trace(trace, buf)
+        assert rows == 2  # initial + one change
+
+    def test_file_round_trip(self, tmp_path):
+        trace = SpotPriceTrace.from_arrays(
+            1356998400.0, {"za": [0.3, 0.4, 0.5]}
+        )
+        path = tmp_path / "t.csv"
+        write_trace(trace, path)
+        restored = read_trace(path)
+        assert np.allclose(restored.matrix(), trace.matrix())

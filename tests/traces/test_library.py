@@ -1,0 +1,123 @@
+"""Unit tests for the canonical archive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.constants import MARKOV_HISTORY_S, ZONES
+from repro.traces import library
+from repro.traces.model import TraceError
+
+
+class TestMonths:
+    def test_archive_span(self):
+        assert library.MONTHS[0] == (2012, 12)
+        assert library.MONTHS[-1] == (2014, 1)
+        assert len(library.MONTHS) == 14
+
+    def test_month_num_samples(self):
+        assert library.month_num_samples(2013, 1) == 31 * 288
+        assert library.month_num_samples(2013, 2) == 28 * 288
+
+    def test_regimes(self):
+        assert library.regime_name(2013, 1) == "volatile"
+        assert library.regime_name(2013, 3) == "calm"
+        assert library.regime_name(2013, 7) == "moderate"
+
+    def test_month_outside_span_rejected(self):
+        with pytest.raises(TraceError):
+            library.month_trace(2014, 2)
+
+    def test_month_trace_zones_and_length(self):
+        t = library.month_trace(2013, 2)
+        assert t.zone_names == ZONES
+        assert len(t) == 28 * 288
+
+    def test_months_reproducible(self):
+        a = library.month_trace(2013, 5)
+        b = library.month_trace(2013, 5)
+        assert a is b  # cached
+        library.month_trace.cache_clear()
+        c = library.month_trace(2013, 5)
+        assert np.array_equal(a.matrix(), c.matrix())
+
+    def test_seed_changes_data(self):
+        a = library.month_trace(2013, 5)
+        b = library.month_trace(2013, 5, seed=1)
+        assert not np.array_equal(a.matrix(), b.matrix())
+
+
+class TestFreakSpike:
+    def test_spike_present_in_march(self):
+        t = library.month_trace(*library.LOW_VOLATILITY_MONTH)
+        z = t.zone(library.FREAK_SPIKE_ZONE)
+        assert z.price_at(library.FREAK_SPIKE_START) == library.FREAK_SPIKE_PRICE
+        end = library.FREAK_SPIKE_START + library.FREAK_SPIKE_DURATION_S
+        assert z.price_at(end - 1.0) == library.FREAK_SPIKE_PRICE
+        assert z.price_at(end + 1.0) != library.FREAK_SPIKE_PRICE
+
+    def test_spike_only_in_one_zone(self):
+        t = library.month_trace(*library.LOW_VOLATILITY_MONTH)
+        for z in t.zones:
+            if z.zone == library.FREAK_SPIKE_ZONE:
+                continue
+            assert z.maximum() < library.FREAK_SPIKE_PRICE
+
+
+class TestConcat:
+    def test_concat_adjacent_months(self):
+        a = library.month_trace(2013, 4)
+        b = library.month_trace(2013, 5)
+        joined = library.concat_traces([a, b])
+        assert len(joined) == len(a) + len(b)
+        assert joined.start_time == a.start_time
+        assert joined.end_time == b.end_time
+
+    def test_concat_rejects_gaps(self):
+        a = library.month_trace(2013, 4)
+        c = library.month_trace(2013, 6)
+        with pytest.raises(TraceError):
+            library.concat_traces([a, c])
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(TraceError):
+            library.concat_traces([])
+
+
+class TestEvaluationWindow:
+    @pytest.mark.parametrize("name,month", [("low", 3), ("high", 1)])
+    def test_window_includes_history(self, name, month):
+        trace, eval_start = library.evaluation_window(name)
+        assert eval_start == library.month_start(2013, month)
+        assert eval_start - trace.start_time == pytest.approx(MARKOV_HISTORY_S)
+        assert trace.end_time == library.month_start(2013, month) + \
+            library.month_num_samples(2013, month) * 300
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(TraceError):
+            library.evaluation_window("medium")
+
+    def test_window_agrees_with_months(self):
+        trace, eval_start = library.evaluation_window("low")
+        month = library.month_trace(2013, 3)
+        assert trace.zone("us-east-1a").price_at(eval_start) == \
+            month.zone("us-east-1a").price_at(eval_start)
+
+
+class TestCalibration:
+    def test_canonical_windows_calibrated(self):
+        library.verify_calibration()
+
+    def test_volatile_means_span_paper_band(self):
+        t = library.month_trace(*library.HIGH_VOLATILITY_MONTH)
+        means = sorted(z.mean() for z in t.zones)
+        assert 0.60 <= means[0] <= 0.90
+        assert 0.90 <= means[-1] <= 1.30
+
+    def test_storm_envelope_alternates(self):
+        env = library._storm_envelope(8928, np.random.default_rng(0))
+        values = set(np.unique(env))
+        assert values == {library.QUIET_HAZARD_FACTOR, 1.0}
+        # both phases occur
+        assert 0.1 < np.mean(env == 1.0) < 0.95

@@ -1,0 +1,81 @@
+"""Property-based tests for trace containers (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.model import SpotPriceTrace, ZoneTrace
+
+prices_arrays = st.lists(
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(prices=prices_arrays)
+def test_price_at_matches_array(prices):
+    z = ZoneTrace(zone="za", start_time=0.0, prices=np.array(prices))
+    for i in (0, len(prices) // 2, len(prices) - 1):
+        assert z.price_at(i * 300.0) == prices[i]
+
+
+@given(prices=prices_arrays, bid=st.floats(min_value=0.0, max_value=60.0))
+def test_availability_is_exact_fraction(prices, bid):
+    z = ZoneTrace(zone="za", start_time=0.0, prices=np.array(prices))
+    expected = sum(1 for p in prices if p <= bid) / len(prices)
+    assert z.availability(bid) == expected
+
+
+@given(prices=prices_arrays)
+def test_slice_preserves_prices(prices):
+    z = ZoneTrace(zone="za", start_time=0.0, prices=np.array(prices))
+    n = len(prices)
+    i0, i1 = 0, max(n // 2, 1)
+    s = z.slice(i0 * 300.0, i1 * 300.0)
+    assert list(s.prices) == prices[i0:i1]
+    # slicing never changes the timeline: prices agree at shared times
+    for i in range(i0, i1):
+        assert s.price_at(i * 300.0) == z.price_at(i * 300.0)
+
+
+@given(prices=prices_arrays)
+def test_rising_edges_are_exactly_upward_moves(prices):
+    z = ZoneTrace(zone="za", start_time=0.0, prices=np.array(prices))
+    edges = set(z.rising_edges().tolist())
+    for i in range(1, len(prices)):
+        assert (i in edges) == (prices[i] > prices[i - 1])
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=5.0),
+            st.floats(min_value=0.05, max_value=5.0),
+        ),
+        min_size=1,
+        max_size=100,
+    ),
+    bid=st.floats(min_value=0.0, max_value=6.0),
+)
+def test_combined_availability_bounds(data, bid):
+    """Combined availability dominates each zone's and is subadditive."""
+    za = np.array([a for a, _ in data])
+    zb = np.array([b for _, b in data])
+    t = SpotPriceTrace.from_arrays(0.0, {"za": za, "zb": zb})
+    combined = t.combined_availability(bid)
+    av_a = t.zone("za").availability(bid)
+    av_b = t.zone("zb").availability(bid)
+    assert combined >= max(av_a, av_b) - 1e-12
+    assert combined <= min(av_a + av_b, 1.0) + 1e-12
+
+
+@given(prices=prices_arrays)
+@settings(max_examples=25)
+def test_distinct_prices_cover_all_samples(prices):
+    z = ZoneTrace(zone="za", start_time=0.0, prices=np.array(prices))
+    levels = set(z.distinct_prices().tolist())
+    assert all(p in levels for p in z.prices)
