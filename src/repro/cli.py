@@ -14,7 +14,9 @@
     repro-spotsim export-trace out.csv   # dump the canonical archive
 
 All commands accept ``--experiments N`` (default 20 here; the paper
-and the benchmark suite use 80) and ``--seed``.
+and the benchmark suite use 80), ``--seed``, and ``--workers N`` to
+fan experiment grids over worker processes (results are identical to
+a serial run).
 """
 
 from __future__ import annotations
@@ -36,10 +38,20 @@ from repro.traces.library import DEFAULT_SEED, canonical_dataset, evaluation_win
 from repro.traces.io import write_trace
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--experiments", type=int, default=20,
                         help="overlapping experiment chunks per cell (paper: 80)")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for experiment grids "
+                             "(results are identical to --workers 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,26 +166,31 @@ def main(argv: list[str] | None = None) -> int:
         stats = figures.sec5_queuing_stats()
         print(reporting.render_queuing("Section 5 — spot queuing delay", stats))
     elif args.command == "fig4":
-        runner = ExperimentRunner(args.window, args.experiments, args.seed)
-        cells = figures.fig4_quadrant(runner, args.slack, args.tc)
+        with ExperimentRunner(args.window, args.experiments, args.seed,
+                              workers=args.workers) as runner:
+            cells = figures.fig4_quadrant(runner, args.slack, args.tc)
         title = f"Figure 4 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command in ("table2", "table3"):
         fn = figures.table2 if args.command == "table2" else figures.table3
-        rows = fn(num_experiments=args.experiments, seed=args.seed)
+        rows = fn(num_experiments=args.experiments, seed=args.seed,
+                  workers=args.workers)
         print(reporting.render_optimal_table(args.command.capitalize(), rows))
     elif args.command == "fig5":
-        runner = ExperimentRunner(args.window, args.experiments, args.seed)
-        cells = figures.fig5_quadrant(runner, args.slack, args.tc)
+        with ExperimentRunner(args.window, args.experiments, args.seed,
+                              workers=args.workers) as runner:
+            cells = figures.fig5_quadrant(runner, args.slack, args.tc)
         title = f"Figure 5 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command == "fig6":
-        runner = ExperimentRunner(args.window, args.experiments, args.seed)
-        cells = figures.fig6_panel(runner, args.slack, args.tc)
+        with ExperimentRunner(args.window, args.experiments, args.seed,
+                              workers=args.workers) as runner:
+            cells = figures.fig6_panel(runner, args.slack, args.tc)
         title = f"Figure 6 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command == "headline":
-        claims = figures.headline_claims(num_experiments=args.experiments, seed=args.seed)
+        claims = figures.headline_claims(num_experiments=args.experiments,
+                                         seed=args.seed, workers=args.workers)
         print(reporting.render_headline("Headline claims", claims))
     elif args.command == "run":
         trace, eval_start = evaluation_window(args.window, args.seed)
@@ -212,7 +229,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import sweeps
         from repro.experiments.reporting import format_table
 
-        runner = ExperimentRunner(args.window, args.experiments, args.seed)
+        runner = ExperimentRunner(args.window, args.experiments, args.seed,
+                                  workers=args.workers)
         if args.axis == "slack":
             points = sweeps.sweep_slack(
                 runner, (0.10, 0.15, 0.25, 0.50, 0.75, 1.00),

@@ -44,7 +44,12 @@ from repro.core.periodic import PeriodicPolicy
 from repro.core.policy import CheckpointPolicy, PolicyContext
 from repro.market.constants import ON_DEMAND_PRICE, bid_grid
 from repro.market.instance import ZoneState
-from repro.stats.daly import daly_interval, expected_useful_fraction
+from repro.stats.daly import (
+    daly_interval,
+    daly_interval_batch,
+    expected_useful_fraction,
+    expected_useful_fraction_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -178,24 +183,19 @@ class AdaptiveController(Controller):
     def _zone_stats(
         self, ctx: PolicyContext, zone: str
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(availability, expected charged rate, E[T_u]) over the bid grid."""
-        bucket = int(ctx.now // 3600.0)
-        key = (zone, bucket)
+        """(availability, expected charged rate, E[T_u]) over the bid grid.
+
+        One call into the oracle's vectorized :meth:`~repro.market.
+        spot_market.PriceOracle.zone_stats` — the Markov fit, the
+        stationary eigenvector, and the absorbing-chain solves are all
+        shared across the grid instead of recomputed per (bid, stat)
+        pair.  A thin per-controller cache keyed by (zone, hour bucket)
+        avoids even the oracle's dictionary lookups in the hot loop.
+        """
+        key = (zone, int(ctx.now // 3600.0))
         cached = self._stats_cache.get(key)
         if cached is None:
-            avail = np.array(
-                [ctx.oracle.availability(zone, ctx.now, b) for b in self.bids]
-            )
-            rate = np.array(
-                [
-                    ctx.oracle.expected_price_given_up(zone, ctx.now, b)
-                    for b in self.bids
-                ]
-            )
-            uptime = np.array(
-                [ctx.oracle.expected_uptime(zone, ctx.now, b) for b in self.bids]
-            )
-            cached = (avail, rate, uptime)
+            cached = ctx.oracle.zone_stats(zone, ctx.now, self.bids)
             self._stats_cache[key] = cached
         return cached
 
@@ -228,9 +228,25 @@ class AdaptiveController(Controller):
         rate: np.ndarray,
         uptime: np.ndarray,
     ) -> CandidateEstimate:
+        return self._estimate_from_combined(
+            ctx, bid, zones, policy_kind,
+            combined_avail=1.0 - float(np.prod(1.0 - avail)),
+            combined_uptime=float(uptime.sum()),
+            spot_rate=float((avail * rate).sum()),
+        )
+
+    def _estimate_from_combined(
+        self,
+        ctx: PolicyContext,
+        bid: float,
+        zones: tuple[str, ...],
+        policy_kind: str,
+        combined_avail: float,
+        combined_uptime: float,
+        spot_rate: float,
+    ) -> CandidateEstimate:
+        """Section 7.1's cost prediction from pre-combined zone stats."""
         config = ctx.config
-        combined_avail = 1.0 - float(np.prod(1.0 - avail))
-        combined_uptime = float(uptime.sum())
         if policy_kind == "periodic":
             interval = 3600.0 - config.ckpt_cost_s
         else:
@@ -245,8 +261,8 @@ class AdaptiveController(Controller):
         remaining_time = max(ctx.run.remaining_time_s(ctx.now), 0.0)
         overhead = config.ckpt_cost_s + config.restart_cost_s
 
-        # $/hour while on the spot market: every up zone is charged.
-        spot_rate = float((avail * rate).sum())
+        # spot_rate: $/hour while on the spot market — every up zone
+        # is charged its expected rate.
 
         if remaining_compute <= 0:
             return CandidateEstimate(bid, zones, policy_kind, progress_rate,
@@ -288,27 +304,124 @@ class AdaptiveController(Controller):
             predicted_cost=cost,
         )
 
+    def _cost_grid(
+        self,
+        ctx: PolicyContext,
+        policy_kind: str,
+        combined_avail: np.ndarray,
+        combined_uptime: np.ndarray,
+        spot_rate: np.ndarray,
+    ) -> np.ndarray:
+        """Predicted remaining cost across the whole bid grid at once.
+
+        The vector analogue of :meth:`_estimate_from_combined`: every
+        branch of the scalar estimator becomes a mask, every arithmetic
+        step keeps the scalar's operation order, so each element is
+        bit-equal to the corresponding scalar call.
+        """
+        config = ctx.config
+        if policy_kind == "periodic":
+            interval = 3600.0 - config.ckpt_cost_s
+        else:
+            interval = daly_interval_batch(combined_uptime, config.ckpt_cost_s)
+        useful = expected_useful_fraction_batch(
+            combined_uptime, config.ckpt_cost_s, interval
+        )
+        progress_rate = combined_avail * useful
+
+        committed = ctx.run.committed_progress_s()
+        remaining_compute = max(config.compute_s - committed, 0.0)
+        remaining_time = max(ctx.run.remaining_time_s(ctx.now), 0.0)
+        overhead = config.ckpt_cost_s + config.restart_cost_s
+
+        if remaining_compute <= 0:
+            return np.zeros_like(progress_rate)
+        budget = remaining_time - overhead
+        if budget <= 0:
+            od_hours = (remaining_compute + config.restart_cost_s) / 3600.0
+            return np.full(progress_rate.shape, od_hours * ON_DEMAND_PRICE)
+
+        on_spot = (progress_rate * budget >= remaining_compute) & (
+            progress_rate > 0
+        )
+        runaway = ~on_spot & (progress_rate >= 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            spot_if_done = remaining_compute / progress_rate
+        spot_guard = np.maximum(
+            (remaining_time - remaining_compute - overhead)
+            / np.maximum(1.0 - progress_rate, 1e-9),
+            0.0,
+        )
+        spot_s = np.where(
+            on_spot, spot_if_done, np.where(runaway, remaining_compute, spot_guard)
+        )
+        od_s = np.where(
+            on_spot | runaway,
+            0.0,
+            remaining_compute - progress_rate * spot_guard + config.restart_cost_s,
+        )
+        spot_hours = spot_s / 3600.0
+        od_hours = np.maximum(od_s, 0.0) / 3600.0
+        return spot_hours * spot_rate + od_hours * ON_DEMAND_PRICE
+
     def best_candidate(self, ctx: PolicyContext) -> CandidateEstimate | None:
         """Evaluate every permutation; return the cheapest.
 
-        Ties break toward fewer zones, then lower bid — the cheaper
-        configuration to be wrong about.
+        Per zone set, the combined availability, combined expected up
+        time and spot rate are reduced across the whole bid grid, and
+        :meth:`_cost_grid` prices all bids of a (zone set, policy) pair
+        in one vector pass — bit-equal to the scalar estimator, so only
+        float comparisons remain in the permutation loop.  The winning
+        candidate alone is materialized through
+        :meth:`_estimate_from_combined`.  Ties break toward fewer
+        zones, then lower bid — the cheaper configuration to be wrong
+        about.
         """
-        best: CandidateEstimate | None = None
-        for zones in self._zone_sets:
+        sets = self._zone_sets
+        if not sets:
+            return None
+        nbids = len(self.bids)
+        avail = np.empty((len(sets), nbids))
+        uptime = np.empty((len(sets), nbids))
+        rate = np.empty((len(sets), nbids))
+        for si, zones in enumerate(sets):
             stats = [self._zone_stats(ctx, z) for z in zones]
-            avail = np.vstack([s[0] for s in stats])
-            rate = np.vstack([s[1] for s in stats])
-            uptime = np.vstack([s[2] for s in stats])
+            one_minus = 1.0 - stats[0][0]
+            combined_uptime = stats[0][2]
+            spot_rate = stats[0][0] * stats[0][1]
+            for a, r, u in stats[1:]:
+                one_minus = one_minus * (1.0 - a)
+                combined_uptime = combined_uptime + u
+                spot_rate = spot_rate + a * r
+            avail[si] = 1.0 - one_minus
+            uptime[si] = combined_uptime
+            rate[si] = spot_rate
+        # One (zone sets x bids) cost matrix per policy kind, then a
+        # pure-float selection loop in the original iteration order.
+        costs = [
+            self._cost_grid(ctx, kind, avail, uptime, rate).tolist()
+            for kind in self.policy_kinds
+        ]
+        best: tuple[float, int, float] | None = None  # (cost, |zones|, bid)
+        winner: tuple[int, str, int] | None = None
+        for si, zones in enumerate(sets):
+            rows = [kind_costs[si] for kind_costs in costs]
+            nz = len(zones)
             for i, bid in enumerate(self.bids):
-                for kind in self.policy_kinds:
-                    est = self._estimate_from_stats(
-                        ctx, bid, zones, kind,
-                        avail[:, i], rate[:, i], uptime[:, i],
-                    )
-                    if best is None or est.predicted_cost < best.predicted_cost - 1e-9 or (
-                        abs(est.predicted_cost - best.predicted_cost) <= 1e-9
-                        and (len(est.zones), est.bid) < (len(best.zones), best.bid)
+                for kind, row in zip(self.policy_kinds, rows):
+                    cost = row[i]
+                    if best is None or cost < best[0] - 1e-9 or (
+                        abs(cost - best[0]) <= 1e-9
+                        and (nz, bid) < (best[1], best[2])
                     ):
-                        best = est
-        return best
+                        best = (cost, nz, bid)
+                        winner = (si, kind, i)
+        if winner is None:
+            return None
+        si, kind, i = winner
+        return self._estimate_from_combined(
+            ctx, float(self.bids[i]), sets[si], kind,
+            combined_avail=float(avail[si, i]),
+            combined_uptime=float(uptime[si, i]),
+            spot_rate=float(rate[si, i]),
+        )

@@ -35,9 +35,15 @@ class MarkovDalyPolicy(CheckpointPolicy):
         return self._next_checkpoint_at
 
     def expected_uptime(self, ctx: PolicyContext) -> float:
-        """Combined E[T_u] over the configuration's zones, seconds."""
-        return ctx.oracle.combined_expected_uptime(
-            list(ctx.zones), ctx.now, ctx.bid
+        """Combined E[T_u] over the configuration's zones, seconds.
+
+        Served by the oracle's batch uptime API: the absorbing-chain
+        solve is memoized per (zone, hour bucket, price level, up-state
+        set), so re-arming the schedule after every commit and restart
+        costs a dictionary lookup, not a linear solve.
+        """
+        return float(
+            ctx.oracle.combined_uptimes(ctx.zones, ctx.now, (ctx.bid,))[0]
         )
 
     def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:

@@ -30,11 +30,12 @@ class ThresholdPolicy(CheckpointPolicy):
 
     def price_threshold(self, ctx: PolicyContext, zone: str) -> float:
         """``(S_min + B) / 2`` with S_min from the trailing history."""
-        return 0.5 * (ctx.oracle.min_price(zone, ctx.now) + ctx.bid)
+        s_min, _ = ctx.oracle.threshold_stats(zone, ctx.now, ctx.bid)
+        return 0.5 * (s_min + ctx.bid)
 
     def time_threshold(self, ctx: PolicyContext, zone: str) -> float:
         """Probabilistic average up time of the zone at B, seconds."""
-        return ctx.oracle.mean_up_run(zone, ctx.now, ctx.bid)
+        return ctx.oracle.threshold_stats(zone, ctx.now, ctx.bid)[1]
 
     def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
         if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
@@ -42,14 +43,21 @@ class ThresholdPolicy(CheckpointPolicy):
         for zone, inst in ctx.instances.items():
             if zone not in ctx.zones or inst.state is not ZoneState.COMPUTING:
                 continue
+            # One cached oracle call serves both guards: S_min is
+            # memoized by the window's exact sample range and the mean
+            # up-run by (zone, hour bucket, bid), so the per-tick cost
+            # across the sweep's overlapping experiments is two
+            # dictionary lookups.
+            s_min, time_thresh = ctx.oracle.threshold_stats(
+                zone, ctx.now, ctx.bid
+            )
             price = ctx.price(zone)
             if (
                 ctx.oracle.is_rising_edge(zone, ctx.now)
-                and price >= self.price_threshold(ctx, zone)
+                and price >= 0.5 * (s_min + ctx.bid)
             ):
                 return True
             exec_time = inst.execution_time_at_bid(ctx.now)
-            time_thresh = self.time_threshold(ctx, zone)
             if time_thresh > 0 and exec_time > time_thresh:
                 return True
         return False

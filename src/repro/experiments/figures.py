@@ -188,6 +188,7 @@ def optimal_policy_table(
     seed: int = DEFAULT_SEED,
     bids: Sequence[float] = FIGURE_BIDS,
     include_redundant: bool = True,
+    workers: int = 1,
 ) -> list[dict]:
     """Tables 2/3: the least-median-cost (policy, bid) per quadrant.
 
@@ -195,19 +196,21 @@ def optimal_policy_table(
     the paper retains after Section 6); the redundancy candidate is
     the best-case redundancy box.  Returns one row per quadrant with
     the winner and the full per-candidate medians for inspection.
+    ``workers > 1`` fans each cell's experiments over a process pool.
     """
     rows = []
     for window, slack in QUADRANTS:
-        runner = ExperimentRunner(window, num_experiments=num_experiments, seed=seed)
-        config = paper_experiment(slack_fraction=slack, ckpt_cost_s=ckpt_cost_s)
-        candidates: dict[str, BoxplotStats] = {}
-        for bid in bids:
-            for label in ("periodic", "markov-daly"):
-                records = runner.run_single_zone(label, config, bid)
-                candidates[f"{label}@{bid:.2f}"] = box(records)
-            if include_redundant:
-                records = runner.run_best_redundant(config, bid)
-                candidates[f"redundant@{bid:.2f}"] = box(records)
+        with ExperimentRunner(window, num_experiments=num_experiments,
+                              seed=seed, workers=workers) as runner:
+            config = paper_experiment(slack_fraction=slack, ckpt_cost_s=ckpt_cost_s)
+            candidates: dict[str, BoxplotStats] = {}
+            for bid in bids:
+                for label in ("periodic", "markov-daly"):
+                    records = runner.run_single_zone(label, config, bid)
+                    candidates[f"{label}@{bid:.2f}"] = box(records)
+                if include_redundant:
+                    records = runner.run_best_redundant(config, bid)
+                    candidates[f"redundant@{bid:.2f}"] = box(records)
         winner, stats = best_policy_by_median(candidates)
         rows.append(
             {
@@ -222,14 +225,20 @@ def optimal_policy_table(
     return rows
 
 
-def table2(num_experiments: int = 40, seed: int = DEFAULT_SEED) -> list[dict]:
+def table2(
+    num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1
+) -> list[dict]:
     """Table 2: optimal policies at t_c = 300 s."""
-    return optimal_policy_table(CKPT_COST_LOW_S, num_experiments, seed)
+    return optimal_policy_table(CKPT_COST_LOW_S, num_experiments, seed,
+                                workers=workers)
 
 
-def table3(num_experiments: int = 40, seed: int = DEFAULT_SEED) -> list[dict]:
+def table3(
+    num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1
+) -> list[dict]:
     """Table 3: optimal policies at t_c = 900 s."""
-    return optimal_policy_table(CKPT_COST_HIGH_S, num_experiments, seed)
+    return optimal_policy_table(CKPT_COST_HIGH_S, num_experiments, seed,
+                                workers=workers)
 
 
 # ----------------------------------------------------------------------
@@ -259,14 +268,15 @@ def fig5_quadrant(
 
 
 def fig5_all(
-    num_experiments: int = 20, seed: int = DEFAULT_SEED
+    num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1
 ) -> dict[tuple[str, float, float], list[PolicyCell]]:
     """All eight plots of Figure 5 keyed by (window, slack, t_c)."""
     out: dict[tuple[str, float, float], list[PolicyCell]] = {}
     for window, slack in QUADRANTS:
-        runner = ExperimentRunner(window, num_experiments=num_experiments, seed=seed)
-        for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
-            out[(window, slack, tc)] = fig5_quadrant(runner, slack, tc)
+        with ExperimentRunner(window, num_experiments=num_experiments,
+                              seed=seed, workers=workers) as runner:
+            for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
+                out[(window, slack, tc)] = fig5_quadrant(runner, slack, tc)
     return out
 
 
@@ -304,7 +314,9 @@ def fig6_panel(
 # HL — headline claims
 # ----------------------------------------------------------------------
 
-def headline_claims(num_experiments: int = 20, seed: int = DEFAULT_SEED) -> dict:
+def headline_claims(
+    num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1
+) -> dict:
     """The abstract's three quantitative claims, measured.
 
     1. Adaptive up to ~7x cheaper than on-demand (calm markets).
@@ -318,20 +330,21 @@ def headline_claims(num_experiments: int = 20, seed: int = DEFAULT_SEED) -> dict
     best_single_improvement = 0.0
     worst_ratio = 0.0
     for window, slack in QUADRANTS:
-        runner = ExperimentRunner(window, num_experiments=num_experiments, seed=seed)
-        for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
-            config = paper_experiment(slack_fraction=slack, ckpt_cost_s=tc)
-            adaptive = box(runner.run_adaptive(config))
-            best_ratio = max(best_ratio, od / adaptive.median)
-            worst_ratio = max(worst_ratio, adaptive.maximum / od)
-            singles = [
-                box(runner.run_single_zone(label, config, bid)).median
-                for label in ("periodic", "markov-daly")
-                for bid in FIGURE_BIDS
-            ]
-            best_single = min(singles)
-            improvement = (best_single - adaptive.median) / best_single
-            best_single_improvement = max(best_single_improvement, improvement)
+        with ExperimentRunner(window, num_experiments=num_experiments,
+                              seed=seed, workers=workers) as runner:
+            for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
+                config = paper_experiment(slack_fraction=slack, ckpt_cost_s=tc)
+                adaptive = box(runner.run_adaptive(config))
+                best_ratio = max(best_ratio, od / adaptive.median)
+                worst_ratio = max(worst_ratio, adaptive.maximum / od)
+                singles = [
+                    box(runner.run_single_zone(label, config, bid)).median
+                    for label in ("periodic", "markov-daly")
+                    for bid in FIGURE_BIDS
+                ]
+                best_single = min(singles)
+                improvement = (best_single - adaptive.median) / best_single
+                best_single_improvement = max(best_single_improvement, improvement)
     return {
         "on_demand_cost": od,
         "max_on_demand_over_adaptive": best_ratio,

@@ -11,6 +11,13 @@ exposes the run shapes the figures need:
 * redundancy-based sweeps over all three zones;
 * Adaptive (controller-driven) sweeps;
 * Large-bid sweeps over the control threshold L.
+
+Every grid cell decomposes into independent per-start units of work —
+a :class:`CellTask` plus one start offset — which is both the serial
+execution order and the unit the parallel sweep executor
+(:mod:`repro.experiments.parallel`) fans out over worker processes.
+Per-start seeding is derived from the start offset alone, so the two
+paths produce identical records.
 """
 
 from __future__ import annotations
@@ -53,6 +60,28 @@ POLICY_FACTORIES: dict[str, Callable[[], CheckpointPolicy]] = {
 RETAINED_POLICIES: tuple[str, ...] = ("periodic", "markov-daly")
 
 
+@dataclass(frozen=True)
+class CellTask:
+    """One grid cell's work, minus the start offset.
+
+    The (task, start) pair is the atomic unit of the evaluation grid:
+    serial runs iterate starts in order, the parallel executor ships
+    the same pairs to worker processes.  Tasks must therefore be
+    picklable; ``controller_factory`` must be a module-level callable
+    (the default :class:`AdaptiveController` is) when a parallel run
+    is intended.
+    """
+
+    kind: str  # "single-zone" | "redundant" | "adaptive" | "large-bid"
+    config: ExperimentConfig
+    policy_label: str | None = None
+    bid: float | None = None
+    zones: tuple[str, ...] | None = None
+    num_zones: int = 3
+    threshold: float | None = None
+    controller_factory: Callable[[], AdaptiveController] | None = None
+
+
 @dataclass
 class ExperimentRunner:
     """Runs experiment grids against one evaluation window.
@@ -65,18 +94,69 @@ class ExperimentRunner:
         Overlapping start offsets per grid cell (paper: 80).
     seed:
         Seeds both the trace archive and the queuing-delay draws.
+    workers:
+        Worker processes for grid execution.  1 (default) runs
+        serially in-process; N > 1 fans the per-start cells out over a
+        process pool (see :mod:`repro.experiments.parallel`) with
+        bit-identical results.
     """
 
     window: str
     num_experiments: int = DEFAULT_NUM_EXPERIMENTS
     seed: int = DEFAULT_SEED
     queue_model: QueueDelayModel = field(default_factory=QueueDelayModel)
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         trace, eval_start = evaluation_window(self.window, self.seed)
         self.trace = trace
         self.eval_start = eval_start
         self.oracle = PriceOracle(trace)
+        self._executor = None
+
+    # -- parallel execution ------------------------------------------------
+
+    def with_workers(self, workers: int) -> "ExperimentRunner":
+        """A runner over the same window/seed with a different degree of
+        parallelism (the window trace is cached, so this is cheap)."""
+        if workers == self.workers:
+            return self
+        return ExperimentRunner(
+            self.window,
+            num_experiments=self.num_experiments,
+            seed=self.seed,
+            queue_model=self.queue_model,
+            workers=workers,
+        )
+
+    @property
+    def executor(self):
+        """The lazily created process-pool executor (workers > 1)."""
+        if self._executor is None:
+            from repro.experiments.parallel import SweepExecutor
+
+            self._executor = SweepExecutor(
+                window=self.window,
+                num_experiments=self.num_experiments,
+                seed=self.seed,
+                workers=self.workers,
+                queue_model=self.queue_model,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- experiment geometry ----------------------------------------------
 
@@ -104,7 +184,7 @@ class ExperimentRunner:
             oracle=self.oracle, queue_model=self.queue_model, rng=rng
         )
 
-    # -- grid cells -------------------------------------------------------
+    # -- cell execution ----------------------------------------------------
 
     def _record(
         self,
@@ -124,6 +204,73 @@ class ExperimentRunner:
             result=result,
         )
 
+    def run_cell(self, task: CellTask, start: float) -> list[RunRecord]:
+        """Execute one (task, start) unit; the parallel worker entry point.
+
+        One simulator per start: within a cell, every zone of a merged
+        single-zone (or Large-bid) run draws from the same queue-delay
+        stream, exactly as the serial loops always did.
+        """
+        sim = self.simulator(start)
+        config = task.config
+        if task.kind == "single-zone":
+            factory = POLICY_FACTORIES[task.policy_label]
+            records = []
+            for zone in task.zones:
+                result = sim.run(config, factory(), task.bid, (zone,), start)
+                records.append(
+                    self._record(task.policy_label, config, task.bid, start, result)
+                )
+            return records
+        if task.kind == "redundant":
+            factory = POLICY_FACTORIES[task.policy_label]
+            zones = self.trace.zone_names[: task.num_zones]
+            label = f"{task.policy_label}-r{task.num_zones}"
+            result = sim.run(config, factory(), task.bid, zones, start)
+            return [self._record(label, config, task.bid, start, result)]
+        if task.kind == "adaptive":
+            controller = (task.controller_factory or AdaptiveController)()
+            result = sim.run(
+                config,
+                PeriodicPolicy(),
+                bid=controller.bids[0],
+                zones=self.trace.zone_names[:1],
+                start_time=start,
+                controller=controller,
+            )
+            return [self._record("adaptive", config, result.bid, start, result)]
+        if task.kind == "large-bid":
+            records = []
+            for zone in task.zones:
+                policy = (
+                    naive_policy()
+                    if task.threshold is None
+                    else LargeBidPolicy(task.threshold)
+                )
+                result = sim.run(config, policy, LARGE_BID, (zone,), start)
+                records.append(
+                    self._record(policy.name, config, LARGE_BID, start, result)
+                )
+            return records
+        raise ValueError(f"unknown cell task kind {task.kind!r}")
+
+    def _run_grid(self, task: CellTask) -> list[RunRecord]:
+        """All starts of one cell — serial, or fanned out over workers.
+
+        The parallel path merges worker results in start order, so the
+        returned records are identical (values and order) to a serial
+        run.
+        """
+        starts = [float(s) for s in self.starts(task.config)]
+        if self.workers > 1 and len(starts) > 1:
+            return self.executor.map_cells(task, starts)
+        records = []
+        for start in starts:
+            records.extend(self.run_cell(task, start))
+        return records
+
+    # -- grid cells -------------------------------------------------------
+
     def run_single_zone(
         self,
         policy_label: str,
@@ -137,17 +284,11 @@ class ExperimentRunner:
         zones, matching "we merge the results from all three individual
         zones ... to generate one boxplot".
         """
-        factory = POLICY_FACTORIES[policy_label]
         zones = tuple(zones) if zones is not None else self.trace.zone_names
-        records = []
-        for start in self.starts(config):
-            sim = self.simulator(start)
-            for zone in zones:
-                result = sim.run(config, factory(), bid, (zone,), start)
-                records.append(
-                    self._record(policy_label, config, bid, start, result)
-                )
-        return records
+        return self._run_grid(
+            CellTask(kind="single-zone", config=config,
+                     policy_label=policy_label, bid=bid, zones=zones)
+        )
 
     def run_redundant(
         self,
@@ -157,15 +298,10 @@ class ExperimentRunner:
         num_zones: int = 3,
     ) -> list[RunRecord]:
         """One redundancy-based policy over the first ``num_zones`` zones."""
-        factory = POLICY_FACTORIES[policy_label]
-        zones = self.trace.zone_names[:num_zones]
-        label = f"{policy_label}-r{num_zones}"
-        records = []
-        for start in self.starts(config):
-            sim = self.simulator(start)
-            result = sim.run(config, factory(), bid, zones, start)
-            records.append(self._record(label, config, bid, start, result))
-        return records
+        return self._run_grid(
+            CellTask(kind="redundant", config=config,
+                     policy_label=policy_label, bid=bid, num_zones=num_zones)
+        )
 
     def run_best_redundant(
         self,
@@ -191,22 +327,10 @@ class ExperimentRunner:
         The initial configuration is a placeholder — the controller's
         first decision (before anything runs) replaces it.
         """
-        records = []
-        for start in self.starts(config):
-            sim = self.simulator(start)
-            controller = controller_factory()
-            result = sim.run(
-                config,
-                PeriodicPolicy(),
-                bid=controller.bids[0],
-                zones=self.trace.zone_names[:1],
-                start_time=start,
-                controller=controller,
-            )
-            records.append(
-                self._record("adaptive", config, result.bid, start, result)
-            )
-        return records
+        return self._run_grid(
+            CellTask(kind="adaptive", config=config,
+                     controller_factory=controller_factory)
+        )
 
     def run_large_bid(
         self,
@@ -216,17 +340,7 @@ class ExperimentRunner:
     ) -> list[RunRecord]:
         """Large-bid at control threshold L (None = Naive), merged zones."""
         zones = (zone,) if zone is not None else self.trace.zone_names
-        records = []
-        for start in self.starts(config):
-            sim = self.simulator(start)
-            for z in zones:
-                policy = (
-                    naive_policy()
-                    if threshold is None
-                    else LargeBidPolicy(threshold)
-                )
-                result = sim.run(config, policy, LARGE_BID, (z,), start)
-                records.append(
-                    self._record(policy.name, config, LARGE_BID, start, result)
-                )
-        return records
+        return self._run_grid(
+            CellTask(kind="large-bid", config=config,
+                     threshold=threshold, zones=zones)
+        )

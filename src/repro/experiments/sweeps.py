@@ -4,12 +4,18 @@ The paper fixes slack ∈ {15%, 50%} and t_c ∈ {300, 900}; these helpers
 sweep any axis — slack, checkpoint cost, bid, redundancy degree — and
 return per-point boxplot statistics, powering the ablation benchmarks
 and letting users map their own experiment onto the cost landscape.
+
+Every sweep accepts ``workers``: when given, the runner's grid cells
+are fanned out over that many worker processes (see
+:mod:`repro.experiments.parallel`) with results identical to the
+serial path; when ``None`` the runner's own ``workers`` setting
+applies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.app.workload import ExperimentConfig, paper_experiment
 from repro.experiments.metrics import RunRecord, box, deadline_violations
@@ -38,6 +44,12 @@ def _point(value, records: Sequence[RunRecord]) -> SweepPoint:
     )
 
 
+def _with_workers(
+    runner: ExperimentRunner, workers: int | None
+) -> ExperimentRunner:
+    return runner if workers is None else runner.with_workers(workers)
+
+
 def sweep_slack(
     runner: ExperimentRunner,
     fractions: Sequence[float],
@@ -45,6 +57,7 @@ def sweep_slack(
     bid: float = 0.81,
     ckpt_cost_s: float = 300.0,
     redundant: bool = False,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Cost vs. slack fraction — how much headroom buys how much.
 
@@ -52,6 +65,7 @@ def sweep_slack(
     (more time to ride out storms before the on-demand switch) but
     barely moves medians once availability is high.
     """
+    runner = _with_workers(runner, workers)
     points = []
     for fraction in fractions:
         config = paper_experiment(slack_fraction=fraction,
@@ -71,8 +85,10 @@ def sweep_ckpt_cost(
     bid: float = 0.81,
     slack_fraction: float = 0.15,
     redundant: bool = False,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Cost vs. checkpoint cost t_c (the Tables 2→3 axis, densified)."""
+    runner = _with_workers(runner, workers)
     points = []
     for tc in costs_s:
         config = paper_experiment(slack_fraction=slack_fraction,
@@ -92,10 +108,12 @@ def sweep_bid(
     slack_fraction: float = 0.5,
     ckpt_cost_s: float = 300.0,
     redundant: bool = False,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Cost vs. bid — the sweet-spot curve behind Section 6's summary
     ("higher bid prices (after a sweet-spot) generally increase the
     median cost for redundancy-based policies")."""
+    runner = _with_workers(runner, workers)
     points = []
     config = paper_experiment(slack_fraction=slack_fraction,
                               ckpt_cost_s=ckpt_cost_s)
@@ -115,8 +133,10 @@ def sweep_zones(
     bid: float = 0.81,
     slack_fraction: float = 0.15,
     ckpt_cost_s: float = 300.0,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Cost vs. redundancy degree N (Section 6's diminishing returns)."""
+    runner = _with_workers(runner, workers)
     config = paper_experiment(slack_fraction=slack_fraction,
                               ckpt_cost_s=ckpt_cost_s)
     points = []

@@ -14,15 +14,27 @@ per query makes Adaptive (15 bids x 3 zone counts x policies, every 5
 minutes) intractable.  Bucketing by hour keeps each experiment's
 statistics fresh while letting the 80 overlapping experiments of each
 evaluation window share almost all of the work.
+
+Two cache layers exist:
+
+* **Per-model caches** live on :class:`PriceMarkovModel` — the
+  stationary eigenvector and the absorbing-chain uptime solves are
+  memoized on the fitted chain itself, so every consumer of the same
+  bucket's model shares them for free.
+* **Per-oracle caches** map ``(zone, hour bucket[, price level])`` to
+  fitted models and to the batch statistics arrays that
+  :meth:`zone_stats` serves, so the Adaptive grid, the per-policy
+  scalar queries, and parallel sweep workers all hit the same entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from repro.market.constants import MARKOV_HISTORY_S, SAMPLE_INTERVAL_S
+from repro.market.constants import MARKOV_HISTORY_S, SAMPLE_INTERVAL_S, bid_grid
 from repro.stats.availability import mean_up_run_s
 from repro.stats.markov import PriceMarkovModel
 from repro.traces.model import SpotPriceTrace, ZoneTrace
@@ -34,10 +46,17 @@ class PriceOracle:
 
     trace: SpotPriceTrace
     history_s: int = MARKOV_HISTORY_S
+    #: (zone, bucket) -> bucket Markov model.
     _markov_cache: dict = field(default_factory=dict, repr=False)
-    _uptime_cache: dict = field(default_factory=dict, repr=False)
-    _stationary_cache: dict = field(default_factory=dict, repr=False)
+    #: (zone, bucket, level) -> model re-conditioned on an intra-bucket
+    #: price level (the memoized refits of :meth:`_model_at_level`).
+    _refit_cache: dict = field(default_factory=dict, repr=False)
+    #: (zone, bucket, level, bids-key) -> (avail, rate, uptime) arrays.
+    _zone_stats_cache: dict = field(default_factory=dict, repr=False)
+    #: (zone, bucket, rounded bid) -> empirical mean up-run seconds.
     _uprun_cache: dict = field(default_factory=dict, repr=False)
+    #: (zone, i0, i1) -> min price over that exact sample range.
+    _minprice_cache: dict = field(default_factory=dict, repr=False)
 
     # -- raw prices -------------------------------------------------------
 
@@ -59,26 +78,42 @@ class PriceOracle:
         """True when the price moved upward at the sample covering ``t``."""
         return self.price(zone, t) > self.previous_price(zone, t)
 
+    def _history_span(self, zone: str, t: float) -> tuple[int, int]:
+        """Sample index range ``[i0, i1)`` of the trailing history."""
+        z = self.trace.zone(zone)
+        i1 = z.index_at(t)
+        i0 = max(i1 - self.history_s // z.interval_s, 0)
+        if i1 - i0 < 2:
+            i1 = min(i0 + 2, len(z))
+        return i0, i1
+
     def history(self, zone: str, t: float) -> np.ndarray:
         """Trailing price history of ``zone``: samples in ``[t - H, t)``.
 
         Clamped to the trace start; always contains at least two
         samples so the Markov fit is defined.
         """
-        z = self.trace.zone(zone)
-        i1 = z.index_at(t)
-        i0 = max(i1 - self.history_s // z.interval_s, 0)
-        if i1 - i0 < 2:
-            i1 = min(i0 + 2, len(z))
-        return z.prices[i0:i1]
+        i0, i1 = self._history_span(zone, t)
+        return self.trace.zone(zone).prices[i0:i1]
 
     def history_matrix(self, t: float) -> np.ndarray:
         """Trailing history of all zones, shape ``(samples, zones)``."""
         return np.column_stack([self.history(z, t) for z in self.zone_names])
 
     def min_price(self, zone: str, t: float) -> float:
-        """Lowest price in the trailing history (Threshold's S_min)."""
-        return float(self.history(zone, t).min())
+        """Lowest price in the trailing history (Threshold's S_min).
+
+        Cached by the exact sample range of the window, so the 80
+        overlapping experiments querying the same absolute tick share
+        one scan (the window slides one sample per tick, so the range
+        identifies the window precisely — no bucket staleness).
+        """
+        key = (zone, *self._history_span(zone, t))
+        value = self._minprice_cache.get(key)
+        if value is None:
+            value = float(self.history(zone, t).min())
+            self._minprice_cache[key] = value
+        return value
 
     # -- cached derived statistics -----------------------------------------
 
@@ -96,56 +131,91 @@ class PriceOracle:
             self._markov_cache[key] = model
         return model
 
+    def _model_at_level(self, zone: str, t: float) -> PriceMarkovModel:
+        """The bucket model, re-conditioned on the current price level.
+
+        The bucket model's initial state is the price at the bucket's
+        first query; an intra-bucket price move must be honoured for
+        the uptime prediction (the walk starts from *this* level).
+        Refits are memoized by ``(zone, bucket, level)`` — previously
+        each query recomputed and discarded the refit.
+        """
+        model = self.markov_model(zone, t)
+        level = float(self.price(zone, t))
+        if level == float(model.levels[int(np.argmax(model.initial))]):
+            return model
+        key = (zone, self._bucket(t), level)
+        refit = self._refit_cache.get(key)
+        if refit is None:
+            refit = PriceMarkovModel.fit(
+                self.history(zone, t), current_price=level
+            )
+            self._refit_cache[key] = refit
+        return refit
+
+    # -- batch statistics --------------------------------------------------
+
+    def zone_stats(
+        self, zone: str, t: float, bids: Sequence[float] | np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch statistics of one zone over a bid grid.
+
+        Returns ``(availability, expected charged rate, expected
+        uptime)`` — one array each, aligned with ``bids`` (default: the
+        paper's 15-point grid).  The Markov chain is fitted once per
+        ``(zone, hour bucket)``, its stationary eigenvector is computed
+        once per model, and the absorbing-chain uptime system is solved
+        once per distinct up-state set of the grid; the scalar query
+        methods are thin wrappers over the same machinery, so batch and
+        scalar answers are identical to the last bit.
+        """
+        bids_arr = np.asarray(
+            bid_grid() if bids is None else bids, dtype=np.float64
+        )
+        level = float(self.price(zone, t))
+        key = (zone, self._bucket(t), level, bids_arr.tobytes())
+        cached = self._zone_stats_cache.get(key)
+        if cached is None:
+            model = self.markov_model(zone, t)
+            avail = model.availability_batch(bids_arr)
+            rate = model.expected_price_given_up_batch(bids_arr)
+            uptime = self._model_at_level(zone, t).expected_uptime_batch(bids_arr)
+            for arr in (avail, rate, uptime):
+                arr.setflags(write=False)
+            cached = (avail, rate, uptime)
+            self._zone_stats_cache[key] = cached
+        return cached
+
+    def combined_uptimes(
+        self, zones: Sequence[str], t: float, bids: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Summed per-zone expected up times over a bid grid
+        (Section 4.2's combination rule), one array entry per bid."""
+        if not zones:
+            raise ValueError("no zones supplied")
+        bids_arr = np.asarray(bids, dtype=np.float64)
+        total = np.zeros(bids_arr.size, dtype=np.float64)
+        for zone in zones:
+            total += self._model_at_level(zone, t).expected_uptime_batch(bids_arr)
+        return total
+
+    # -- scalar wrappers ---------------------------------------------------
+
     def expected_uptime(self, zone: str, t: float, bid: float) -> float:
         """Markov expected up time of ``zone`` at ``bid``, seconds."""
-        model = self.markov_model(zone, t)
-        # the model is conditioned on the bucket's fit; key also by the
-        # current price level so intra-bucket price moves are honoured
-        level = float(self.price(zone, t))
-        key = (zone, self._bucket(t), round(bid, 4), level)
-        value = self._uptime_cache.get(key)
-        if value is None:
-            if level != float(model.levels[int(np.argmax(model.initial))]):
-                model = PriceMarkovModel.fit(
-                    self.history(zone, t), current_price=level
-                )
-            value = model.expected_uptime(bid)
-            self._uptime_cache[key] = value
-        return value
+        return float(self._model_at_level(zone, t).expected_uptime(bid))
 
     def combined_expected_uptime(self, zones: list[str], t: float, bid: float) -> float:
         """Sum of per-zone expected up times (Section 4.2's combination)."""
-        if not zones:
-            raise ValueError("no zones supplied")
-        return float(sum(self.expected_uptime(z, t, bid) for z in zones))
-
-    def _stationary(self, zone: str, t: float) -> tuple[np.ndarray, np.ndarray]:
-        """(levels, stationary distribution) of the bucket's Markov chain."""
-        key = (zone, self._bucket(t))
-        cached = self._stationary_cache.get(key)
-        if cached is None:
-            model = self.markov_model(zone, t)
-            evals, evecs = np.linalg.eig(model.trans.T)
-            i = int(np.argmin(np.abs(evals - 1.0)))
-            v = np.abs(np.real(evecs[:, i]))
-            v = v / v.sum()
-            cached = (model.levels, v)
-            self._stationary_cache[key] = cached
-        return cached
+        return float(self.combined_uptimes(zones, t, (bid,))[0])
 
     def availability(self, zone: str, t: float, bid: float) -> float:
         """Stationary probability that ``zone`` is up at ``bid``."""
-        levels, v = self._stationary(zone, t)
-        return float(v[levels <= bid].sum())
+        return float(self.markov_model(zone, t).availability(bid))
 
     def expected_price_given_up(self, zone: str, t: float, bid: float) -> float:
         """Stationary mean charged rate while up at ``bid``, $/hour."""
-        levels, v = self._stationary(zone, t)
-        mask = levels <= bid
-        mass = float(v[mask].sum())
-        if mass <= 0.0:
-            return float(bid)
-        return float((v[mask] * levels[mask]).sum() / mass)
+        return float(self.markov_model(zone, t).expected_price_given_up(bid))
 
     def mean_up_run(self, zone: str, t: float, bid: float) -> float:
         """Empirical mean up-run length over the trailing history, seconds.
@@ -161,3 +231,8 @@ class PriceOracle:
             value = mean_up_run_s(zt, bid)
             self._uprun_cache[key] = value
         return value
+
+    def threshold_stats(self, zone: str, t: float, bid: float) -> tuple[float, float]:
+        """The Threshold policy's two guards in one cached call:
+        ``(S_min over the trailing history, mean up-run at bid)``."""
+        return self.min_price(zone, t), self.mean_up_run(zone, t, bid)

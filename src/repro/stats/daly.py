@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 def daly_interval(mtbf_s: float, ckpt_cost_s: float) -> float:
     """Daly's higher-order optimum compute interval between checkpoints.
@@ -49,6 +51,54 @@ def daly_interval(mtbf_s: float, ckpt_cost_s: float) -> float:
             1.0 + math.sqrt(ratio) / 3.0 + delta / (18.0 * m)
         ) - delta
     return max(tau, delta)
+
+
+def daly_interval_batch(
+    mtbf_s: np.ndarray, ckpt_cost_s: float
+) -> np.ndarray:
+    """:func:`daly_interval` over an array of MTBFs, one vector pass.
+
+    Element-for-element identical to the scalar form (same operation
+    order, so the same IEEE-754 roundings) — Adaptive's candidate grid
+    relies on that to make vectorized and scalar cost predictions
+    bit-equal.
+    """
+    if ckpt_cost_s <= 0:
+        raise ValueError(f"checkpoint cost must be positive, got {ckpt_cost_s}")
+    delta = float(ckpt_cost_s)
+    m = np.asarray(mtbf_s, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = delta / (2.0 * m)
+        tau = np.sqrt(2.0 * delta * m) * (
+            1.0 + np.sqrt(ratio) / 3.0 + delta / (18.0 * m)
+        ) - delta
+    tau = np.where(delta >= 2.0 * m, m, tau)
+    tau = np.maximum(tau, delta)
+    return np.where(m <= 0.0, delta, tau)
+
+
+def expected_useful_fraction_batch(
+    mtbf_s: np.ndarray,
+    ckpt_cost_s: float,
+    interval_s: np.ndarray | float,
+) -> np.ndarray:
+    """:func:`expected_useful_fraction` over arrays, one vector pass.
+
+    ``interval_s`` may be a scalar (Periodic's fixed interval) or an
+    array aligned with ``mtbf_s`` (Markov-Daly's per-candidate
+    intervals).  Bit-equal to the scalar form per element.
+    """
+    if ckpt_cost_s < 0:
+        raise ValueError(f"checkpoint cost must be >= 0, got {ckpt_cost_s}")
+    m = np.asarray(mtbf_s, dtype=np.float64)
+    interval = np.asarray(interval_s, dtype=np.float64)
+    if np.any(interval <= 0):
+        raise ValueError("interval must be positive")
+    overhead = interval / (interval + ckpt_cost_s)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rework = 1.0 - (interval / 2.0 + ckpt_cost_s) / m
+    useful = np.minimum(np.maximum(overhead * rework, 0.0), 1.0)
+    return np.where(m <= 0.0, 0.0, useful)
 
 
 def daly_interval_first_order(mtbf_s: float, ckpt_cost_s: float) -> float:

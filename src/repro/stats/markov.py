@@ -20,7 +20,7 @@ zones by summing their individual expected up times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -56,6 +56,20 @@ class PriceMarkovModel:
     #: An expected up time cannot be statistically justified beyond the
     #: window it was estimated from, so it is capped here.
     fit_window_s: float | None = None
+    # Per-model result caches.  ``levels`` is sorted, so every bid maps
+    # to an *up-state count* k (the k cheapest levels keep the instance
+    # up); all statistics of a bid depend only on k, which is what lets
+    # a whole bid grid share one eigendecomposition and one linear
+    # solve per distinct up-state set.
+    _stationary: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _uptime_by_count: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _succ: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = self.levels.size
@@ -67,10 +81,13 @@ class PriceMarkovModel:
             )
         if self.initial.shape != (n,):
             raise MarkovError(f"initial vector shape {self.initial.shape} != ({n},)")
+        # max-abs checks with np.allclose's effective tolerance
+        # (atol=1e-9 plus the default rtol of 1e-5 against 1.0), kept
+        # cheap because every Markov fit runs through here.
         rows = self.trans.sum(axis=1)
-        if not np.allclose(rows, 1.0, atol=1e-9):
+        if float(np.abs(rows - 1.0).max()) > 1e-5 + 1e-9:
             raise MarkovError("transition matrix rows must sum to 1")
-        if not np.isclose(self.initial.sum(), 1.0, atol=1e-9):
+        if abs(float(self.initial.sum()) - 1.0) > 1e-5 + 1e-9:
             raise MarkovError("initial vector must sum to 1")
 
     @property
@@ -113,8 +130,9 @@ class PriceMarkovModel:
             raise MarkovError("need at least two samples to fit transitions")
         levels, inverse = np.unique(prices, return_inverse=True)
         n = levels.size
-        counts = np.zeros((n, n), dtype=np.float64)
-        np.add.at(counts, (inverse[:-1], inverse[1:]), 1.0)
+        counts = np.bincount(
+            inverse[:-1] * n + inverse[1:], minlength=n * n
+        ).reshape(n, n).astype(np.float64)
         row_sums = counts.sum(axis=1, keepdims=True)
         trans = np.where(row_sums > 0, counts / np.where(row_sums == 0, 1, row_sums), 0.0)
         marginal = counts.sum(axis=0)
@@ -146,6 +164,17 @@ class PriceMarkovModel:
         """Indicator ``I(i) = 1`` iff level i keeps the instance up (P_i <= B)."""
         return (self.levels <= bid).astype(np.float64)
 
+    def up_count(self, bid: float) -> int:
+        """Number of up states at ``bid``: levels are sorted, so the up
+        set is always the ``k`` cheapest levels."""
+        return int(np.searchsorted(self.levels, bid, side="right"))
+
+    def up_counts(self, bids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`up_count` over a bid grid."""
+        return np.searchsorted(
+            self.levels, np.asarray(bids, dtype=np.float64), side="right"
+        )
+
     #: Absolute expected-uptime cap for chains whose up-states are
     #: absorbing (the censored walk never terminates): 30 days.  When
     #: the chain was fitted from data, the fit window length is the
@@ -175,11 +204,50 @@ class PriceMarkovModel:
         states form an absorbing class (``I - Q`` singular: at this
         bid the chain can never terminate), the expected up time is
         truncated at :attr:`UPTIME_CAP_S`.
+
+        The solve is memoized per distinct up-state set (thin wrapper
+        over :meth:`expected_uptime_batch`'s machinery), so querying a
+        whole bid grid factorizes ``I - Q`` once per distinct set.
         """
-        up_mask = self.levels <= bid
-        up_idx = np.flatnonzero(up_mask)
-        if up_idx.size == 0:
+        return self._uptime_for_count(self.up_count(bid))
+
+    def expected_uptime_batch(self, bids: np.ndarray) -> np.ndarray:
+        """Expected up time for every bid of a grid, seconds.
+
+        Bids selecting the same up-state set (the same count of
+        cheapest levels) share one linear solve; on the paper's
+        15-point grid against a trailing window with a handful of
+        distinct price levels this collapses 15 solves into 2-4.
+        """
+        counts = self.up_counts(bids)
+        return np.array(
+            [self._uptime_for_count(int(k)) for k in counts], dtype=np.float64
+        )
+
+    def _successors(self) -> tuple:
+        """Per-state lists of positive-probability successors, cached."""
+        s = self._succ
+        if s is None:
+            s = tuple(
+                np.flatnonzero(row > 0.0).tolist() for row in self.trans
+            )
+            object.__setattr__(self, "_succ", s)
+        return s
+
+    def _uptime_for_count(self, k: int) -> float:
+        """Memoized expected up time when the ``k`` cheapest levels are up."""
+        value = self._uptime_by_count.get(k)
+        if value is None:
+            value = self._solve_uptime(k)
+            self._uptime_by_count[k] = value
+        return value
+
+    def _solve_uptime(self, k: int) -> float:
+        """One absorbing-chain solve for the up set = ``k`` cheapest levels."""
+        if k <= 0:
             return 0.0
+        up_mask = np.zeros(self.num_states, dtype=bool)
+        up_mask[:k] = True
         p0_full = self.initial * up_mask
         alive = float(p0_full.sum())
         if alive <= 0.0:
@@ -189,8 +257,20 @@ class PriceMarkovModel:
         # distribution: an unreachable closed class elsewhere in the
         # history would otherwise make (I - Q) singular even though the
         # censored walk from *here* terminates in finite expected time.
+        # Depth-first over per-state successor lists (cached once per
+        # model) — the up set is a prefix of the sorted levels, so
+        # membership is just ``state < k``.
         cap = self._uptime_cap()
-        reachable = _reachable_up_states(self.trans, up_mask, p0_full > 0)
+        succ = self._successors()
+        seen = np.zeros(self.num_states, dtype=bool)
+        stack = np.flatnonzero(p0_full > 0).tolist()
+        seen[stack] = True
+        while stack:
+            for j in succ[stack.pop()]:
+                if j < k and not seen[j]:
+                    seen[j] = True
+                    stack.append(j)
+        reachable = np.flatnonzero(seen)
         q = self.trans[np.ix_(reachable, reachable)]
         # If the reachable class is closed (every row already sums to
         # 1 within the class), the walk never terminates at this bid.
@@ -235,43 +315,71 @@ class PriceMarkovModel:
         expected_steps += max_steps * float(prob.sum())
         return min(expected_steps * self.step_s, self._uptime_cap())
 
-    def availability(self, bid: float) -> float:
-        """Stationary probability of being up at ``bid``.
+    def stationary(self) -> np.ndarray:
+        """Asymptotic state distribution of the chain, cached.
 
-        Uses the empirical occupancy implied by the fitted transition
-        counts (the history distribution), not the asymptotic
-        eigenvector, matching how the paper's Threshold policy derives
-        its probabilistic average up time.
+        The left eigenvector of ``trans`` at eigenvalue 1, normalized
+        to a probability vector.  Computed once per model: the
+        eigendecomposition is the dominant cost of every availability
+        and expected-rate query, and it is identical for all of them.
         """
-        # Occupancy of each level in the history = expected row mass.
-        # Reconstruct from transition matrix is not possible; store via
-        # initial is a point mass, so use the left eigenvector instead.
-        evals, evecs = np.linalg.eig(self.trans.T)
-        i = int(np.argmin(np.abs(evals - 1.0)))
-        v = np.real(evecs[:, i])
-        v = np.abs(v)
-        total = v.sum()
-        if total <= 0:
-            raise MarkovError("degenerate stationary distribution")
-        v = v / total
-        return float((v * self.up_mask(bid)).sum())
+        v = self._stationary
+        if v is None:
+            evals, evecs = np.linalg.eig(self.trans.T)
+            i = int(np.argmin(np.abs(evals - 1.0)))
+            v = np.abs(np.real(evecs[:, i]))
+            total = v.sum()
+            if total <= 0:
+                raise MarkovError("degenerate stationary distribution")
+            v = v / total
+            v.setflags(write=False)
+            object.__setattr__(self, "_stationary", v)
+        return v
+
+    def availability(self, bid: float) -> float:
+        """Asymptotic probability of being up at ``bid``.
+
+        Computed from the *stationary left eigenvector* of the fitted
+        transition matrix — the long-run occupancy the chain converges
+        to — not the empirical level occupancy of the history window.
+        The two agree when the window is long relative to the chain's
+        mixing time, but only the eigenvector is well-defined from the
+        fitted ``trans`` alone: the empirical occupancy cannot be
+        reconstructed from a row-stochastic matrix, and ``initial`` is
+        a point mass on the current price, so the asymptotic
+        distribution is the principled stand-in for "fraction of time
+        this zone is affordable".
+        """
+        return float(self.availability_batch(np.array([bid]))[0])
+
+    def availability_batch(self, bids: np.ndarray) -> np.ndarray:
+        """:meth:`availability` for a whole bid grid, one eig shared.
+
+        Levels are sorted, so each bid's up mass is a prefix sum of the
+        stationary vector.
+        """
+        cum = np.concatenate(([0.0], np.cumsum(self.stationary())))
+        return cum[self.up_counts(bids)]
 
     def expected_price_given_up(self, bid: float) -> float:
         """Mean price over up states under the stationary distribution.
 
         This is the rate a bidder expects to be charged per billing
         hour while the zone is up — the quantity Adaptive's cost
-        estimator needs.
+        estimator needs.  Bids with no up mass fall back to the bid
+        itself.
         """
-        evals, evecs = np.linalg.eig(self.trans.T)
-        i = int(np.argmin(np.abs(evals - 1.0)))
-        v = np.abs(np.real(evecs[:, i]))
-        v = v / v.sum()
-        up = self.up_mask(bid)
-        mass = float((v * up).sum())
-        if mass <= 0.0:
-            return float(bid)
-        return float((v * up * self.levels).sum() / mass)
+        return float(self.expected_price_given_up_batch(np.array([bid]))[0])
+
+    def expected_price_given_up_batch(self, bids: np.ndarray) -> np.ndarray:
+        """:meth:`expected_price_given_up` for a whole bid grid."""
+        bids = np.asarray(bids, dtype=np.float64)
+        v = self.stationary()
+        counts = self.up_counts(bids)
+        mass = np.concatenate(([0.0], np.cumsum(v)))[counts]
+        weighted = np.concatenate(([0.0], np.cumsum(v * self.levels)))[counts]
+        safe_mass = np.where(mass > 0.0, mass, 1.0)
+        return np.where(mass > 0.0, weighted / safe_mass, bids)
 
 
 def _reachable_up_states(

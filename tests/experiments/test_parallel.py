@@ -1,0 +1,87 @@
+"""Parallel sweep execution must be invisible in the results.
+
+A 4-worker run of any grid cell returns the exact record list — values
+and order — of the serial path: per-start seeding depends only on the
+start offset, and the executor merges futures in submission order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.workload import paper_experiment
+from repro.experiments.parallel import SweepExecutor
+from repro.experiments.runner import CellTask, ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return ExperimentRunner("low", num_experiments=5)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    with ExperimentRunner("low", num_experiments=5, workers=4) as runner:
+        yield runner
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+
+
+class TestIdenticalRecords:
+    def test_single_zone(self, serial, parallel, config):
+        a = serial.run_single_zone("markov-daly", config, 0.81)
+        b = parallel.run_single_zone("markov-daly", config, 0.81)
+        assert a == b
+
+    def test_redundant(self, serial, parallel, config):
+        a = serial.run_redundant("periodic", config, 0.81)
+        b = parallel.run_redundant("periodic", config, 0.81)
+        assert a == b
+
+    def test_adaptive(self, serial, parallel, config):
+        a = serial.run_adaptive(config)
+        b = parallel.run_adaptive(config)
+        assert a == b
+
+    def test_large_bid(self, serial, parallel, config):
+        a = serial.run_large_bid(config, 0.81)
+        b = parallel.run_large_bid(config, 0.81)
+        assert a == b
+
+
+class TestExecutor:
+    def test_map_cells_orders_by_start(self, serial, config):
+        task = CellTask(kind="redundant", config=config,
+                        policy_label="periodic", bid=0.81)
+        starts = [float(s) for s in serial.starts(config)]
+        with SweepExecutor("low", num_experiments=5, workers=2) as ex:
+            records = ex.map_cells(task, starts)
+        assert [r.start_time for r in records] == starts
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner("low", num_experiments=5, workers=0)
+        with pytest.raises(ValueError):
+            SweepExecutor("low", num_experiments=5, workers=0)
+
+    def test_with_workers_round_trip(self, serial):
+        same = serial.with_workers(1)
+        assert same is serial
+        other = serial.with_workers(3)
+        assert other.workers == 3
+        assert other.window == serial.window
+        assert other.seed == serial.seed
+
+    def test_close_is_idempotent(self):
+        runner = ExperimentRunner("low", num_experiments=5, workers=2)
+        config = paper_experiment()
+        runner.run_redundant("periodic", config, 0.81)
+        runner.close()
+        runner.close()
+        # After close, the pool is rebuilt on demand.
+        records = runner.run_redundant("periodic", config, 0.81)
+        assert records
+        runner.close()
