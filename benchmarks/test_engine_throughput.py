@@ -1,10 +1,16 @@
 """Raw simulator throughput — how fast one experiment simulates.
 
 Not a paper artifact; keeps the engine honest as the codebase grows
-(the evaluation harness runs tens of thousands of these).
+(the evaluation harness runs tens of thousands of these).  The
+fast-vs-tick comparison also emits ``BENCH_engine.json`` at the repo
+root with the measured segment-skipping speedup.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -12,9 +18,15 @@ from repro.app.workload import paper_experiment
 from repro.core.engine import SpotSimulator
 from repro.core.markov_daly import MarkovDalyPolicy
 from repro.core.periodic import PeriodicPolicy
+from repro.experiments.runner import ExperimentRunner
 from repro.market.queuing import QueueDelayModel
 from repro.market.spot_market import PriceOracle
 from repro.traces.library import evaluation_window
+
+#: The figure bid grid used by the engine-mode comparison sweep.
+SWEEP_BIDS = (0.27, 0.81, 2.40)
+SWEEP_POLICIES = ("periodic", "markov-daly", "edge", "threshold")
+LARGE_BID_THRESHOLDS = (None, 0.40)
 
 
 def test_single_zone_run_speed(benchmark):
@@ -45,3 +57,66 @@ def test_redundant_run_speed(benchmark):
         sim.run, config, MarkovDalyPolicy(), 0.81, trace.zone_names, eval_start
     )
     assert result.met_deadline
+
+
+def _mode_sweep(runner: ExperimentRunner) -> list:
+    """A Figure-4-style low-window grid, first zone only.
+
+    All four single-zone policies across the three figure bids, plus
+    both Large-bid variants (Naive and L = $0.40) — the cell mix whose
+    cost curves the paper plots.  Slack 0.5 gives the runs a realistic
+    spot phase for the segment skipper to chew through; the Adaptive
+    controller is excluded because its per-decision candidate sweep
+    dominates runtime in either engine mode.
+    """
+    config = paper_experiment(slack_fraction=0.5)
+    records = []
+    for label in SWEEP_POLICIES:
+        for bid in SWEEP_BIDS:
+            records.extend(
+                runner.run_single_zone(
+                    label, config, bid, zones=runner.trace.zone_names[:1]
+                )
+            )
+    for threshold in LARGE_BID_THRESHOLDS:
+        records.extend(
+            runner.run_large_bid(
+                config, threshold, zone=runner.trace.zone_names[0]
+            )
+        )
+    return records
+
+
+def test_fastpath_speedup_low_window(benchmark, bench_experiments):
+    """Segment skipping vs the reference tick loop on the calm window.
+
+    Benchmarks the fast engine, times one reference tick-loop pass of
+    the identical sweep, checks the records match bit for bit, and
+    writes the measured speedup to ``BENCH_engine.json``.
+    """
+    n = min(bench_experiments, 10)
+    fast = ExperimentRunner("low", num_experiments=n, engine_mode="fast")
+    tick = ExperimentRunner("low", num_experiments=n, engine_mode="tick")
+
+    t0 = time.perf_counter()
+    tick_records = _mode_sweep(tick)
+    tick_s = time.perf_counter() - t0
+
+    fast_records = benchmark(_mode_sweep, fast)
+    assert fast_records == tick_records  # bit-identical sweeps
+
+    fast_s = float(benchmark.stats.stats.mean)
+    speedup = tick_s / fast_s
+    payload = {
+        "window": "low",
+        "num_experiments": n,
+        "sweep_cells": len(SWEEP_POLICIES) * len(SWEEP_BIDS)
+        + len(LARGE_BID_THRESHOLDS),
+        "runs_per_engine": len(tick_records),
+        "tick_seconds": tick_s,
+        "fast_seconds_mean": fast_s,
+        "speedup": speedup,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup >= 5.0, f"fast path only {speedup:.1f}x over tick loop"

@@ -52,6 +52,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes for experiment grids "
                              "(results are identical to --workers 1)")
+    parser.add_argument("--engine", choices=("fast", "tick"), default="fast",
+                        help="simulation engine: 'fast' skips event-free "
+                             "segments, 'tick' is the reference tick-by-tick "
+                             "loop (results are bit-identical)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         oracle = PriceOracle(trace)
         sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
                             rng=np.random.default_rng(args.seed),
-                            record_timeline=True)
+                            record_timeline=True, engine_mode=args.engine)
         config = paper_experiment(slack_fraction=args.slack)
         policy = _Periodic() if args.policy == "periodic" else RisingEdgePolicy()
         result = sim.run(config, policy, args.bid, trace.zone_names[:1],
@@ -167,37 +171,41 @@ def main(argv: list[str] | None = None) -> int:
         print(reporting.render_queuing("Section 5 — spot queuing delay", stats))
     elif args.command == "fig4":
         with ExperimentRunner(args.window, args.experiments, args.seed,
-                              workers=args.workers) as runner:
+                              workers=args.workers,
+                              engine_mode=args.engine) as runner:
             cells = figures.fig4_quadrant(runner, args.slack, args.tc)
         title = f"Figure 4 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command in ("table2", "table3"):
         fn = figures.table2 if args.command == "table2" else figures.table3
         rows = fn(num_experiments=args.experiments, seed=args.seed,
-                  workers=args.workers)
+                  workers=args.workers, engine_mode=args.engine)
         print(reporting.render_optimal_table(args.command.capitalize(), rows))
     elif args.command == "fig5":
         with ExperimentRunner(args.window, args.experiments, args.seed,
-                              workers=args.workers) as runner:
+                              workers=args.workers,
+                              engine_mode=args.engine) as runner:
             cells = figures.fig5_quadrant(runner, args.slack, args.tc)
         title = f"Figure 5 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command == "fig6":
         with ExperimentRunner(args.window, args.experiments, args.seed,
-                              workers=args.workers) as runner:
+                              workers=args.workers,
+                              engine_mode=args.engine) as runner:
             cells = figures.fig6_panel(runner, args.slack, args.tc)
         title = f"Figure 6 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command == "headline":
         claims = figures.headline_claims(num_experiments=args.experiments,
-                                         seed=args.seed, workers=args.workers)
+                                         seed=args.seed, workers=args.workers,
+                                         engine_mode=args.engine)
         print(reporting.render_headline("Headline claims", claims))
     elif args.command == "run":
         trace, eval_start = evaluation_window(args.window, args.seed)
         oracle = PriceOracle(trace)
         sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
                             rng=np.random.default_rng(args.seed),
-                            record_events=True)
+                            record_events=True, engine_mode=args.engine)
         config = paper_experiment(slack_fraction=args.slack, ckpt_cost_s=args.tc)
         start = eval_start + args.start_hours * 3600.0
         if args.policy == "adaptive":
@@ -230,7 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.reporting import format_table
 
         runner = ExperimentRunner(args.window, args.experiments, args.seed,
-                                  workers=args.workers)
+                                  workers=args.workers,
+                                  engine_mode=args.engine)
         if args.axis == "slack":
             points = sweeps.sweep_slack(
                 runner, (0.10, 0.15, 0.25, 0.50, 0.75, 1.00),

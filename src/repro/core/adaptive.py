@@ -118,6 +118,15 @@ class AdaptiveController(Controller):
 
     # -- controller hook -----------------------------------------------------
 
+    def next_decision_time(self, now: float) -> float | None:
+        """Next periodic re-check; terminations and hour boundaries are
+        separate decision triggers the engine's fast path already stops
+        at, so between them :meth:`decide` is a pure no-op until the
+        re-evaluation timer expires."""
+        if math.isinf(self._last_eval_at):
+            return None
+        return self._last_eval_at + self.reevaluate_every_s
+
     def decide(self, ctx: PolicyContext) -> SwitchDecision | None:
         running = [z for z in ctx.zones if ctx.instances[z].is_running]
         none_running = not running

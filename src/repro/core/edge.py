@@ -22,6 +22,7 @@ class RisingEdgePolicy(CheckpointPolicy):
     """Checkpoint at every upward movement of an executing zone's price."""
 
     name = "edge"
+    reschedule_is_noop = True
 
     def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
         if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
@@ -39,3 +40,21 @@ class RisingEdgePolicy(CheckpointPolicy):
 
     def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
         """No-op: Edge reacts to prices, it does not schedule."""
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        """Time of the next rising-edge sample in any executing zone.
+
+        Served by the trace's cached edge index; the current sample is
+        included (an edge in force right now means no skipping at all).
+        """
+        bound = float("inf")
+        for zone, inst in ctx.instances.items():
+            if zone not in ctx.zones or inst.state is not ZoneState.COMPUTING:
+                continue
+            z = ctx.oracle.trace.zone(zone)
+            i = z.index_at(ctx.now)
+            if z.is_rising_edge_at(i):
+                return ctx.now
+            j = z.next_rising_edge(i)
+            bound = min(bound, z.start_time + j * z.interval_s)
+        return bound

@@ -83,6 +83,17 @@ class Controller(abc.ABC):
     def decide(self, ctx: PolicyContext) -> SwitchDecision | None:
         """Return a new configuration, or ``None`` to keep the current one."""
 
+    def next_decision_time(self, now: float) -> float | None:
+        """Earliest future time :meth:`decide` could act or mutate state,
+        assuming no zone terminates and no billing hour rolls before it.
+
+        The fast path stops at termination and hour-boundary events
+        anyway; this hook only needs to cover the controller's own
+        timers.  ``None`` (the default) disables segment skipping while
+        this controller is attached — always safe.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -142,6 +153,14 @@ class SpotSimulator:
     record_events:
         Keep the full event log on the result (off by default: the
         evaluation harness runs tens of thousands of experiments).
+    engine_mode:
+        ``"fast"`` (default) enables the segment-skipping scheduler:
+        provably event-free stretches of ticks are applied in bulk,
+        jumping straight to the next price crossing, scheduled
+        checkpoint, billing boundary, deadline-guard trigger or
+        controller decision point.  Results are bit-identical to
+        ``"tick"``, the reference tick-by-tick loop kept for debugging
+        and differential testing.
     """
 
     oracle: PriceOracle
@@ -150,6 +169,7 @@ class SpotSimulator:
     record_events: bool = False
     #: Record a per-tick state snapshot (for timeline rendering).
     record_timeline: bool = False
+    engine_mode: str = "fast"
 
     # ------------------------------------------------------------------
 
@@ -178,6 +198,10 @@ class SpotSimulator:
         nominal), the strongest statement possible without foresight
         of future slowdowns.
         """
+        if self.engine_mode not in ("fast", "tick"):
+            raise EngineError(
+                f"engine_mode must be 'fast' or 'tick', got {self.engine_mode!r}"
+            )
         if not zones:
             raise EngineError("at least one zone is required")
         for z in zones:
@@ -211,12 +235,26 @@ class SpotSimulator:
         policy.schedule_next_checkpoint(ctx)
         if controller is not None:
             controller.reset(ctx)
+        state.zone_traces = {
+            z: self.oracle.trace.zone(z) for z in self.oracle.zone_names
+        }
+        state.fast_ctx = self._make_ctx(state, start_time)
 
         state.deadline_schedule = deadline_schedule
         state.performance = performance
 
         dt = float(SAMPLE_INTERVAL_S)
         t = float(start_time)
+        # The fast path needs per-tick determinism it can reason about:
+        # timeline snapshots want every tick, and run-time dynamics
+        # (deadline edits, performance variation) re-read external
+        # state each tick.  Fall back to the reference loop for those.
+        fast = (
+            self.engine_mode == "fast"
+            and not self.record_timeline
+            and deadline_schedule is None
+            and performance is None
+        )
         while True:
             if deadline_schedule is not None:
                 new_deadline = deadline_schedule.deadline_at(t, deadline)
@@ -244,6 +282,11 @@ class SpotSimulator:
             if result is not None:
                 return self._finalize(state, result)
             t += dt
+
+            if fast:
+                k = self._quiescent_ticks(state, t, dt, controller)
+                if k > 0:
+                    t = self._bulk_advance(state, t, dt, k)
 
     # -- tick phases -------------------------------------------------------
 
@@ -510,6 +553,261 @@ class SpotSimulator:
             num_provider_terminations=0,
         )
 
+    # -- segment-skipping fast path ----------------------------------------
+
+    def _quiescent_ticks(
+        self, state: "_RunState", t: float, dt: float, controller: Controller | None
+    ) -> int:
+        """Number of upcoming ticks, starting with the one at ``t``,
+        that are provably no-ops except for compute-progress accrual
+        and deterministic billing rolls.
+
+        A tick is quiescent when no market transition, checkpoint
+        start/commit, restart, deadline-guard action, completion or
+        controller evaluation can occur at it.  Each hazard yields an
+        upper bound on the skippable stretch:
+
+        * next crossing of ``price <= threshold`` in any active zone
+          (bid for running zones, the policy's start threshold for
+          down/waiting ones), from the trace's shared crossing index;
+        * the deadline guard's forced-commit window, approached at most
+          one tick of margin per tick;
+        * the leader reaching C (completion) or the join-commit
+          progress threshold;
+        * the policy's own ``fast_forward_until`` schedule;
+        * with a controller attached: the next billing-hour boundary
+          (a decision point) and the controller's re-evaluation timer.
+
+        Every bound is conservative — stopping early only costs a full
+        tick that then behaves exactly like the reference engine — so
+        the fast path's results are bit-identical to ``"tick"`` mode.
+        """
+        instances = state.instances
+        active = state.active_zones
+        computing: list[ZoneInstance] = []
+        transient: list[ZoneInstance] = []
+        running_count = 0
+        waiting = False
+        for zone, inst in instances.items():
+            s = inst.state
+            if s is ZoneState.COMPUTING:
+                computing.append(inst)
+                running_count += 1
+            elif s is ZoneState.WAITING:
+                waiting = True
+            elif s is ZoneState.QUEUING or s is ZoneState.RESTARTING:
+                # timed countdown: quiescent until the phase runs out
+                transient.append(inst)
+                running_count += 1
+            elif s is not ZoneState.DOWN:
+                return 0  # a checkpoint is in flight: commits next tick
+        drop_commit_flag = False
+        if state.checkpoint_just_committed:
+            if waiting or not state.policy.reschedule_is_noop:
+                return 0  # restarts / re-arming need the post-commit tick
+            # The post-commit tick's only remaining effect would be
+            # dropping this flag (reschedule is a no-op and nothing is
+            # waiting to restart) — if every other hazard clears too,
+            # drop it on the way out and keep skipping.  Any early
+            # ``return 0`` below leaves the flag for the full tick.
+            drop_commit_flag = True
+        if running_count == 0 and (waiting or controller is not None):
+            return 0  # restarts fire now / controller evaluates every tick
+
+        k = 1 << 30
+        config = state.config
+        bid = state.bid
+        zone_traces = state.zone_traces
+        crossing = state.next_crossing
+        start_theta = -1.0  # computed lazily; prices are positive
+
+        # market transitions: stop at the next availability crossing.
+        # All zone traces share one grid, so the index is computed once.
+        ref = zone_traces[active[0]]
+        i = int((t - ref.start_time) // ref.interval_s)
+        for zone in active:
+            inst = instances[zone]
+            z = zone_traces[zone]
+            if inst.is_running:  # computing / queuing / restarting
+                theta = bid
+                if z.prices[i] > theta:
+                    return 0  # termination due this tick
+            else:
+                if start_theta < 0.0:
+                    start_theta = min(
+                        bid, state.policy.start_price_threshold(bid)
+                    )
+                theta = start_theta
+                if bool(z.prices[i] <= theta) != (
+                    inst.state is ZoneState.WAITING
+                ):
+                    return 0  # down/waiting flip due this tick
+            key = (zone, theta)
+            nc = crossing.get(key)
+            if nc is None or nc <= i:
+                nc = z.next_threshold_crossing(i, theta)
+                crossing[key] = nc
+            if nc - i < k:
+                k = nc - i
+                if k <= 0:
+                    return 0
+
+        # queue / restore countdowns: stop before a phase runs out (the
+        # 1e-6 cushion keeps the remainder clear of advance()'s 1e-9
+        # exhaustion tolerance, repeated-subtraction drift included)
+        for inst in transient:
+            n = int((inst.phase_remaining_s - 1e-6) // dt)
+            if n < 1:
+                return 0
+            if n < k:
+                k = n
+
+        # deadline guard: margin shrinks at most one tick per tick
+        committed = state.store.committed_progress_s
+        guard_progress = committed
+        if state.policy.trust_speculative:
+            for inst in computing:
+                local = inst.base_progress_s + inst.computed_s
+                if local > guard_progress:
+                    guard_progress = local
+        margin = (
+            (state.deadline - t)
+            - max(config.compute_s - guard_progress, 0.0)
+            - config.ckpt_cost_s
+            - config.restart_cost_s
+        )
+        k = min(k, math.floor((margin - config.ckpt_cost_s - 3.0 * dt) / dt) - 1)
+        if k <= 0:
+            return 0
+
+        if computing:
+            # completion: the leader gains exactly dt per quiescent tick
+            max_local = max(
+                inst.base_progress_s + inst.computed_s for inst in computing
+            )
+            k = min(k, math.floor((config.compute_s - max_local) / dt) - 2)
+            if k <= 0:
+                return 0
+            # join-commit: fires once the leader is t_c ahead of the store
+            if waiting and running_count < 2:
+                k = min(
+                    k,
+                    math.floor(
+                        (committed + config.ckpt_cost_s - max_local) / dt
+                    )
+                    - 1,
+                )
+                if k <= 0:
+                    return 0
+            # the policy's own checkpoint schedule, via the reusable ctx
+            ctx = state.fast_ctx
+            ctx.now = t
+            ctx.bid = bid
+            ctx.zones = active
+            horizon = state.policy.fast_forward_until(ctx)
+            if not math.isinf(horizon):
+                k = min(k, int(math.ceil((horizon - t - 1e-6) / dt)))
+                if k <= 0:
+                    return 0
+
+        if controller is not None:
+            horizon = controller.next_decision_time(t)
+            if horizon is None:
+                return 0
+            k = min(k, int(math.ceil((horizon - t - 1e-6) / dt)))
+            if k <= 0:
+                return 0
+            # hour boundaries are decision points (rule 2): stop on them
+            for inst in computing + transient:
+                k = min(k, int(round((inst.billing.hour_end() - t) / dt)))
+                if k <= 0:
+                    return 0
+
+        if drop_commit_flag:
+            state.checkpoint_just_committed = False
+        return k
+
+    def _bulk_advance(
+        self, state: "_RunState", t: float, dt: float, k: int
+    ) -> float:
+        """Apply ``k`` quiescent ticks in bulk; returns the new clock.
+
+        Replays exactly what the reference loop would have done on
+        these ticks — billing hours roll at their boundaries (same
+        instance order, same price lookups, same event log entries),
+        each computing zone's ``computed_s`` accrues ``dt`` per tick as
+        a repeated float addition, and queue/restore countdowns shed
+        ``dt`` per tick — so state after the jump is bit-identical to
+        ticking through.
+        """
+        accruing: list[tuple[ZoneInstance, bool]] = []  # (inst, computing?)
+        for inst in state.instances.values():
+            s = inst.state
+            if s is ZoneState.COMPUTING:
+                accruing.append((inst, True))
+            elif s is ZoneState.QUEUING or s is ZoneState.RESTARTING:
+                accruing.append((inst, False))
+        if not accruing:
+            # nothing running: nothing rolls, nothing accrues
+            if t.is_integer():  # grid times are integral: closed form is exact
+                return t + k * dt
+            for _ in range(k):
+                t += dt
+            return t
+        last = t + (k - 1) * dt
+        if t.is_integer():  # grid times are integral: closed forms are exact
+            # Billing hours roll at their exact boundary times, per
+            # instance; when recording, log entries are re-merged into
+            # the reference loop's (tick, instance) emission order.
+            # Progress accrues in closed form when the accumulator is
+            # integral (exact below 2**53); fractional accumulators
+            # (queue-delay remainders) replay the float ops on a local.
+            entries = []
+            for idx, (inst, is_computing) in enumerate(accruing):
+                while inst.billing.hour_end() <= last + 1e-6:
+                    boundary = inst.billing.hour_end()
+                    inst.billing.roll_hour(self.oracle.price(inst.zone, boundary))
+                    if state.record:
+                        tick = int(math.ceil((boundary - t - 1e-6) / dt))
+                        entries.append(
+                            (max(tick, 0), idx, boundary, inst.zone,
+                             f"rate={inst.billing.rate:.3f}")
+                        )
+                if is_computing:
+                    cs = inst.computed_s
+                    if cs.is_integer():
+                        inst.computed_s = cs + k * dt
+                    else:
+                        for _ in range(k):
+                            cs += dt
+                        inst.computed_s = cs
+                else:
+                    ph = inst.phase_remaining_s
+                    if ph.is_integer():
+                        inst.phase_remaining_s = ph - k * dt
+                    else:
+                        for _ in range(k):
+                            ph -= dt
+                        inst.phase_remaining_s = ph
+            if entries:
+                entries.sort(key=lambda e: (e[0], e[1]))
+                for _, _, boundary, zone, detail in entries:
+                    state.log(boundary, "hour-rolled", zone, detail)
+            return t + k * dt
+        for _ in range(k):
+            for inst, is_computing in accruing:
+                while inst.billing.hour_end() <= t + 1e-6:
+                    boundary = inst.billing.hour_end()
+                    inst.billing.roll_hour(self.oracle.price(inst.zone, boundary))
+                    state.log(boundary, "hour-rolled", inst.zone,
+                              f"rate={inst.billing.rate:.3f}")
+                if is_computing:
+                    inst.computed_s += dt
+                else:
+                    inst.phase_remaining_s -= dt
+            t += dt
+        return t
+
     # -- helpers -----------------------------------------------------------
 
     def _snapshot(self, state: "_RunState", t: float) -> None:
@@ -647,6 +945,12 @@ class _RunState:
     timeline: list[TimelinePoint] = field(default_factory=list)
     deadline_schedule: DeadlineSchedule | None = None
     performance: PerformanceProfile | None = None
+    # fast-path scratch: per-zone trace objects (shared grid), a cache of
+    # next-crossing indices keyed (zone, threshold), and a reusable
+    # PolicyContext for the per-stretch fast_forward_until hook.
+    zone_traces: dict = field(default_factory=dict)
+    next_crossing: dict = field(default_factory=dict)
+    fast_ctx: PolicyContext | None = None
 
     def log(self, time: float, kind: str, zone: str | None, detail: str = "") -> None:
         if self.record:

@@ -35,6 +35,7 @@ class LargeBidPolicy(CheckpointPolicy):
     """Bid high, control cost with a release threshold L."""
 
     name = "large-bid"
+    reschedule_is_noop = True
     # B = $100 cannot be outbid by the market (max observed $20.02),
     # so a running instance's progress is as safe as a checkpoint.
     trust_speculative = True
@@ -100,6 +101,46 @@ class LargeBidPolicy(CheckpointPolicy):
 
     def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
         """No-op: the only trigger is the threshold-at-hour-end rule."""
+
+    def start_price_threshold(self, bid: float) -> float:
+        """Re-acquisition is gated on L, not on the (huge) bid."""
+        return self.control_threshold
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        """Earliest tick at which S > L and the open hour has <= t_c left.
+
+        Both conditions must hold simultaneously, so the later of their
+        individual first-satisfaction times is a valid bound; price
+        movements come from the trace's cached L-crossing index.  Naive
+        (no L) never checkpoints at all.
+        """
+        if self.threshold is None:
+            return math.inf
+        from repro.market.instance import ZoneState
+
+        bound = math.inf
+        for zone, inst in ctx.instances.items():
+            if zone not in ctx.zones or inst.state is not ZoneState.COMPUTING:
+                continue
+            meter = inst.billing
+            if not meter.is_open:
+                continue
+            if (zone, meter.hour_start) in self._released_hours:
+                # latched: nothing can fire before the hour rolls
+                bound = min(bound, meter.hour_end())
+                continue
+            z = ctx.oracle.trace.zone(zone)
+            i = z.index_at(ctx.now)
+            if float(z.prices[i]) > self.threshold:
+                over_at = ctx.now
+            else:
+                j = z.next_threshold_crossing(i, self.threshold)
+                over_at = z.start_time + j * z.interval_s
+            bound = min(
+                bound,
+                max(over_at, meter.hour_end() - ctx.config.ckpt_cost_s),
+            )
+        return bound
 
 
 def naive_policy() -> LargeBidPolicy:

@@ -103,3 +103,10 @@ class MarkovDalyPolicy(CheckpointPolicy):
             self.schedule_next_checkpoint(ctx)
             return False
         return True
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        """The armed T_s: :meth:`checkpoint_due` is False (and performs
+        no oracle queries) strictly before it."""
+        if self._next_checkpoint_at is None:
+            return ctx.now
+        return self._next_checkpoint_at - 1e-6

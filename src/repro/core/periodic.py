@@ -11,13 +11,14 @@ has exactly ``t_c`` seconds left, at most once per billing hour.
 from __future__ import annotations
 
 from repro.core.policy import CheckpointPolicy, PolicyContext
-from repro.market.instance import ZoneInstance
+from repro.market.instance import ZoneInstance, ZoneState
 
 
 class PeriodicPolicy(CheckpointPolicy):
     """Hour-boundary checkpointing (Yi et al.'s scheme, generalized to N zones)."""
 
     name = "periodic"
+    reschedule_is_noop = True
 
     def __init__(self) -> None:
         self._done_hours: set[tuple[str, float]] = set()
@@ -50,3 +51,24 @@ class PeriodicPolicy(CheckpointPolicy):
 
     def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
         """No-op: the schedule is implied by the billing-hour clock."""
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        """Next ``hour_end - t_c`` of any computing zone's open hour.
+
+        A zone whose current hour is already latched cannot fire again
+        until the hour rolls, so its bound moves one billing hour out.
+        No oracle queries are involved, so the fast path may jump here
+        freely.
+        """
+        bound = float("inf")
+        for zone, inst in ctx.instances.items():
+            if zone not in ctx.zones or inst.state is not ZoneState.COMPUTING:
+                continue
+            meter = inst.billing
+            if not meter.is_open:
+                continue
+            due_at = meter.hour_end() - ctx.config.ckpt_cost_s
+            if (zone, meter.hour_start) in self._done_hours:
+                due_at += 3600.0
+            bound = min(bound, due_at)
+        return bound

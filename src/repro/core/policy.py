@@ -15,6 +15,7 @@ Algorithm 1), and queries :meth:`checkpoint_due` each tick.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 
 from repro.app.application import ApplicationRun
@@ -84,6 +85,14 @@ class CheckpointPolicy(abc.ABC):
     def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
         """``CheckpointCondition()`` — should the leader checkpoint now?"""
 
+    #: True when :meth:`schedule_next_checkpoint` is a no-op.  The fast
+    #: path then treats the tick after a commit as skippable (its only
+    #: effect would be dropping the just-committed flag) whenever no
+    #: zone is waiting to restart.  Policies that do real re-arming
+    #: work (Markov-Daly) must leave this False so that work happens on
+    #: a full tick at the exact post-commit instant.
+    reschedule_is_noop: bool = False
+
     def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
         """``ScheduleNextCheckpoint()`` — (re)arm the policy's timer.
 
@@ -91,6 +100,37 @@ class CheckpointPolicy(abc.ABC):
         checkpoint.  Policies that react instantaneously to prices
         (Edge, Threshold) leave this a no-op.
         """
+
+    # -- fast-path hooks ---------------------------------------------------
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        """Earliest future time at which :meth:`checkpoint_due` could
+        first return True, assuming no market, billing, guard or
+        controller event occurs in between.
+
+        The engine's segment-skipping fast path uses this to jump over
+        ticks where the policy provably stays idle.  Returning
+        ``ctx.now`` (the default) disables skipping for this policy —
+        always safe; returning ``math.inf`` declares the policy will
+        never fire on its own.  Implementations must be *no later* than
+        the first possible trigger and must perform exactly the oracle
+        queries the tick engine's ``checkpoint_due`` would perform at
+        ``ctx.now`` (and no others), so time-bucketed statistic caches
+        seed at identical instants under both engines.
+        """
+        return ctx.now
+
+    def start_price_threshold(self, bid: float) -> float:
+        """Price level at or below which :meth:`eligible_to_start`
+        holds, as a pure threshold.
+
+        The fast path derives "no market transition can occur" windows
+        from crossings of ``min(bid, start_price_threshold(bid))``.  A
+        policy that overrides :meth:`eligible_to_start` with anything
+        richer than a price comparison must override this consistently
+        (or leave :meth:`fast_forward_until` at its no-skip default).
+        """
+        return bid
 
     # -- Large-bid style hooks (default behaviour = plain Algorithm 1) ----
 
@@ -118,6 +158,10 @@ class NeverCheckpoint(CheckpointPolicy):
     """
 
     name = "never"
+    reschedule_is_noop = True
 
     def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
         return False
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        return math.inf

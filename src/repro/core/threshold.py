@@ -19,6 +19,8 @@ evaluated instantaneously.
 
 from __future__ import annotations
 
+import math
+
 from repro.core.policy import CheckpointPolicy, PolicyContext
 from repro.market.instance import ZoneInstance, ZoneState
 
@@ -27,6 +29,7 @@ class ThresholdPolicy(CheckpointPolicy):
     """Two-threshold checkpoint scheduling (price + execution time)."""
 
     name = "threshold"
+    reschedule_is_noop = True
 
     def price_threshold(self, ctx: PolicyContext, zone: str) -> float:
         """``(S_min + B) / 2`` with S_min from the trailing history."""
@@ -64,3 +67,58 @@ class ThresholdPolicy(CheckpointPolicy):
 
     def schedule_next_checkpoint(self, ctx: PolicyContext) -> None:
         """No-op: thresholds are evaluated from current state."""
+
+    def fast_forward_until(self, ctx: PolicyContext) -> float:
+        """Earliest possible trigger: the next rising edge or the next
+        time-threshold expiry.
+
+        This mirrors :meth:`checkpoint_due`'s evaluation at ``ctx.now``
+        — same zone order, same ``threshold_stats`` calls, same early
+        return on a trigger.  ``TimeThresh`` is refreshed every hour
+        bucket, but the oracle anchors each bucket's statistics at the
+        bucket boundary, so future buckets' thresholds are computable
+        *now*: the expiry scan walks bucket by bucket up to the next
+        rising edge (where the engine stops anyway) instead of clamping
+        every skip to the current hour.
+        """
+        leader = ctx.leader()
+        if leader is None:
+            return ctx.now
+        if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:
+            # checkpoint_due short-circuits before any oracle query
+            return ctx.now
+        oracle = ctx.oracle
+        bound = math.inf
+        for zone, inst in ctx.instances.items():
+            if zone not in ctx.zones or inst.state is not ZoneState.COMPUTING:
+                continue
+            s_min, time_thresh = oracle.threshold_stats(
+                zone, ctx.now, ctx.bid
+            )
+            z = oracle.trace.zone(zone)
+            i = z.index_at(ctx.now)
+            if z.is_rising_edge_at(i) and float(z.prices[i]) >= 0.5 * (
+                s_min + ctx.bid
+            ):
+                return ctx.now  # checkpoint_due returns True right here
+            exec_time = inst.execution_time_at_bid(ctx.now)
+            if time_thresh > 0 and exec_time > time_thresh:
+                return ctx.now
+            j = z.next_rising_edge(i)
+            edge_t = z.start_time + j * z.interval_s
+            zone_bound = edge_t
+            cs = inst.computing_since
+            if cs is not None:
+                bucket_start = math.floor(ctx.now / 3600.0) * 3600.0
+                thresh = time_thresh
+                while True:
+                    bucket_end = bucket_start + 3600.0
+                    if thresh > 0 and cs + thresh < min(bucket_end, edge_t):
+                        zone_bound = max(cs + thresh, bucket_start)
+                        break
+                    if bucket_end >= edge_t:
+                        break
+                    bucket_start = bucket_end
+                    thresh = oracle.mean_up_run(zone, bucket_start, ctx.bid)
+            bound = min(bound, zone_bound)
+        return bound

@@ -189,6 +189,7 @@ def optimal_policy_table(
     bids: Sequence[float] = FIGURE_BIDS,
     include_redundant: bool = True,
     workers: int = 1,
+    engine_mode: str = "fast",
 ) -> list[dict]:
     """Tables 2/3: the least-median-cost (policy, bid) per quadrant.
 
@@ -201,7 +202,8 @@ def optimal_policy_table(
     rows = []
     for window, slack in QUADRANTS:
         with ExperimentRunner(window, num_experiments=num_experiments,
-                              seed=seed, workers=workers) as runner:
+                              seed=seed, workers=workers,
+                              engine_mode=engine_mode) as runner:
             config = paper_experiment(slack_fraction=slack, ckpt_cost_s=ckpt_cost_s)
             candidates: dict[str, BoxplotStats] = {}
             for bid in bids:
@@ -226,19 +228,21 @@ def optimal_policy_table(
 
 
 def table2(
-    num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1
+    num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1,
+    engine_mode: str = "fast",
 ) -> list[dict]:
     """Table 2: optimal policies at t_c = 300 s."""
     return optimal_policy_table(CKPT_COST_LOW_S, num_experiments, seed,
-                                workers=workers)
+                                workers=workers, engine_mode=engine_mode)
 
 
 def table3(
-    num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1
+    num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1,
+    engine_mode: str = "fast",
 ) -> list[dict]:
     """Table 3: optimal policies at t_c = 900 s."""
     return optimal_policy_table(CKPT_COST_HIGH_S, num_experiments, seed,
-                                workers=workers)
+                                workers=workers, engine_mode=engine_mode)
 
 
 # ----------------------------------------------------------------------
@@ -268,13 +272,15 @@ def fig5_quadrant(
 
 
 def fig5_all(
-    num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1
+    num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1,
+    engine_mode: str = "fast",
 ) -> dict[tuple[str, float, float], list[PolicyCell]]:
     """All eight plots of Figure 5 keyed by (window, slack, t_c)."""
     out: dict[tuple[str, float, float], list[PolicyCell]] = {}
     for window, slack in QUADRANTS:
         with ExperimentRunner(window, num_experiments=num_experiments,
-                              seed=seed, workers=workers) as runner:
+                              seed=seed, workers=workers,
+                              engine_mode=engine_mode) as runner:
             for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
                 out[(window, slack, tc)] = fig5_quadrant(runner, slack, tc)
     return out
@@ -315,7 +321,8 @@ def fig6_panel(
 # ----------------------------------------------------------------------
 
 def headline_claims(
-    num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1
+    num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1,
+    engine_mode: str = "fast",
 ) -> dict:
     """The abstract's three quantitative claims, measured.
 
@@ -331,7 +338,8 @@ def headline_claims(
     worst_ratio = 0.0
     for window, slack in QUADRANTS:
         with ExperimentRunner(window, num_experiments=num_experiments,
-                              seed=seed, workers=workers) as runner:
+                              seed=seed, workers=workers,
+                              engine_mode=engine_mode) as runner:
             for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
                 config = paper_experiment(slack_fraction=slack, ckpt_cost_s=tc)
                 adaptive = box(runner.run_adaptive(config))

@@ -47,7 +47,11 @@ _WORKER_RUNNER: ExperimentRunner | None = None
 
 
 def _init_worker(
-    window: str, num_experiments: int, seed: int, queue_model: QueueDelayModel
+    window: str,
+    num_experiments: int,
+    seed: int,
+    queue_model: QueueDelayModel,
+    engine_mode: str = "fast",
 ) -> None:
     """Build this worker's trace + oracle once; all cells share them."""
     global _WORKER_RUNNER
@@ -57,6 +61,7 @@ def _init_worker(
         seed=seed,
         queue_model=queue_model,
         workers=1,
+        engine_mode=engine_mode,
     )
 
 
@@ -81,6 +86,7 @@ class SweepExecutor:
     seed: int = DEFAULT_SEED
     workers: int = 2
     queue_model: QueueDelayModel = field(default_factory=QueueDelayModel)
+    engine_mode: str = "fast"
     _pool: ProcessPoolExecutor | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -97,6 +103,7 @@ class SweepExecutor:
                     self.num_experiments,
                     self.seed,
                     self.queue_model,
+                    self.engine_mode,
                 ),
             )
         return self._pool

@@ -99,6 +99,10 @@ class ExperimentRunner:
         serially in-process; N > 1 fans the per-start cells out over a
         process pool (see :mod:`repro.experiments.parallel`) with
         bit-identical results.
+    engine_mode:
+        ``"fast"`` (default) uses the engine's segment-skipping
+        scheduler; ``"tick"`` forces the reference tick-by-tick loop
+        (for debugging — results are bit-identical either way).
     """
 
     window: str
@@ -106,6 +110,7 @@ class ExperimentRunner:
     seed: int = DEFAULT_SEED
     queue_model: QueueDelayModel = field(default_factory=QueueDelayModel)
     workers: int = 1
+    engine_mode: str = "fast"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -129,6 +134,7 @@ class ExperimentRunner:
             seed=self.seed,
             queue_model=self.queue_model,
             workers=workers,
+            engine_mode=self.engine_mode,
         )
 
     @property
@@ -143,6 +149,7 @@ class ExperimentRunner:
                 seed=self.seed,
                 workers=self.workers,
                 queue_model=self.queue_model,
+                engine_mode=self.engine_mode,
             )
         return self._executor
 
@@ -181,7 +188,8 @@ class ExperimentRunner:
             )
         )
         return SpotSimulator(
-            oracle=self.oracle, queue_model=self.queue_model, rng=rng
+            oracle=self.oracle, queue_model=self.queue_model, rng=rng,
+            engine_mode=self.engine_mode,
         )
 
     # -- cell execution ----------------------------------------------------

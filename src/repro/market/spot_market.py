@@ -75,8 +75,13 @@ class PriceOracle:
         return float(z.prices[max(i - 1, 0)])
 
     def is_rising_edge(self, zone: str, t: float) -> bool:
-        """True when the price moved upward at the sample covering ``t``."""
-        return self.price(zone, t) > self.previous_price(zone, t)
+        """True when the price moved upward at the sample covering ``t``.
+
+        Served from the trace's cached rising-edge mask (one diff per
+        trace) instead of two price lookups per query.
+        """
+        z = self.trace.zone(zone)
+        return z.is_rising_edge_at(z.index_at(t))
 
     def _history_span(self, zone: str, t: float) -> tuple[int, int]:
         """Sample index range ``[i0, i1)`` of the trailing history."""
@@ -120,13 +125,26 @@ class PriceOracle:
     def _bucket(self, t: float) -> int:
         return int(t // 3600.0)
 
+    def _anchor(self, t: float) -> float:
+        """Measurement time of the hourly statistics: the bucket start.
+
+        Anchoring the history window at the bucket boundary (instead of
+        whatever tick happened to query first) makes every bucket-keyed
+        cache entry a pure function of ``(zone, bucket)`` — the value no
+        longer depends on query order, so sweep workers, the Adaptive
+        grid, and both engine modes can seed the caches in any order
+        and still agree bit for bit.
+        """
+        return int(t // 3600.0) * 3600.0
+
     def markov_model(self, zone: str, t: float) -> PriceMarkovModel:
         """Markov chain fitted on the trailing history, hourly refreshed."""
         key = (zone, self._bucket(t))
         model = self._markov_cache.get(key)
         if model is None:
             model = PriceMarkovModel.fit(
-                self.history(zone, t), current_price=self.price(zone, t)
+                self.history(zone, self._anchor(t)),
+                current_price=self.price(zone, t),
             )
             self._markov_cache[key] = model
         return model
@@ -148,7 +166,7 @@ class PriceOracle:
         refit = self._refit_cache.get(key)
         if refit is None:
             refit = PriceMarkovModel.fit(
-                self.history(zone, t), current_price=level
+                self.history(zone, self._anchor(t)), current_price=level
             )
             self._refit_cache[key] = refit
         return refit
@@ -225,7 +243,7 @@ class PriceOracle:
         key = (zone, self._bucket(t), round(bid, 4))
         value = self._uprun_cache.get(key)
         if value is None:
-            hist = self.history(zone, t)
+            hist = self.history(zone, self._anchor(t))
             zt = ZoneTrace(zone=zone, start_time=0.0, prices=hist,
                            interval_s=SAMPLE_INTERVAL_S)
             value = mean_up_run_s(zt, bid)

@@ -46,6 +46,13 @@ class ZoneTrace:
     start_time: float
     prices: np.ndarray
     interval_s: int = SAMPLE_INTERVAL_S
+    #: Memoized derived arrays (rising edges, per-threshold crossing
+    #: indices).  Prices are immutable, so these never invalidate; the
+    #: cache is excluded from equality/repr and shared by every
+    #: consumer of the trace object — the engine's segment-skipping
+    #: fast path, the Edge/Threshold policies, and all sweep workers
+    #: holding the same trace.
+    _derived: dict = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         prices = np.asarray(self.prices, dtype=np.float64)
@@ -61,6 +68,7 @@ class ZoneTrace:
             raise TraceError(f"interval_s must be positive, got {self.interval_s}")
         prices.setflags(write=False)
         object.__setattr__(self, "prices", prices)
+        object.__setattr__(self, "_derived", {})
 
     # -- basic geometry ------------------------------------------------
 
@@ -145,9 +153,57 @@ class ZoneTrace:
         """Indices ``i`` where ``prices[i] > prices[i-1]`` (upward movements).
 
         The Rising Edge policy (Section 4.3) checkpoints at exactly
-        these samples.
+        these samples.  Computed once per trace; every policy
+        invocation shares the cached diff.
         """
-        return np.flatnonzero(np.diff(self.prices) > 0) + 1
+        edges = self._derived.get("rising_edges")
+        if edges is None:
+            edges = np.flatnonzero(np.diff(self.prices) > 0) + 1
+            edges.setflags(write=False)
+            self._derived["rising_edges"] = edges
+        return edges
+
+    def is_rising_edge_at(self, i: int) -> bool:
+        """Did the price move upward at sample ``i``?  (``i=0`` is False:
+        there is no earlier sample, matching the oracle's clamp.)"""
+        mask = self._derived.get("rising_mask")
+        if mask is None:
+            mask = np.zeros(len(self), dtype=bool)
+            mask[self.rising_edges()] = True
+            mask.setflags(write=False)
+            self._derived["rising_mask"] = mask
+        return bool(mask[i])
+
+    def next_rising_edge(self, i: int) -> int:
+        """Smallest rising-edge index strictly greater than ``i``
+        (``len(self)`` when no further edge exists)."""
+        edges = self.rising_edges()
+        j = int(np.searchsorted(edges, i, side="right"))
+        return int(edges[j]) if j < edges.size else len(self)
+
+    def threshold_crossings(self, theta: float) -> np.ndarray:
+        """Sample indices where ``prices <= theta`` flips truth value.
+
+        The run-length encoding of the zone's availability at bid (or
+        control threshold) ``theta``: index ``k`` in the returned array
+        is the first sample of a new up- or down-segment.  Cached per
+        ``theta`` — the engine's fast path, Adaptive rollouts and sweep
+        workers all share one index per (trace, threshold).
+        """
+        key = ("crossings", float(theta))
+        crossings = self._derived.get(key)
+        if crossings is None:
+            crossings = np.flatnonzero(np.diff(self.prices <= theta)) + 1
+            crossings.setflags(write=False)
+            self._derived[key] = crossings
+        return crossings
+
+    def next_threshold_crossing(self, i: int, theta: float) -> int:
+        """Smallest index > ``i`` where ``prices <= theta`` flips
+        (``len(self)`` when the segment runs to the end of the trace)."""
+        crossings = self.threshold_crossings(theta)
+        j = int(np.searchsorted(crossings, i, side="right"))
+        return int(crossings[j]) if j < crossings.size else len(self)
 
     def distinct_prices(self) -> np.ndarray:
         """Sorted unique price levels; the Markov model's state space."""
@@ -165,6 +221,7 @@ class SpotPriceTrace:
 
     zones: tuple[ZoneTrace, ...]
     _by_name: Mapping[str, ZoneTrace] = field(init=False, repr=False, compare=False)
+    _matrix: np.ndarray | None = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.zones:
@@ -182,6 +239,7 @@ class SpotPriceTrace:
             raise TraceError(f"duplicate zone names: {names}")
         object.__setattr__(self, "zones", tuple(self.zones))
         object.__setattr__(self, "_by_name", {z.zone: z for z in self.zones})
+        object.__setattr__(self, "_matrix", None)
 
     # -- construction helpers ---------------------------------------------
 
@@ -240,8 +298,17 @@ class SpotPriceTrace:
             raise TraceError(f"unknown zone {name!r}; have {self.zone_names}") from None
 
     def matrix(self) -> np.ndarray:
-        """Prices as a ``(num_zones, num_samples)`` array (read-only views)."""
-        return np.vstack([z.prices for z in self.zones])
+        """Prices as a ``(num_zones, num_samples)`` read-only array.
+
+        Memoized: ``prices_at`` / availability reductions and the
+        figures call this repeatedly, and re-``vstack``-ing a month of
+        samples per call dominated their runtime.
+        """
+        if self._matrix is None:
+            stacked = np.vstack([z.prices for z in self.zones])
+            stacked.setflags(write=False)
+            object.__setattr__(self, "_matrix", stacked)
+        return self._matrix
 
     # -- slicing ----------------------------------------------------------
 

@@ -98,18 +98,19 @@ class TestCaching:
     def test_refit_memoized_within_bucket(self):
         from repro.traces.model import SpotPriceTrace
 
-        # Price leaves the bucket-model's initial level mid-hour, so
-        # the uptime query must re-condition the chain on the new level
-        # — and must do so exactly once per (bucket, level).
+        # The bucket model is anchored at the bucket boundary (price
+        # 0.3 here), so an uptime query at the mid-hour level 0.5 must
+        # re-condition the chain on the new level — and must do so
+        # exactly once per (bucket, level).
         prices = [0.3] * 4 + [0.5] * 4 + [0.3] * 16
         trace = SpotPriceTrace.from_arrays(0.0, {"za": np.array(prices)})
         oracle = PriceOracle(trace, history_s=1200)
 
-        oracle.expected_uptime("za", 1500.0, 0.81)  # price 0.5 = initial
+        oracle.expected_uptime("za", 900.0, 0.81)  # price 0.3 = anchor level
         assert len(oracle._refit_cache) == 0
-        first = oracle.expected_uptime("za", 2700.0, 0.81)  # price 0.3
+        first = oracle.expected_uptime("za", 1500.0, 0.81)  # price 0.5
         assert len(oracle._refit_cache) == 1
-        again = oracle.expected_uptime("za", 3000.0, 0.81)  # still 0.3
+        again = oracle.expected_uptime("za", 2000.0, 0.81)  # still 0.5
         assert len(oracle._refit_cache) == 1  # memoized, not refit
         assert again == first
 
