@@ -14,6 +14,7 @@ and several diagnostics want to inspect progress over time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 class CheckpointError(RuntimeError):
@@ -34,6 +35,12 @@ class CheckpointStore:
     """Monotonic store of committed application progress."""
 
     records: list[CheckpointRecord] = field(default_factory=list)
+    #: Optional audit hook, called as ``observer(record, previous)``
+    #: after every successful commit (``previous`` is the committed
+    #: progress the store held before this record).
+    observer: Callable[[CheckpointRecord, float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def committed_progress_s(self) -> float:
@@ -63,8 +70,11 @@ class CheckpointStore:
             raise CheckpointError(
                 f"commit time regression: {time} < {self.records[-1].time}"
             )
+        previous = self.committed_progress_s
         record = CheckpointRecord(time=time, progress_s=progress_s, zone=zone)
         self.records.append(record)
+        if self.observer is not None:
+            self.observer(record, previous)
         return record
 
     def progress_at(self, time: float) -> float:

@@ -1,0 +1,259 @@
+"""The engine-facing audit façade.
+
+One :class:`RunAuditor` serves many runs sequentially (a whole sweep
+worker's worth): the engine calls :meth:`begin_run` / :meth:`finish_run`
+around each experiment and the cheap per-occurrence hooks in between.
+The auditor fans everything out to a sink (tracing), the
+:class:`~repro.audit.invariants.InvariantChecker` (validation) and
+:class:`~repro.audit.events.RunCounters` (metrics), and aggregates
+violations and counters across runs so sweep harnesses can report one
+:class:`AuditReport` at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.audit.events import AuditEvent, RunCounters
+from repro.audit.invariants import (
+    EPS,
+    InvariantChecker,
+    InvariantError,
+    InvariantViolation,
+)
+from repro.audit.sink import AuditSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.app.checkpoint import CheckpointRecord, CheckpointStore
+    from repro.app.workload import ExperimentConfig
+    from repro.core.engine import RunResult
+    from repro.market.instance import ZoneInstance, ZoneState
+
+
+@dataclass
+class AuditReport:
+    """Aggregated audit outcome of one or more runs."""
+
+    violations: list[InvariantViolation] = field(default_factory=list)
+    counters: RunCounters = field(default_factory=RunCounters)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "AuditReport") -> None:
+        self.violations.extend(other.violations)
+        self.counters.add(other.counters)
+
+    def summary_lines(self) -> list[str]:
+        c = self.counters
+        lines = [
+            f"audit: {c.runs} runs, {len(self.violations)} invariant "
+            f"violations, {c.events} events",
+            f"audit: {c.ticks} ticks executed, {c.ticks_skipped} skipped "
+            f"in {c.segments} segments, {c.commits} commits, "
+            f"{c.restores} restores, {c.transitions} transitions",
+        ]
+        if c.crossing_cache_hits or c.crossing_cache_misses:
+            lines.append(
+                f"audit: crossing cache {c.crossing_cache_hits} hits / "
+                f"{c.crossing_cache_misses} misses"
+            )
+        if c.decisions:
+            lines.append(
+                f"audit: {c.decisions} controller decisions, "
+                f"{c.mean_decision_latency_s * 1e6:.0f}us mean latency"
+            )
+        for v in self.violations[:20]:
+            lines.append(f"audit: VIOLATION {v}")
+        if len(self.violations) > 20:
+            lines.append(f"audit: ... and {len(self.violations) - 20} more")
+        return lines
+
+
+class RunAuditor:
+    """Streams one simulator's runs into a sink + invariant checker.
+
+    Parameters
+    ----------
+    sink:
+        Where structured events go (``None`` = validate only).
+    strict:
+        Raise :class:`InvariantError` at the end of any run that
+        violated an invariant (after recording and emitting it).
+    """
+
+    def __init__(self, sink: AuditSink | None = None, strict: bool = False) -> None:
+        self.sink = sink
+        self.strict = strict
+        self.checker = InvariantChecker()
+        #: Counters of the run in flight (reset by :meth:`begin_run`).
+        self.counters = RunCounters()
+        #: Aggregate over all finished, undrained runs.
+        self.totals = RunCounters()
+        #: Violations of all finished, undrained runs.
+        self.violations: list[InvariantViolation] = []
+        self._run = 0
+        self._seq = 0
+        self._mark = 0
+
+    # -- run lifecycle -----------------------------------------------------
+
+    def begin_run(
+        self,
+        *,
+        policy_name: str,
+        bid: float,
+        zones: tuple[str, ...],
+        start_time: float,
+        deadline: float,
+        engine_mode: str,
+        config: "ExperimentConfig",
+        store: "CheckpointStore",
+        instances: dict[str, "ZoneInstance"],
+    ) -> None:
+        self._run += 1
+        self._seq = 0
+        self.counters = RunCounters(runs=1)
+        self.checker.begin_run(
+            config=config,
+            deadline=deadline,
+            store=store,
+            instances=instances,
+            start_time=start_time,
+        )
+        self._mark = len(self.checker.violations)
+        store.observer = self._on_commit
+        for inst in instances.values():
+            inst.observer = self._on_transition
+        self.event(
+            start_time,
+            "run-start",
+            None,
+            f"policy={policy_name} B={bid:.2f} N={len(zones)}",
+            policy=policy_name,
+            bid=bid,
+            zones=",".join(zones),
+            deadline=deadline,
+            engine_mode=engine_mode,
+        )
+
+    def finish_run(self, result: "RunResult") -> "RunResult":
+        """Run-end validation; returns ``result`` unchanged.
+
+        In strict mode raises :class:`InvariantError` after recording
+        and emitting every violation.
+        """
+        self.checker.finish(result)
+        fresh = self.checker.violations[self._mark:]
+        self._mark = len(self.checker.violations)
+        for v in fresh:
+            self.event(v.time, "violation", v.zone, v.message,
+                       invariant=v.invariant)
+        if (
+            result.finish_time > result.deadline + EPS
+            and self.checker.deadline_contracted
+        ):
+            self.event(
+                result.finish_time, "infeasible-deadline", None,
+                f"deadline contracted below feasibility; finished "
+                f"{result.finish_time - result.deadline:.0f}s late",
+            )
+        self.counters.violations += len(fresh)
+        self.event(
+            result.finish_time, "run-end", None,
+            f"completed_on={result.completed_on} cost={result.total_cost:.2f}",
+            **self.counters.as_dict(),
+        )
+        if self.sink is not None:
+            self.sink.flush()
+        self.violations.extend(fresh)
+        self.totals.add(self.counters)
+        if self.strict and fresh:
+            raise InvariantError(
+                f"{len(fresh)} invariant violation(s) in audited run "
+                f"{self._run}: " + "; ".join(str(v) for v in fresh)
+            )
+        return result
+
+    def drain(self) -> AuditReport:
+        """Hand off (and clear) accumulated violations and counters."""
+        report = AuditReport(
+            violations=list(self.violations), counters=replace(self.totals)
+        )
+        self.violations.clear()
+        self.totals = RunCounters()
+        return report
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+    # -- engine hooks (hot; all O(1) except tick's small state scan) -------
+
+    def event(
+        self,
+        time: float,
+        kind: str,
+        zone: str | None,
+        detail: str = "",
+        **data: object,
+    ) -> None:
+        """Record one structured event."""
+        self.counters.events += 1
+        if self.sink is not None:
+            self.sink.emit(
+                AuditEvent(
+                    run=self._run,
+                    seq=self._seq,
+                    time=time,
+                    kind=kind,
+                    zone=zone,
+                    detail=detail,
+                    data=tuple(sorted(data.items())),
+                )
+            )
+        self._seq += 1
+
+    def tick(self, t: float) -> None:
+        self.counters.ticks += 1
+        self.checker.tick(t)
+
+    def segment(self, t_end: float, k: int) -> None:
+        """The fast path skipped ``k`` ticks, landing at ``t_end``."""
+        self.counters.segments += 1
+        self.counters.ticks_skipped += k
+
+    def crossing_cache(self, hit: bool) -> None:
+        if hit:
+            self.counters.crossing_cache_hits += 1
+        else:
+            self.counters.crossing_cache_misses += 1
+
+    def decision_begin(self) -> float:
+        return perf_counter()
+
+    def decision_end(self, started: float) -> None:
+        self.counters.decisions += 1
+        self.counters.decision_time_s += perf_counter() - started
+
+    def deadline_changed(self, t: float, old: float, new: float) -> None:
+        self.checker.deadline_changed(t, old, new)
+
+    def restore(self, zone: str, t: float, from_progress_s: float) -> None:
+        self.counters.restores += 1
+        self.checker.restore(zone, t, from_progress_s)
+
+    # -- observer callbacks -------------------------------------------------
+
+    def _on_commit(self, record: "CheckpointRecord", previous_progress_s: float) -> None:
+        self.counters.commits += 1
+        self.checker.commit(record, previous_progress_s)
+
+    def _on_transition(self, zone: str, old: "ZoneState", new: "ZoneState") -> None:
+        self.counters.transitions += 1
+        self.checker.transition(zone, old, new)
+        self.event(self.checker.now, "transition", zone,
+                   f"{old.value}->{new.value}")

@@ -1,0 +1,195 @@
+"""Differential replay: fast vs. tick engines, diffed field by field.
+
+The segment-skipping engine promises results *bit-identical* to the
+reference tick loop.  This module turns that promise into a reusable
+check: :func:`differential_run` executes one configuration under both
+engine modes — fresh oracle, policy, RNG and auditor per mode, so each
+engine seeds every cache through its own query pattern — and diffs
+
+* every scalar field of the two :class:`~repro.core.engine.RunResult`
+  objects, and
+* the two audited event streams, position by position and field by
+  field (meta events excluded: ``run-end`` counters legitimately
+  differ — that is the point of the fast path).
+
+A non-empty report pinpoints the first divergent event, which is the
+fastest way to localize a fast-path bug: the divergence names the
+simulation time, zone and event kind where the engines disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.audit.auditor import AuditReport, RunAuditor
+from repro.audit.events import META_KINDS, AuditEvent
+from repro.audit.sink import MemorySink
+
+#: Cap on reported diffs; past the first few, more add noise not signal.
+MAX_DIFFS = 50
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One disagreement between the two engines."""
+
+    where: str  # "result" or "event[<index>]"
+    field: str
+    fast: object
+    tick: object
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.where}.{self.field}: fast={self.fast!r} tick={self.tick!r}"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one fast-vs-tick differential replay."""
+
+    result_diffs: list[FieldDiff] = field(default_factory=list)
+    event_diffs: list[FieldDiff] = field(default_factory=list)
+    fast_audit: AuditReport = field(default_factory=AuditReport)
+    tick_audit: AuditReport = field(default_factory=AuditReport)
+    fast_result: object = None
+    tick_result: object = None
+
+    @property
+    def identical(self) -> bool:
+        return not self.result_diffs and not self.event_diffs
+
+    @property
+    def ok(self) -> bool:
+        """Identical streams *and* zero invariant violations either side."""
+        return self.identical and self.fast_audit.ok and self.tick_audit.ok
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        if self.identical:
+            lines.append("differential: engines agree on every field")
+        else:
+            lines.append(
+                f"differential: {len(self.result_diffs)} result field diffs, "
+                f"{len(self.event_diffs)} event diffs"
+            )
+            for d in (self.result_diffs + self.event_diffs)[:MAX_DIFFS]:
+                lines.append(f"differential: {d}")
+        for name, audit in (("fast", self.fast_audit), ("tick", self.tick_audit)):
+            if not audit.ok:
+                lines.append(
+                    f"differential: {name} engine reported "
+                    f"{len(audit.violations)} invariant violations"
+                )
+        return lines
+
+
+def _comparable(events: Sequence[AuditEvent]) -> list[AuditEvent]:
+    """Engine-originated events only (meta kinds carry mode-dependent data)."""
+    return [e for e in events if e.kind not in META_KINDS]
+
+
+def diff_event_streams(
+    fast_events: Sequence[AuditEvent],
+    tick_events: Sequence[AuditEvent],
+) -> list[FieldDiff]:
+    """Positional, field-by-field diff of two audited event streams.
+
+    ``seq`` and ``run`` are excluded: they number the streams, they are
+    not simulation content, and one early insertion would otherwise
+    cascade into a diff at every later event.
+    """
+    a, b = _comparable(fast_events), _comparable(tick_events)
+    diffs: list[FieldDiff] = []
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        for name in ("time", "kind", "zone", "detail", "data"):
+            va, vb = getattr(ea, name), getattr(eb, name)
+            if va != vb:
+                diffs.append(FieldDiff(f"event[{i}]", name, va, vb))
+                if len(diffs) >= MAX_DIFFS:
+                    return diffs
+    if len(a) != len(b):
+        diffs.append(FieldDiff("event-stream", "length", len(a), len(b)))
+        longer, label = (a, "fast") if len(a) > len(b) else (b, "tick")
+        extra = longer[min(len(a), len(b))]
+        diffs.append(
+            FieldDiff(f"event[{min(len(a), len(b))}]", "only-in-" + label,
+                      extra.kind, extra.detail)
+        )
+    return diffs
+
+
+def diff_results(fast_result, tick_result) -> list[FieldDiff]:
+    """Field-by-field diff of two RunResults (event logs included)."""
+    diffs: list[FieldDiff] = []
+    for f in fields(fast_result):
+        va, vb = getattr(fast_result, f.name), getattr(tick_result, f.name)
+        if va != vb:
+            diffs.append(FieldDiff("result", f.name, va, vb))
+    return diffs
+
+
+def differential_run(
+    trace,
+    config,
+    policy_factory: Callable[[], object],
+    bid: float,
+    zones: tuple[str, ...],
+    start_time: float,
+    *,
+    queue_model=None,
+    seed: int = 0,
+    controller_factory: Callable[[], object] | None = None,
+    deadline_schedule=None,
+    performance=None,
+) -> DifferentialReport:
+    """Replay one configuration under both engine modes and diff them.
+
+    Every per-mode ingredient is constructed fresh — oracle (so each
+    engine seeds the hour-bucket statistic caches through its own query
+    pattern), policy (stateful per run), RNG (so queue-delay draws
+    match), controller, and auditor — exactly mirroring how the two
+    modes run in production.
+    """
+    from repro.core.engine import SpotSimulator
+    from repro.market.queuing import QueueDelayModel
+    from repro.market.spot_market import PriceOracle
+
+    runs = {}
+    sinks = {}
+    audits = {}
+    for mode in ("fast", "tick"):
+        sink = MemorySink()
+        auditor = RunAuditor(sink=sink, strict=False)
+        sim = SpotSimulator(
+            oracle=PriceOracle(trace),
+            queue_model=queue_model or QueueDelayModel(),
+            rng=np.random.default_rng(seed),
+            record_events=True,
+            engine_mode=mode,
+            auditor=auditor,
+        )
+        controller = controller_factory() if controller_factory else None
+        runs[mode] = sim.run(
+            config,
+            policy_factory(),
+            bid,
+            zones,
+            start_time,
+            controller=controller,
+            deadline_schedule=deadline_schedule,
+            performance=performance,
+        )
+        sinks[mode] = sink
+        audits[mode] = auditor.drain()
+    return DifferentialReport(
+        result_diffs=diff_results(runs["fast"], runs["tick"]),
+        event_diffs=diff_event_streams(
+            sinks["fast"].events, sinks["tick"].events
+        ),
+        fast_audit=audits["fast"],
+        tick_audit=audits["tick"],
+        fast_result=runs["fast"],
+        tick_result=runs["tick"],
+    )

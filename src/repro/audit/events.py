@@ -1,0 +1,103 @@
+"""Structured audit events and per-run counters.
+
+An :class:`AuditEvent` is one simulation occurrence with enough
+structure to be machine-diffed: run number, per-run sequence number,
+simulation time, event kind, zone, and a free-form detail string (the
+same narration the engine's legacy :class:`~repro.core.engine.Event`
+carried, kept for human readers).
+
+Event kinds fall in two groups:
+
+* **engine events** — emitted by the simulation itself (``waiting``,
+  ``restarted``, ``hour-rolled``, ``checkpoint-started``,
+  ``checkpoint-committed``, ``provider-terminated``, ``user-released``,
+  ``ondemand-switch``, ``completed``, ``transition``, …).  These must
+  be identical between the ``fast`` and ``tick`` engines and are what
+  the differential harness compares.
+* **meta events** (:data:`META_KINDS`) — emitted by the auditor about
+  the audit itself (``run-start``, ``run-end``, ``violation``,
+  ``infeasible-deadline``).  Excluded from differential comparison:
+  ``run-end`` carries mode-dependent counters (ticks vs. skipped
+  segments differ between engines by design).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+
+#: Auditor-originated kinds, excluded from fast-vs-tick diffs.
+META_KINDS: frozenset[str] = frozenset(
+    {"run-start", "run-end", "violation", "infeasible-deadline"}
+)
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One structured simulation event."""
+
+    run: int
+    seq: int
+    time: float
+    kind: str
+    zone: str | None = None
+    detail: str = ""
+    #: Structured payload as sorted ``(key, value)`` pairs; values are
+    #: JSON-representable scalars.
+    data: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        d = {
+            "run": self.run,
+            "seq": self.seq,
+            "time": self.time,
+            "kind": self.kind,
+            "zone": self.zone,
+            "detail": self.detail,
+        }
+        d.update(self.data)
+        return d
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=False)
+
+
+@dataclass
+class RunCounters:
+    """Per-run (or aggregated) audit counters.
+
+    ``ticks`` counts full reference-loop iterations actually executed;
+    ``segments`` and ``ticks_skipped`` count the fast path's bulk
+    jumps; their sum ``ticks + ticks_skipped`` equals the tick engine's
+    ``ticks`` for the same run (that identity is itself useful when
+    debugging a divergence).
+    """
+
+    ticks: int = 0
+    segments: int = 0
+    ticks_skipped: int = 0
+    crossing_cache_hits: int = 0
+    crossing_cache_misses: int = 0
+    decisions: int = 0
+    decision_time_s: float = 0.0
+    events: int = 0
+    transitions: int = 0
+    commits: int = 0
+    restores: int = 0
+    violations: int = 0
+    runs: int = 0
+
+    def add(self, other: "RunCounters") -> None:
+        """Accumulate ``other`` into this instance (for aggregation)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @property
+    def mean_decision_latency_s(self) -> float:
+        """Mean wall-clock latency of controller decisions (0 if none)."""
+        if self.decisions == 0:
+            return 0.0
+        return self.decision_time_s / self.decisions

@@ -1,0 +1,315 @@
+"""Invariant checking over audited runs.
+
+Every property the simulator's correctness argument relies on, checked
+at runtime from independently tracked state:
+
+**Per tick or segment**
+
+* *time monotonicity* — the clock never goes backwards;
+* *progress monotonicity* — committed progress never regresses, and
+  ``committed <= leading <= C`` (a checkpoint can never claim more
+  progress than any zone has computed, and no zone computes past C);
+* *zone-state-machine legality* — only the DOWN/WAITING/QUEUING/
+  RESTARTING/COMPUTING/CHECKPOINTING edges of Algorithm 1's lifecycle
+  occur (observed via :class:`~repro.market.instance.ZoneInstance`
+  transition observers, not trusted from the engine's narration).
+
+**Per store operation**
+
+* *checkpoint-store consistency* — commits are monotone in both time
+  and progress, bounded by C; every restore loads exactly the progress
+  the checker has itself seen committed (restores only from committed
+  checkpoints).
+
+**At run end**
+
+* *billing conservation* — every opened billing hour is accounted for
+  exactly once (charged at a boundary, charged at user close, free
+  sub-second close, or forfeited by provider termination); the
+  reported spot cost equals the sum of committed charges; no meter is
+  left open; boundary-committed hours used exactly 3600 s; on-demand
+  cost is consistent with the §2.1 whole-hour rule;
+* *deadline guarantee* — ``finish_time <= deadline`` whenever the
+  guard could fire; a run that legitimately misses (the user
+  contracted the deadline below feasibility mid-run) must be flagged
+  by an explicit infeasibility event rather than counted as a
+  violation.
+
+The checker only *records* violations; raising is the auditor's
+decision (``strict=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.market.constants import ON_DEMAND_PRICE
+from repro.market.instance import ZoneState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.app.checkpoint import CheckpointRecord, CheckpointStore
+    from repro.app.workload import ExperimentConfig
+    from repro.core.engine import RunResult
+    from repro.market.instance import ZoneInstance
+
+#: Numeric tolerance for money, progress and time comparisons.
+EPS = 1e-6
+
+#: The legal zone-lifecycle edges.  Any running state may fall to DOWN
+#: (provider termination or user release); everything else follows the
+#: queue -> restore -> compute -> checkpoint pipeline of Algorithm 1.
+LEGAL_TRANSITIONS: dict[ZoneState, frozenset[ZoneState]] = {
+    ZoneState.DOWN: frozenset({ZoneState.WAITING}),
+    ZoneState.WAITING: frozenset({ZoneState.DOWN, ZoneState.QUEUING}),
+    ZoneState.QUEUING: frozenset(
+        {ZoneState.RESTARTING, ZoneState.COMPUTING, ZoneState.DOWN}
+    ),
+    ZoneState.RESTARTING: frozenset({ZoneState.COMPUTING, ZoneState.DOWN}),
+    ZoneState.COMPUTING: frozenset({ZoneState.CHECKPOINTING, ZoneState.DOWN}),
+    ZoneState.CHECKPOINTING: frozenset({ZoneState.COMPUTING, ZoneState.DOWN}),
+}
+
+
+class InvariantError(RuntimeError):
+    """Raised (in strict mode) when an audited run violates an invariant."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected invariant breach."""
+
+    invariant: str
+    time: float
+    zone: str | None
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" zone={self.zone}" if self.zone else ""
+        return f"[{self.invariant}] t={self.time:.0f}{where}: {self.message}"
+
+
+class InvariantChecker:
+    """Validates one run's invariants from independently tracked state.
+
+    The checker deliberately keeps its *own* view of committed
+    progress (built from commit observations) rather than reading the
+    store's, so a store that mis-reports would be caught, not trusted.
+    """
+
+    def __init__(self) -> None:
+        self.violations: list[InvariantViolation] = []
+        self._reset()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._store: "CheckpointStore | None" = None
+        self._instances: dict[str, "ZoneInstance"] = {}
+        self._config: "ExperimentConfig | None" = None
+        self._deadline = float("inf")
+        self._now = float("-inf")
+        self._committed = 0.0
+        self._last_commit_time = float("-inf")
+        self._deadline_contracted = False
+
+    def begin_run(
+        self,
+        *,
+        config: "ExperimentConfig",
+        deadline: float,
+        store: "CheckpointStore",
+        instances: dict[str, "ZoneInstance"],
+        start_time: float,
+    ) -> None:
+        self._reset()
+        self._config = config
+        self._deadline = deadline
+        self._store = store
+        self._instances = instances
+        self._now = start_time
+
+    @property
+    def now(self) -> float:
+        """Latest simulation time the checker has observed."""
+        return self._now
+
+    # -- recording ---------------------------------------------------------
+
+    def _violate(self, invariant: str, time: float, zone: str | None, message: str) -> None:
+        self.violations.append(
+            InvariantViolation(invariant=invariant, time=time, zone=zone,
+                               message=message)
+        )
+
+    # -- per-event checks --------------------------------------------------
+
+    def transition(self, zone: str, old: ZoneState, new: ZoneState) -> None:
+        """Zone-state-machine legality (observer on every instance)."""
+        if new not in LEGAL_TRANSITIONS.get(old, frozenset()):
+            self._violate(
+                "zone-transition", self._now, zone,
+                f"illegal edge {old.value} -> {new.value}",
+            )
+
+    def tick(self, t: float) -> None:
+        """Per-tick (and per-segment-end) state validation."""
+        if t + EPS < self._now:
+            self._violate("time-monotonic", t, None,
+                          f"clock moved backwards: {self._now} -> {t}")
+        self._now = max(self._now, t)
+        store = self._store
+        config = self._config
+        if store is None or config is None:
+            return
+        committed = store.committed_progress_s
+        if committed + EPS < self._committed:
+            self._violate(
+                "progress-monotonic", t, None,
+                f"committed progress regressed: {self._committed} -> {committed}",
+            )
+        # leading progress: the farthest any live computation has got
+        leading = committed
+        for inst in self._instances.values():
+            if inst.state in (ZoneState.COMPUTING, ZoneState.CHECKPOINTING):
+                leading = max(leading, inst.local_progress_s)
+        if committed > leading + EPS:
+            self._violate(
+                "progress-bounds", t, None,
+                f"committed {committed} exceeds leading {leading}",
+            )
+        if leading > config.compute_s + EPS:
+            self._violate(
+                "progress-bounds", t, None,
+                f"leading progress {leading} exceeds C={config.compute_s}",
+            )
+        self._committed = max(self._committed, committed)
+
+    def commit(self, record: "CheckpointRecord", previous_progress_s: float) -> None:
+        """Checkpoint-store consistency at each commit."""
+        if record.progress_s + EPS < previous_progress_s:
+            self._violate(
+                "store-consistency", record.time, record.zone,
+                f"commit regressed progress: {previous_progress_s} -> "
+                f"{record.progress_s}",
+            )
+        if record.time + EPS < self._last_commit_time:
+            self._violate(
+                "store-consistency", record.time, record.zone,
+                f"commit time regressed: {self._last_commit_time} -> {record.time}",
+            )
+        if self._config is not None and record.progress_s > self._config.compute_s + EPS:
+            self._violate(
+                "store-consistency", record.time, record.zone,
+                f"commit claims progress {record.progress_s} beyond "
+                f"C={self._config.compute_s}",
+            )
+        self._last_commit_time = max(self._last_commit_time, record.time)
+        self._committed = max(self._committed, record.progress_s)
+
+    def restore(self, zone: str, t: float, from_progress_s: float) -> None:
+        """Restores must load exactly the committed progress."""
+        if abs(from_progress_s - self._committed) > EPS:
+            self._violate(
+                "store-consistency", t, zone,
+                f"restore from {from_progress_s}, but committed progress "
+                f"is {self._committed}",
+            )
+
+    def deadline_changed(self, t: float, old: float, new: float) -> None:
+        if new < old - EPS:
+            self._deadline_contracted = True
+        self._deadline = new
+
+    # -- run-end checks ----------------------------------------------------
+
+    @property
+    def deadline_contracted(self) -> bool:
+        return self._deadline_contracted
+
+    def finish(self, result: "RunResult") -> None:
+        """Billing conservation + deadline guarantee at run end."""
+        instances = self._instances
+        spot_total = 0.0
+        hours_total = 0
+        for inst in instances.values():
+            m = inst.billing
+            if m.is_open:
+                self._violate(
+                    "billing-conservation", result.finish_time, inst.zone,
+                    "billing meter left open at run end",
+                )
+            spot_total += m.total_cost
+            hours_total += m.hours_charged
+            accounted = m.hours_charged + m.num_forfeited + m.num_free_closes
+            if accounted != m.hours_opened:
+                self._violate(
+                    "billing-conservation", result.finish_time, inst.zone,
+                    f"{m.hours_opened} hours opened but {accounted} accounted "
+                    f"({m.hours_charged} charged + {m.num_forfeited} forfeited "
+                    f"+ {m.num_free_closes} free closes)",
+                )
+            last_start = float("-inf")
+            for charge in m.charges:
+                if charge.reason == "boundary" and abs(charge.used_s - 3600.0) > EPS:
+                    self._violate(
+                        "billing-conservation", result.finish_time, inst.zone,
+                        f"boundary-committed hour used {charge.used_s}s != 3600s",
+                    )
+                if charge.used_s < -EPS or charge.used_s > 3600.0 + EPS:
+                    self._violate(
+                        "billing-conservation", result.finish_time, inst.zone,
+                        f"charged hour used {charge.used_s}s outside [0, 3600]",
+                    )
+                if charge.hour_start + EPS < last_start:
+                    self._violate(
+                        "billing-conservation", result.finish_time, inst.zone,
+                        f"charge hour_start regressed: {last_start} -> "
+                        f"{charge.hour_start}",
+                    )
+                last_start = max(last_start, charge.hour_start)
+        if abs(spot_total - result.spot_cost) > EPS:
+            self._violate(
+                "billing-conservation", result.finish_time, None,
+                f"reported spot cost {result.spot_cost} != metered {spot_total}",
+            )
+        if hours_total != result.spot_hours_charged:
+            self._violate(
+                "billing-conservation", result.finish_time, None,
+                f"reported {result.spot_hours_charged} spot hours != metered "
+                f"{hours_total}",
+            )
+
+        # On-demand side of the conservation identity (§2.1 whole hours).
+        if result.completed_on == "spot":
+            if result.ondemand_cost != 0.0:
+                self._violate(
+                    "billing-conservation", result.finish_time, None,
+                    f"spot completion with on-demand cost {result.ondemand_cost}",
+                )
+            if result.ondemand_switch_time is not None:
+                self._violate(
+                    "billing-conservation", result.finish_time, None,
+                    "spot completion reports an on-demand switch time",
+                )
+        else:
+            hours = result.ondemand_cost / ON_DEMAND_PRICE
+            if result.ondemand_cost < -EPS or abs(hours - round(hours)) > EPS:
+                self._violate(
+                    "billing-conservation", result.finish_time, None,
+                    f"on-demand cost {result.ondemand_cost} is not a whole "
+                    f"number of ${ON_DEMAND_PRICE}/h hours",
+                )
+            if result.ondemand_switch_time is None:
+                self._violate(
+                    "billing-conservation", result.finish_time, None,
+                    "on-demand completion without a switch time",
+                )
+
+        # Deadline guarantee (the paper's central claim).
+        if result.finish_time > result.deadline + EPS and not self._deadline_contracted:
+            self._violate(
+                "deadline-guarantee", result.finish_time, None,
+                f"finished at {result.finish_time} after deadline "
+                f"{result.deadline} with no infeasible contraction",
+            )

@@ -1,0 +1,101 @@
+"""Audit sinks: where structured events go.
+
+A sink receives every :class:`~repro.audit.events.AuditEvent` the
+auditor emits.  :class:`JsonlSink` appends one JSON object per line —
+the single durable source for timelines and debugging (replacing the
+ad-hoc in-memory ``Event`` narration for anything that needs to
+survive the process).  :class:`MemorySink` keeps events in a list (the
+differential harness and tests use it).  :class:`NullSink` drops
+everything (invariant checking without tracing).
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import TextIO
+
+from repro.audit.events import AuditEvent
+
+
+class AuditSink(abc.ABC):
+    """Receives audit events; must tolerate multiple runs per sink."""
+
+    @abc.abstractmethod
+    def emit(self, event: AuditEvent) -> None:
+        """Record one event."""
+
+    def flush(self) -> None:
+        """Make everything emitted so far durable (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+    def __enter__(self) -> "AuditSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(AuditSink):
+    """Discards all events."""
+
+    def emit(self, event: AuditEvent) -> None:
+        pass
+
+
+class MemorySink(AuditSink):
+    """Keeps events in memory; ``events_for(run)`` slices one run."""
+
+    def __init__(self) -> None:
+        self.events: list[AuditEvent] = []
+
+    def emit(self, event: AuditEvent) -> None:
+        self.events.append(event)
+
+    def events_for(self, run: int) -> list[AuditEvent]:
+        return [e for e in self.events if e.run == run]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink(AuditSink):
+    """Appends events as JSON lines to a file (opened lazily).
+
+    The file is opened on the first emit, so constructing a sink for a
+    path that may never receive events (e.g. an audited sweep whose
+    cells all run on other workers) costs nothing.  Buffered writes
+    are flushed at every ``run-end`` boundary by the auditor.
+    """
+
+    def __init__(self, destination: str | Path | TextIO) -> None:
+        self._destination = destination
+        self._fh: TextIO | None = None
+        self._owns_fh = isinstance(destination, (str, Path))
+
+    @property
+    def path(self) -> str | None:
+        """Target path, or ``None`` for a caller-supplied stream."""
+        return str(self._destination) if self._owns_fh else None
+
+    def _handle(self) -> TextIO:
+        if self._fh is None:
+            if self._owns_fh:
+                self._fh = open(self._destination, "a")
+            else:
+                self._fh = self._destination
+        return self._fh
+
+    def emit(self, event: AuditEvent) -> None:
+        self._handle().write(event.to_json() + "\n")
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns_fh:
+            self._fh.close()
+        self._fh = None

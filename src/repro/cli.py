@@ -16,7 +16,11 @@
 All commands accept ``--experiments N`` (default 20 here; the paper
 and the benchmark suite use 80), ``--seed``, and ``--workers N`` to
 fan experiment grids over worker processes (results are identical to
-a serial run).
+a serial run).  ``--audit`` attaches the run-audit layer
+(:mod:`repro.audit`) to every simulation — invariants are checked on
+each run, a summary is printed, and the process exits 1 if any
+violation was found; ``--audit-out PATH`` additionally streams the
+structured event log as JSONL.
 """
 
 from __future__ import annotations
@@ -56,6 +60,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="simulation engine: 'fast' skips event-free "
                              "segments, 'tick' is the reference tick-by-tick "
                              "loop (results are bit-identical)")
+    parser.add_argument("--audit", action="store_true",
+                        help="attach the run-audit layer: validate billing, "
+                             "progress, state-machine and deadline invariants "
+                             "on every run (exit status 1 on any violation)")
+    parser.add_argument("--audit-out", metavar="PATH", default=None,
+                        help="stream structured audit events as JSONL to PATH "
+                             "(implies --audit; with --workers N each worker "
+                             "appends to PATH.w<pid>)")
+
+
+def _audit_enabled(args: argparse.Namespace) -> bool:
+    return args.audit or args.audit_out is not None
+
+
+def _make_auditor(args: argparse.Namespace):
+    """Auditor for the direct-simulator commands (fig1, run)."""
+    if not _audit_enabled(args):
+        return None
+    from repro.audit import JsonlSink, RunAuditor
+
+    sink = JsonlSink(args.audit_out) if args.audit_out else None
+    return RunAuditor(sink=sink)
+
+
+def _report_audit(report) -> int:
+    """Print the audit summary; the process exit status (1 = violations)."""
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +176,7 @@ def _reference_lines() -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    status = 0
 
     if args.command == "fig1":
         from repro.core.edge import RisingEdgePolicy
@@ -151,15 +185,20 @@ def main(argv: list[str] | None = None) -> int:
 
         trace, eval_start = evaluation_window(args.window, args.seed)
         oracle = PriceOracle(trace)
+        auditor = _make_auditor(args)
         sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
                             rng=np.random.default_rng(args.seed),
-                            record_timeline=True, engine_mode=args.engine)
+                            record_timeline=True, engine_mode=args.engine,
+                            auditor=auditor)
         config = paper_experiment(slack_fraction=args.slack)
         policy = _Periodic() if args.policy == "periodic" else RisingEdgePolicy()
         result = sim.run(config, policy, args.bid, trace.zone_names[:1],
                          eval_start + args.start_hours * 3600.0)
         print(render_timeline(result, oracle, width=args.width,
                               title=f"Figure 1-style timeline ({policy.name})"))
+        if auditor is not None:
+            status = _report_audit(auditor.drain())
+            auditor.close()
     elif args.command == "fig2":
         data = figures.fig2_availability(bid=args.bid, seed=args.seed)
         print(reporting.render_availability("Figure 2 — availability", data))
@@ -171,9 +210,12 @@ def main(argv: list[str] | None = None) -> int:
         print(reporting.render_queuing("Section 5 — spot queuing delay", stats))
     elif args.command == "fig4":
         with ExperimentRunner(args.window, args.experiments, args.seed,
-                              workers=args.workers,
-                              engine_mode=args.engine) as runner:
+                              workers=args.workers, engine_mode=args.engine,
+                              audit=args.audit,
+                              audit_out=args.audit_out) as runner:
             cells = figures.fig4_quadrant(runner, args.slack, args.tc)
+            if runner.audit:
+                status = _report_audit(runner.drain_audit())
         title = f"Figure 4 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command in ("table2", "table3"):
@@ -183,16 +225,22 @@ def main(argv: list[str] | None = None) -> int:
         print(reporting.render_optimal_table(args.command.capitalize(), rows))
     elif args.command == "fig5":
         with ExperimentRunner(args.window, args.experiments, args.seed,
-                              workers=args.workers,
-                              engine_mode=args.engine) as runner:
+                              workers=args.workers, engine_mode=args.engine,
+                              audit=args.audit,
+                              audit_out=args.audit_out) as runner:
             cells = figures.fig5_quadrant(runner, args.slack, args.tc)
+            if runner.audit:
+                status = _report_audit(runner.drain_audit())
         title = f"Figure 5 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command == "fig6":
         with ExperimentRunner(args.window, args.experiments, args.seed,
-                              workers=args.workers,
-                              engine_mode=args.engine) as runner:
+                              workers=args.workers, engine_mode=args.engine,
+                              audit=args.audit,
+                              audit_out=args.audit_out) as runner:
             cells = figures.fig6_panel(runner, args.slack, args.tc)
+            if runner.audit:
+                status = _report_audit(runner.drain_audit())
         title = f"Figure 6 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
         print(reporting.render_cells(title, cells, _reference_lines()))
     elif args.command == "headline":
@@ -203,9 +251,11 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "run":
         trace, eval_start = evaluation_window(args.window, args.seed)
         oracle = PriceOracle(trace)
+        auditor = _make_auditor(args)
         sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
                             rng=np.random.default_rng(args.seed),
-                            record_events=True, engine_mode=args.engine)
+                            record_events=True, engine_mode=args.engine,
+                            auditor=auditor)
         config = paper_experiment(slack_fraction=args.slack, ckpt_cost_s=args.tc)
         start = eval_start + args.start_hours * 3600.0
         if args.policy == "adaptive":
@@ -233,13 +283,17 @@ def main(argv: list[str] | None = None) -> int:
             offset_h = (event.time - start) / 3600.0
             zone = event.zone or "-"
             print(f"  {offset_h:7.2f}h  {event.kind:<22s} {zone:<12s} {event.detail}")
+        if auditor is not None:
+            status = _report_audit(auditor.drain())
+            auditor.close()
     elif args.command == "sweep":
         from repro.experiments import sweeps
         from repro.experiments.reporting import format_table
 
         runner = ExperimentRunner(args.window, args.experiments, args.seed,
                                   workers=args.workers,
-                                  engine_mode=args.engine)
+                                  engine_mode=args.engine,
+                                  audit=args.audit, audit_out=args.audit_out)
         if args.axis == "slack":
             points = sweeps.sweep_slack(
                 runner, (0.10, 0.15, 0.25, 0.50, 0.75, 1.00),
@@ -264,10 +318,13 @@ def main(argv: list[str] | None = None) -> int:
             [args.axis, "median $", "q3 $", "max $", "violations"],
             [p.row() for p in points],
         ))
+        if runner.audit:
+            status = _report_audit(runner.drain_audit())
+        runner.close()
     elif args.command == "export-trace":
         rows = write_trace(canonical_dataset(args.seed), args.path)
         print(f"wrote {rows} price-change rows to {args.path}")
-    return 0
+    return status
 
 
 if __name__ == "__main__":

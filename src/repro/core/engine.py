@@ -25,6 +25,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.market.constants import ON_DEMAND_PRICE, SAMPLE_INTERVAL_S
 from repro.market.instance import ZoneInstance, ZoneState
 from repro.market.queuing import QueueDelayModel
 from repro.market.spot_market import PriceOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.auditor import RunAuditor
 
 
 class EngineError(RuntimeError):
@@ -170,6 +174,11 @@ class SpotSimulator:
     #: Record a per-tick state snapshot (for timeline rendering).
     record_timeline: bool = False
     engine_mode: str = "fast"
+    #: Optional run auditor (:mod:`repro.audit`): streams structured
+    #: events into its sink and validates the simulation invariants per
+    #: tick/segment and at run end.  ``None`` (the default) costs only
+    #: a few ``is None`` branches per tick.
+    auditor: "RunAuditor | None" = None
 
     # ------------------------------------------------------------------
 
@@ -243,6 +252,21 @@ class SpotSimulator:
         state.deadline_schedule = deadline_schedule
         state.performance = performance
 
+        aud = self.auditor
+        if aud is not None:
+            state.aud = aud
+            aud.begin_run(
+                policy_name=policy.name,
+                bid=bid,
+                zones=tuple(zones),
+                start_time=start_time,
+                deadline=deadline,
+                engine_mode=self.engine_mode,
+                config=config,
+                store=state.store,
+                instances=state.instances,
+            )
+
         dt = float(SAMPLE_INTERVAL_S)
         t = float(start_time)
         # The fast path needs per-tick determinism it can reason about:
@@ -256,11 +280,15 @@ class SpotSimulator:
             and performance is None
         )
         while True:
+            if aud is not None:
+                aud.tick(t)
             if deadline_schedule is not None:
                 new_deadline = deadline_schedule.deadline_at(t, deadline)
                 if new_deadline != state.deadline:
                     state.log(t, "deadline-updated", None,
                               f"D={new_deadline:.0f}")
+                    if aud is not None:
+                        aud.deadline_changed(t, state.deadline, new_deadline)
                     state.deadline = new_deadline
             self._roll_billing(state, t)
             self._market_transitions(state, t)
@@ -272,7 +300,12 @@ class SpotSimulator:
                 return self._finalize(state, result)
 
             if controller is not None:
-                decision = controller.decide(self._make_ctx(state, t))
+                if aud is not None:
+                    started = aud.decision_begin()
+                    decision = controller.decide(self._make_ctx(state, t))
+                    aud.decision_end(started)
+                else:
+                    decision = controller.decide(self._make_ctx(state, t))
                 if decision is not None:
                     self._apply_switch(state, t, decision)
 
@@ -287,6 +320,8 @@ class SpotSimulator:
                 k = self._quiescent_ticks(state, t, dt, controller)
                 if k > 0:
                     t = self._bulk_advance(state, t, dt, k)
+                    if aud is not None:
+                        aud.segment(t, k)
 
     # -- tick phases -------------------------------------------------------
 
@@ -619,6 +654,7 @@ class SpotSimulator:
         bid = state.bid
         zone_traces = state.zone_traces
         crossing = state.next_crossing
+        aud = self.auditor
         start_theta = -1.0  # computed lazily; prices are positive
 
         # market transitions: stop at the next availability crossing.
@@ -644,6 +680,8 @@ class SpotSimulator:
                     return 0  # down/waiting flip due this tick
             key = (zone, theta)
             nc = crossing.get(key)
+            if aud is not None:
+                aud.crossing_cache(nc is not None and nc > i)
             if nc is None or nc <= i:
                 nc = z.next_threshold_crossing(i, theta)
                 crossing[key] = nc
@@ -763,11 +801,12 @@ class SpotSimulator:
             # integral (exact below 2**53); fractional accumulators
             # (queue-delay remainders) replay the float ops on a local.
             entries = []
+            recording = state.record or state.aud is not None
             for idx, (inst, is_computing) in enumerate(accruing):
                 while inst.billing.hour_end() <= last + 1e-6:
                     boundary = inst.billing.hour_end()
                     inst.billing.roll_hour(self.oracle.price(inst.zone, boundary))
-                    if state.record:
+                    if recording:
                         tick = int(math.ceil((boundary - t - 1e-6) / dt))
                         entries.append(
                             (max(tick, 0), idx, boundary, inst.zone,
@@ -864,6 +903,8 @@ class SpotSimulator:
             restart_cost_s=restore,
             from_progress_s=committed,
         )
+        if state.aud is not None:
+            state.aud.restore(inst.zone, t, committed)
 
     def _apply_switch(self, state: "_RunState", t: float, decision: SwitchDecision) -> None:
         """Apply a controller's (bid, zones, policy) re-configuration."""
@@ -910,7 +951,7 @@ class SpotSimulator:
         ]
         if open_meters:  # pragma: no cover - internal invariant
             raise EngineError(f"billing meters left open: {open_meters}")
-        return replace(
+        result = replace(
             result,
             spot_cost=spot_cost,
             spot_hours_charged=sum(
@@ -923,6 +964,9 @@ class SpotSimulator:
             events=tuple(state.events) if self.record_events else (),
             timeline=tuple(state.timeline) if self.record_timeline else (),
         )
+        if state.aud is not None:
+            return state.aud.finish_run(result)
+        return result
 
 
 @dataclass
@@ -951,7 +995,11 @@ class _RunState:
     zone_traces: dict = field(default_factory=dict)
     next_crossing: dict = field(default_factory=dict)
     fast_ctx: PolicyContext | None = None
+    #: Attached run auditor, or None (audit off).
+    aud: "RunAuditor | None" = None
 
     def log(self, time: float, kind: str, zone: str | None, detail: str = "") -> None:
         if self.record:
             self.events.append(Event(time=time, kind=kind, zone=zone, detail=detail))
+        if self.aud is not None:
+            self.aud.event(time, kind, zone, detail)

@@ -22,7 +22,7 @@ HL        headline claims (7x on-demand, 44%, bounded worst case)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -33,10 +33,12 @@ only needed for custom grids.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.audit.auditor import AuditReport
 from repro.experiments.metrics import RunRecord
 from repro.experiments.runner import CellTask, ExperimentRunner
 from repro.market.queuing import QueueDelayModel
@@ -52,9 +54,18 @@ def _init_worker(
     seed: int,
     queue_model: QueueDelayModel,
     engine_mode: str = "fast",
+    audit: bool = False,
+    audit_out: str | None = None,
 ) -> None:
-    """Build this worker's trace + oracle once; all cells share them."""
+    """Build this worker's trace + oracle once; all cells share them.
+
+    An audited pool gives each worker its own ``<audit_out>.w<pid>``
+    JSONL file — concurrent appends to one shared file would interleave
+    partial lines, and per-process files need no locking.
+    """
     global _WORKER_RUNNER
+    if audit_out is not None:
+        audit_out = f"{audit_out}.w{os.getpid()}"
     _WORKER_RUNNER = ExperimentRunner(
         window,
         num_experiments=num_experiments,
@@ -62,14 +73,25 @@ def _init_worker(
         queue_model=queue_model,
         workers=1,
         engine_mode=engine_mode,
+        audit=audit,
+        audit_out=audit_out,
     )
 
 
-def _run_cell(task: CellTask, start: float) -> list[RunRecord]:
-    """Worker entry point: one (task, start) unit on the shared runner."""
+def _run_cell(
+    task: CellTask, start: float
+) -> tuple[list[RunRecord], AuditReport | None]:
+    """Worker entry point: one (task, start) unit on the shared runner.
+
+    Returns the records plus the drained audit report (``None`` when
+    auditing is off), so violations and counters observed inside the
+    worker travel back to the parent with the results they describe.
+    """
     if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool used before initialization")
-    return _WORKER_RUNNER.run_cell(task, start)
+    records = _WORKER_RUNNER.run_cell(task, start)
+    report = _WORKER_RUNNER.drain_audit() if _WORKER_RUNNER.audit else None
+    return records, report
 
 
 @dataclass
@@ -87,11 +109,16 @@ class SweepExecutor:
     workers: int = 2
     queue_model: QueueDelayModel = field(default_factory=QueueDelayModel)
     engine_mode: str = "fast"
+    audit: bool = False
+    audit_out: str | None = None
     _pool: ProcessPoolExecutor | None = field(default=None, repr=False)
+    _audit_report: AuditReport = field(default_factory=AuditReport, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.audit_out is not None:
+            self.audit = True
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -104,6 +131,8 @@ class SweepExecutor:
                     self.seed,
                     self.queue_model,
                     self.engine_mode,
+                    self.audit,
+                    self.audit_out,
                 ),
             )
         return self._pool
@@ -121,8 +150,17 @@ class SweepExecutor:
         futures = [pool.submit(_run_cell, task, float(s)) for s in starts]
         records: list[RunRecord] = []
         for future in futures:
-            records.extend(future.result())
+            cell_records, report = future.result()
+            records.extend(cell_records)
+            if report is not None:
+                self._audit_report.merge(report)
         return records
+
+    def drain_audit(self) -> AuditReport:
+        """Hand off (and clear) the audit reports workers shipped back."""
+        report = self._audit_report
+        self._audit_report = AuditReport()
+        return report
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""

@@ -103,6 +103,14 @@ class ExperimentRunner:
         ``"fast"`` (default) uses the engine's segment-skipping
         scheduler; ``"tick"`` forces the reference tick-by-tick loop
         (for debugging — results are bit-identical either way).
+    audit:
+        Attach a :class:`~repro.audit.auditor.RunAuditor` to every
+        simulator: invariants are checked on each run and violations
+        aggregate into :meth:`drain_audit`'s report.
+    audit_out:
+        JSONL path for the structured event stream (implies ``audit``).
+        Under workers > 1 each worker appends to its own
+        ``<audit_out>.w<pid>`` file, so the stream needs no locking.
     """
 
     window: str
@@ -111,15 +119,47 @@ class ExperimentRunner:
     queue_model: QueueDelayModel = field(default_factory=QueueDelayModel)
     workers: int = 1
     engine_mode: str = "fast"
+    audit: bool = False
+    audit_out: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.audit_out is not None:
+            self.audit = True
         trace, eval_start = evaluation_window(self.window, self.seed)
         self.trace = trace
         self.eval_start = eval_start
         self.oracle = PriceOracle(trace)
         self._executor = None
+        self._auditor = None
+
+    @property
+    def auditor(self):
+        """The lazily created in-process auditor (``None`` if ``audit``
+        is off; workers > 1 audit inside the worker processes instead)."""
+        if not self.audit:
+            return None
+        if self._auditor is None:
+            from repro.audit.auditor import RunAuditor
+            from repro.audit.sink import JsonlSink
+
+            sink = JsonlSink(self.audit_out) if self.audit_out else None
+            self._auditor = RunAuditor(sink=sink)
+        return self._auditor
+
+    def drain_audit(self):
+        """Collect (and clear) the audit outcome of everything run so
+        far — both in-process runs and, for workers > 1, the reports
+        the worker processes shipped back with their records."""
+        from repro.audit.auditor import AuditReport
+
+        report = AuditReport()
+        if self._auditor is not None:
+            report.merge(self._auditor.drain())
+        if self._executor is not None:
+            report.merge(self._executor.drain_audit())
+        return report
 
     # -- parallel execution ------------------------------------------------
 
@@ -135,6 +175,8 @@ class ExperimentRunner:
             queue_model=self.queue_model,
             workers=workers,
             engine_mode=self.engine_mode,
+            audit=self.audit,
+            audit_out=self.audit_out,
         )
 
     @property
@@ -150,14 +192,19 @@ class ExperimentRunner:
                 workers=self.workers,
                 queue_model=self.queue_model,
                 engine_mode=self.engine_mode,
+                audit=self.audit,
+                audit_out=self.audit_out,
             )
         return self._executor
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started."""
+        """Shut down the worker pool and audit sink, if started."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        if self._auditor is not None:
+            self._auditor.close()
+            self._auditor = None
 
     def __enter__(self) -> "ExperimentRunner":
         return self
@@ -189,7 +236,7 @@ class ExperimentRunner:
         )
         return SpotSimulator(
             oracle=self.oracle, queue_model=self.queue_model, rng=rng,
-            engine_mode=self.engine_mode,
+            engine_mode=self.engine_mode, auditor=self.auditor,
         )
 
     # -- cell execution ----------------------------------------------------

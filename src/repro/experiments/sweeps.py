@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.app.workload import ExperimentConfig, paper_experiment
+from repro.app.workload import paper_experiment
 from repro.experiments.metrics import RunRecord, box, deadline_violations
 from repro.experiments.runner import ExperimentRunner
 from repro.stats.descriptive import BoxplotStats

@@ -54,6 +54,15 @@ class BillingMeter:
     charges: list[ChargedHour] = field(default_factory=list)
     hour_start: float | None = None
     rate: float = 0.0
+    # Conservation ledger: every opened hour must end in exactly one of
+    # {boundary charge, user-close charge, free sub-second close,
+    # provider forfeiture}.  The audit layer checks
+    # ``hours_opened == hours_charged + num_forfeited + num_free_closes``
+    # at run end.
+    hours_opened: int = 0
+    num_forfeited: int = 0
+    forfeited_total: float = 0.0
+    num_free_closes: int = 0
 
     # -- queries ---------------------------------------------------------
 
@@ -90,6 +99,7 @@ class BillingMeter:
             raise BillingError(f"rate must be positive, got {rate}")
         self.hour_start = start
         self.rate = rate
+        self.hours_opened += 1
 
     def roll_hour(self, next_rate: float) -> None:
         """Commit the open hour at its rate and open the next one.
@@ -116,6 +126,8 @@ class BillingMeter:
         forfeited = self.rate
         self.hour_start = None
         self.rate = 0.0
+        self.num_forfeited += 1
+        self.forfeited_total += forfeited
         return forfeited
 
     def user_close(self, now: float, reason: str = "user") -> float:
@@ -127,18 +139,41 @@ class BillingMeter:
         Adaptive and Large-bid release a zone when its paid hour ends
         without being billed for the next one.
 
+        Raises :class:`BillingError` if the open hour overran its
+        boundary (the driver missed a :meth:`roll_hour`) or ``now``
+        predates the hour's start — both indicate accounting bugs that
+        clamping would silently paper over.
+
         Returns the dollars charged.
         """
         if self.hour_start is None:
             raise BillingError("no billing hour open")
-        used = min(max(now - self.hour_start, 0.0), 3600.0)
+        if now + 1e-6 < self.hour_start:
+            raise BillingError(
+                f"close at {now} predates the open hour's start "
+                f"{self.hour_start}"
+            )
+        if now - self.hour_start > 3600.0 + 1e-6:
+            # An overrunning open hour means a missed roll_hour — a
+            # driver bug.  Clamping here used to fabricate an hour_start
+            # of ``now - 3600`` inside the next (never-opened) hour and
+            # silently drop the excess usage; fail loudly instead.
+            raise BillingError(
+                f"open hour started at {self.hour_start} overran its "
+                f"boundary: close at {now} is "
+                f"{now - self.hour_start - 3600.0:.3f}s past it "
+                f"(roll_hour was not called)"
+            )
+        used = min(now - self.hour_start, 3600.0)
+        hour_start = self.hour_start
         self.hour_start = None
         charged_rate = self.rate
         self.rate = 0.0
         if used < 1.0:
+            self.num_free_closes += 1
             return 0.0
         self.charges.append(
-            ChargedHour(hour_start=now - used, rate=charged_rate,
+            ChargedHour(hour_start=hour_start, rate=charged_rate,
                         used_s=used, reason=reason)
         )
         return charged_rate

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.market.billing import BillingMeter
 
@@ -86,6 +87,13 @@ class ZoneInstance:
     num_provider_terminations: int = 0
     num_restarts: int = 0
     num_checkpoints_started: int = 0
+    #: Optional audit hook, called as ``observer(zone, old, new)`` on
+    #: every state change (never on same-state no-ops).  The run-audit
+    #: layer uses it to validate transition legality independently of
+    #: this class's own guards.
+    observer: Callable[[str, ZoneState, ZoneState], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- queries ---------------------------------------------------------
 
@@ -110,13 +118,13 @@ class ZoneInstance:
         """Zone ineligible (S > B) while not running."""
         if self.is_running:
             raise InstanceError(f"{self.zone}: use provider_terminate when running")
-        self.state = ZoneState.DOWN
+        self._transition(ZoneState.DOWN)
 
     def mark_waiting(self) -> None:
         """Zone became eligible (B >= S) but no request submitted yet."""
         if self.is_running:
             raise InstanceError(f"{self.zone}: cannot wait while running")
-        self.state = ZoneState.WAITING
+        self._transition(ZoneState.WAITING)
 
     def provider_terminate(self) -> float:
         """Out-of-bid termination: lose speculative work and partial hour."""
@@ -124,7 +132,7 @@ class ZoneInstance:
             raise InstanceError(f"{self.zone}: not running")
         forfeited = self.billing.provider_terminate()
         self._reset_run()
-        self.state = ZoneState.DOWN
+        self._transition(ZoneState.DOWN)
         self.num_provider_terminations += 1
         return forfeited
 
@@ -134,7 +142,7 @@ class ZoneInstance:
             raise InstanceError(f"{self.zone}: not running")
         charged = self.billing.user_close(now, reason=reason)
         self._reset_run()
-        self.state = ZoneState.DOWN
+        self._transition(ZoneState.DOWN)
         return charged
 
     def start(
@@ -155,7 +163,7 @@ class ZoneInstance:
             raise InstanceError(f"{self.zone}: can only start from WAITING")
         if queue_delay_s < 0 or restart_cost_s < 0:
             raise InstanceError("delays must be >= 0")
-        self.state = ZoneState.QUEUING
+        self._transition(ZoneState.QUEUING)
         # restart cost is folded into the timed pipeline: queue, then restore
         self.phase_remaining_s = queue_delay_s
         self._pending_restart_s = restart_cost_s
@@ -172,7 +180,7 @@ class ZoneInstance:
         if ckpt_cost_s <= 0:
             raise InstanceError("checkpoint cost must be positive")
         self.pending_checkpoint_progress_s = self.local_progress_s
-        self.state = ZoneState.CHECKPOINTING
+        self._transition(ZoneState.CHECKPOINTING)
         self.phase_remaining_s = ckpt_cost_s
         self.num_checkpoints_started += 1
 
@@ -220,18 +228,18 @@ class ZoneInstance:
                 self.phase_remaining_s -= used
                 remaining -= used
                 if self.phase_remaining_s <= 1e-9:
-                    self.state = ZoneState.RESTARTING
+                    self._transition(ZoneState.RESTARTING)
                     self.phase_remaining_s = self._pending_restart_s
                     if self.phase_remaining_s <= 1e-9:
                         # fresh start: nothing to restore
-                        self.state = ZoneState.COMPUTING
+                        self._transition(ZoneState.COMPUTING)
                         self.computing_since = now + (dt - remaining)
             elif self.state is ZoneState.RESTARTING:
                 used = min(self.phase_remaining_s, remaining)
                 self.phase_remaining_s -= used
                 remaining -= used
                 if self.phase_remaining_s <= 1e-9:
-                    self.state = ZoneState.COMPUTING
+                    self._transition(ZoneState.COMPUTING)
                     self.computing_since = now + (dt - remaining)
             elif self.state is ZoneState.CHECKPOINTING:
                 used = min(self.phase_remaining_s, remaining)
@@ -239,7 +247,7 @@ class ZoneInstance:
                 remaining -= used
                 if self.phase_remaining_s <= 1e-9:
                     committed = self.pending_checkpoint_progress_s
-                    self.state = ZoneState.COMPUTING
+                    self._transition(ZoneState.COMPUTING)
                     self.computing_since = now + (dt - remaining)
             elif self.state is ZoneState.COMPUTING:
                 need = total_compute_s - self.local_progress_s
@@ -262,6 +270,12 @@ class ZoneInstance:
         return committed, completion
 
     # -- internals ----------------------------------------------------------
+
+    def _transition(self, new: ZoneState) -> None:
+        """Change state, notifying the observer on real edges only."""
+        if self.observer is not None and new is not self.state:
+            self.observer(self.zone, self.state, new)
+        self.state = new
 
     def _reset_run(self) -> None:
         self.phase_remaining_s = 0.0

@@ -57,17 +57,31 @@ def parse_timestamp(text: str) -> float:
 
 
 def format_timestamp(t: float) -> str:
-    """POSIX seconds to the AWS CLI's ``...Z`` ISO form."""
+    """POSIX seconds to the AWS CLI's ``...Z`` ISO form.
+
+    Sub-second precision is preserved (microseconds, the resolution of
+    :class:`~datetime.datetime`): ``timespec="seconds"`` used to
+    truncate fractional-second grid starts, silently shifting every
+    change event of a round-tripped trace up to one second earlier.
+    Whole-second times keep the compact ``...T00:00:00Z`` form.
+    """
     return (
         datetime.fromtimestamp(t, tz=timezone.utc)
         .replace(tzinfo=None)
-        .isoformat(timespec="seconds")
+        .isoformat(timespec="auto")
         + "Z"
     )
 
 
 def read_price_events(stream: TextIO) -> dict[str, list[tuple[float, float]]]:
-    """Parse CSV rows into per-zone sorted ``(timestamp, price)`` events."""
+    """Parse CSV rows into per-zone sorted ``(timestamp, price)`` events.
+
+    When several rows of one zone carry the same timestamp, the last
+    row in *file order* wins — the AWS CLI emits corrections as later
+    rows — and the earlier duplicates are dropped, so downstream
+    forward-filling cannot resolve an equal-timestamp pair to an
+    arbitrary price.
+    """
     reader = csv.DictReader(stream)
     if reader.fieldnames is None:
         raise TraceError("empty CSV: no header row")
@@ -86,8 +100,18 @@ def read_price_events(stream: TextIO) -> dict[str, list[tuple[float, float]]]:
         events.setdefault(row["availability_zone"], []).append((t, price))
     if not events:
         raise TraceError("CSV contains no price rows")
-    for zone_events in events.values():
+    for zone, zone_events in events.items():
+        # Stable sort keeps equal timestamps in file order; the
+        # trailing dedup then keeps only the last row per timestamp,
+        # making "last in file order wins" explicit rather than an
+        # accident of searchsorted's tie-breaking.
         zone_events.sort(key=lambda e: e[0])
+        deduped = [
+            ev
+            for i, ev in enumerate(zone_events)
+            if i + 1 == len(zone_events) or zone_events[i + 1][0] != ev[0]
+        ]
+        events[zone] = deduped
     return events
 
 

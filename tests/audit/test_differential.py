@@ -1,0 +1,117 @@
+"""The differential harness: fast vs. tick replay with field-level diffs."""
+
+from __future__ import annotations
+
+from repro.audit import (
+    AuditEvent,
+    FieldDiff,
+    diff_event_streams,
+    diff_results,
+    differential_run,
+)
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.market.queuing import FixedQueueDelay
+
+from tests.conftest import multi_step_trace, small_config
+
+
+def _trace():
+    return multi_step_trace({
+        "za": [(50, 0.25), (20, 1.20), (130, 0.25), (88, 1.80)],
+        "zb": [(70, 0.35), (50, 0.22), (80, 2.50), (88, 0.28)],
+    })
+
+
+class TestDiffEventStreams:
+    def _ev(self, seq, kind="transition", time=100.0, detail="x"):
+        return AuditEvent(run=1, seq=seq, time=time, kind=kind, detail=detail)
+
+    def test_identical_streams_produce_no_diffs(self):
+        a = [self._ev(0), self._ev(1, time=200.0)]
+        b = [self._ev(0), self._ev(1, time=200.0)]
+        assert diff_event_streams(a, b) == []
+
+    def test_seq_and_run_are_ignored(self):
+        a = [AuditEvent(run=1, seq=0, time=100.0, kind="waiting")]
+        b = [AuditEvent(run=7, seq=3, time=100.0, kind="waiting")]
+        assert diff_event_streams(a, b) == []
+
+    def test_meta_events_are_excluded(self):
+        a = [AuditEvent(run=1, seq=0, time=0.0, kind="run-end",
+                        data=(("ticks", 5),))]
+        b = [AuditEvent(run=1, seq=0, time=0.0, kind="run-end",
+                        data=(("ticks", 99),))]
+        assert diff_event_streams(a, b) == []
+
+    def test_field_disagreement_is_located(self):
+        a = [self._ev(0), self._ev(1, time=300.0)]
+        b = [self._ev(0), self._ev(1, time=600.0)]
+        diffs = diff_event_streams(a, b)
+        assert diffs == [FieldDiff("event[1]", "time", 300.0, 600.0)]
+
+    def test_length_mismatch_names_the_extra_event(self):
+        a = [self._ev(0), self._ev(1, kind="hour-rolled")]
+        b = [self._ev(0)]
+        diffs = diff_event_streams(a, b)
+        assert any(d.field == "length" for d in diffs)
+        assert any(d.field == "only-in-fast" and d.fast == "hour-rolled"
+                   for d in diffs)
+
+
+class TestDiffResults:
+    def test_equal_results_no_diffs(self):
+        from tests.conftest import make_sim
+
+        r1 = make_sim(_trace()).run(small_config(), PeriodicPolicy(), 0.81,
+                                    ("za",), 0.0)
+        r2 = make_sim(_trace()).run(small_config(), PeriodicPolicy(), 0.81,
+                                    ("za",), 0.0)
+        assert diff_results(r1, r2) == []
+
+    def test_differing_field_is_reported(self):
+        from dataclasses import replace
+
+        from tests.conftest import make_sim
+
+        r1 = make_sim(_trace()).run(small_config(), PeriodicPolicy(), 0.81,
+                                    ("za",), 0.0)
+        r2 = replace(r1, spot_cost=r1.spot_cost + 1.0)
+        diffs = diff_results(r1, r2)
+        assert [d.field for d in diffs] == ["spot_cost"]
+
+
+class TestDifferentialRun:
+    def test_engines_agree_on_synthetic_trace(self):
+        report = differential_run(
+            _trace(), small_config(), PeriodicPolicy, 0.81, ("za", "zb"), 0.0,
+            queue_model=FixedQueueDelay(300.0),
+        )
+        assert report.identical
+        assert report.ok
+        assert report.fast_audit.ok and report.tick_audit.ok
+        assert report.summary_lines()[0].endswith("agree on every field")
+
+    def test_engines_agree_with_markov_policy(self):
+        report = differential_run(
+            _trace(), small_config(), MarkovDalyPolicy, 0.81, ("za",), 0.0,
+            queue_model=FixedQueueDelay(300.0),
+        )
+        assert report.ok
+
+    def test_engines_agree_on_evaluation_window(self, low_window):
+        trace, eval_start = low_window
+        report = differential_run(
+            trace, small_config(), PeriodicPolicy, 0.81,
+            trace.zone_names[:2], eval_start, seed=7,
+        )
+        assert report.ok
+        assert report.fast_result == report.tick_result
+
+    def test_fast_counters_show_skipping(self):
+        report = differential_run(
+            _trace(), small_config(), PeriodicPolicy, 0.81, ("za",), 0.0,
+            queue_model=FixedQueueDelay(300.0),
+        )
+        fast, tick = report.fast_audit.counters, report.tick_audit.counters
+        assert fast.ticks + fast.ticks_skipped == tick.ticks

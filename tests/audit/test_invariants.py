@@ -1,0 +1,245 @@
+"""Each invariant checker must fire on a corrupted run.
+
+These tests drive :class:`InvariantChecker` directly with synthetic
+state — the cheapest way to manufacture exactly one corruption at a
+time.  The engine-integration tests assert the complementary property
+(real runs produce zero violations).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.app.checkpoint import CheckpointRecord, CheckpointStore
+from repro.app.workload import ExperimentConfig
+from repro.audit import InvariantChecker, LEGAL_TRANSITIONS
+from repro.market.constants import ON_DEMAND_PRICE
+from repro.market.instance import ZoneInstance, ZoneState
+
+
+def _config(compute_h=2.0):
+    compute_s = compute_h * 3600.0
+    return ExperimentConfig(compute_s=compute_s, deadline_s=1.5 * compute_s,
+                            ckpt_cost_s=300.0, restart_cost_s=300.0)
+
+
+def _checker(instances=None, store=None, start=0.0, config=None):
+    checker = InvariantChecker()
+    checker.begin_run(
+        config=config or _config(),
+        deadline=(config or _config()).deadline_s,
+        store=store if store is not None else CheckpointStore(),
+        instances=instances or {},
+        start_time=start,
+    )
+    return checker
+
+
+def _result(**overrides):
+    """A run-end summary with every field the checker reads, all clean."""
+    base = dict(
+        finish_time=3600.0, deadline=10800.0, completed_on="spot",
+        spot_cost=0.0, spot_hours_charged=0, ondemand_cost=0.0,
+        ondemand_switch_time=None,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+def _kinds(checker):
+    return [v.invariant for v in checker.violations]
+
+
+class TestTransitionLegality:
+    def test_every_legal_edge_passes(self):
+        checker = _checker()
+        for old, news in LEGAL_TRANSITIONS.items():
+            for new in news:
+                checker.transition("za", old, new)
+        assert checker.violations == []
+
+    def test_illegal_edge_fires(self):
+        checker = _checker()
+        checker.transition("za", ZoneState.COMPUTING, ZoneState.WAITING)
+        assert _kinds(checker) == ["zone-transition"]
+        assert "computing -> waiting" in checker.violations[0].message
+
+    def test_down_to_computing_is_illegal(self):
+        checker = _checker()
+        checker.transition("za", ZoneState.DOWN, ZoneState.COMPUTING)
+        assert _kinds(checker) == ["zone-transition"]
+
+
+class TestTickChecks:
+    def test_clock_moving_backwards_fires(self):
+        checker = _checker(start=1000.0)
+        checker.tick(1300.0)
+        checker.tick(700.0)
+        assert "time-monotonic" in _kinds(checker)
+
+    def test_committed_regression_fires(self):
+        store = CheckpointStore()
+        store.records.append(CheckpointRecord(time=100.0, progress_s=500.0, zone="za"))
+        checker = _checker(store=store)
+        checker.tick(300.0)
+        # corrupt the store behind the checker's back
+        store.records[-1] = CheckpointRecord(time=100.0, progress_s=100.0, zone="za")
+        checker.tick(600.0)
+        assert "progress-monotonic" in _kinds(checker)
+
+    def test_leading_progress_beyond_c_fires(self):
+        inst = ZoneInstance(zone="za", state=ZoneState.COMPUTING,
+                            computed_s=_config().compute_s + 10.0)
+        checker = _checker(instances={"za": inst})
+        checker.tick(300.0)
+        assert "progress-bounds" in _kinds(checker)
+
+    def test_clean_tick_is_silent(self):
+        inst = ZoneInstance(zone="za", state=ZoneState.COMPUTING,
+                            computed_s=100.0)
+        checker = _checker(instances={"za": inst})
+        checker.tick(300.0)
+        checker.tick(600.0)
+        assert checker.violations == []
+
+
+class TestStoreConsistency:
+    def test_commit_progress_regression_fires(self):
+        checker = _checker()
+        checker.commit(CheckpointRecord(time=100.0, progress_s=50.0, zone="za"),
+                       previous_progress_s=200.0)
+        assert "store-consistency" in _kinds(checker)
+
+    def test_commit_time_regression_fires(self):
+        checker = _checker()
+        checker.commit(CheckpointRecord(time=200.0, progress_s=50.0, zone="za"), 0.0)
+        checker.commit(CheckpointRecord(time=100.0, progress_s=60.0, zone="za"), 50.0)
+        assert "store-consistency" in _kinds(checker)
+
+    def test_commit_beyond_c_fires(self):
+        checker = _checker()
+        checker.commit(
+            CheckpointRecord(time=100.0, progress_s=_config().compute_s + 1.0,
+                             zone="za"),
+            0.0,
+        )
+        assert "store-consistency" in _kinds(checker)
+
+    def test_restore_from_uncommitted_progress_fires(self):
+        checker = _checker()
+        checker.commit(CheckpointRecord(time=100.0, progress_s=500.0, zone="za"), 0.0)
+        checker.restore("zb", 200.0, 123.0)
+        assert "store-consistency" in _kinds(checker)
+        assert "restore from 123.0" in checker.violations[0].message
+
+    def test_restore_from_committed_progress_is_silent(self):
+        checker = _checker()
+        checker.commit(CheckpointRecord(time=100.0, progress_s=500.0, zone="za"), 0.0)
+        checker.restore("zb", 200.0, 500.0)
+        assert checker.violations == []
+
+
+class TestBillingConservation:
+    def _inst(self):
+        return ZoneInstance(zone="za")
+
+    def test_meter_left_open_fires(self):
+        inst = self._inst()
+        inst.billing.open_hour(0.0, 0.30)
+        checker = _checker(instances={"za": inst})
+        checker.finish(_result(spot_cost=0.0))
+        assert "billing-conservation" in _kinds(checker)
+        assert "left open" in checker.violations[0].message
+
+    def test_unaccounted_hour_fires(self):
+        inst = self._inst()
+        inst.billing.open_hour(0.0, 0.30)
+        inst.billing.user_close(1800.0)
+        inst.billing.hours_opened += 1  # corrupt the ledger
+        checker = _checker(instances={"za": inst})
+        checker.finish(_result(spot_cost=0.30, spot_hours_charged=1))
+        assert "billing-conservation" in _kinds(checker)
+
+    def test_short_boundary_hour_fires(self):
+        from repro.market.billing import ChargedHour
+
+        inst = self._inst()
+        inst.billing.hours_opened = 1
+        inst.billing.charges.append(
+            ChargedHour(hour_start=0.0, rate=0.30, used_s=1800.0,
+                        reason="boundary")
+        )
+        checker = _checker(instances={"za": inst})
+        checker.finish(_result(spot_cost=0.30, spot_hours_charged=1))
+        assert "billing-conservation" in _kinds(checker)
+        assert "!= 3600s" in checker.violations[0].message
+
+    def test_reported_cost_mismatch_fires(self):
+        inst = self._inst()
+        inst.billing.open_hour(0.0, 0.30)
+        inst.billing.user_close(1800.0)
+        checker = _checker(instances={"za": inst})
+        checker.finish(_result(spot_cost=0.90, spot_hours_charged=1))
+        assert "billing-conservation" in _kinds(checker)
+
+    def test_reported_hours_mismatch_fires(self):
+        inst = self._inst()
+        inst.billing.open_hour(0.0, 0.30)
+        inst.billing.user_close(1800.0)
+        checker = _checker(instances={"za": inst})
+        checker.finish(_result(spot_cost=0.30, spot_hours_charged=2))
+        assert "billing-conservation" in _kinds(checker)
+
+    def test_spot_completion_with_ondemand_cost_fires(self):
+        checker = _checker()
+        checker.finish(_result(completed_on="spot", ondemand_cost=4.80))
+        assert "billing-conservation" in _kinds(checker)
+
+    def test_fractional_ondemand_cost_fires(self):
+        checker = _checker()
+        checker.finish(_result(completed_on="ondemand",
+                               ondemand_cost=1.5 * ON_DEMAND_PRICE,
+                               ondemand_switch_time=1000.0))
+        assert "billing-conservation" in _kinds(checker)
+
+    def test_ondemand_completion_without_switch_time_fires(self):
+        checker = _checker()
+        checker.finish(_result(completed_on="ondemand",
+                               ondemand_cost=2 * ON_DEMAND_PRICE,
+                               ondemand_switch_time=None))
+        assert "billing-conservation" in _kinds(checker)
+
+    def test_clean_ledger_is_silent(self):
+        inst = self._inst()
+        inst.billing.open_hour(0.0, 0.30)
+        inst.billing.roll_hour(0.40)
+        inst.billing.user_close(5400.0, reason="complete")
+        checker = _checker(instances={"za": inst})
+        checker.finish(_result(spot_cost=0.70, spot_hours_charged=2))
+        assert checker.violations == []
+
+
+class TestDeadlineGuarantee:
+    def test_late_finish_fires(self):
+        checker = _checker()
+        checker.finish(_result(finish_time=99999.0, deadline=10800.0))
+        assert "deadline-guarantee" in _kinds(checker)
+
+    def test_contracted_deadline_excuses_lateness(self):
+        checker = _checker()
+        checker.deadline_changed(3600.0, 10800.0, 7200.0)
+        assert checker.deadline_contracted
+        checker.finish(_result(finish_time=9000.0, deadline=7200.0))
+        assert "deadline-guarantee" not in _kinds(checker)
+
+    def test_extended_deadline_is_not_a_contraction(self):
+        checker = _checker()
+        checker.deadline_changed(3600.0, 10800.0, 14400.0)
+        assert not checker.deadline_contracted
+        checker.finish(_result(finish_time=20000.0, deadline=14400.0))
+        assert "deadline-guarantee" in _kinds(checker)
+
+    def test_on_time_finish_is_silent(self):
+        checker = _checker()
+        checker.finish(_result(finish_time=7200.0, deadline=10800.0))
+        assert checker.violations == []

@@ -1,0 +1,86 @@
+"""Audit plumbing through ExperimentRunner and the process pool."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.runner import ExperimentRunner
+
+from tests.conftest import small_config
+
+
+def _records(runner, config):
+    return runner.run_single_zone(
+        "markov-daly", config, 0.81, zones=runner.trace.zone_names[:1]
+    )
+
+
+class TestSerialAudit:
+    def test_audit_does_not_change_results(self):
+        config = small_config()
+        plain = _records(ExperimentRunner("low", num_experiments=2), config)
+        audited_runner = ExperimentRunner("low", num_experiments=2, audit=True)
+        audited = _records(audited_runner, config)
+        assert [r.result for r in audited] == [r.result for r in plain]
+
+    def test_drain_reports_every_run(self):
+        runner = ExperimentRunner("low", num_experiments=3, audit=True)
+        _records(runner, small_config())
+        report = runner.drain_audit()
+        assert report.ok
+        assert report.counters.runs == 3
+        # drained: a second drain starts from zero
+        assert runner.drain_audit().counters.runs == 0
+
+    def test_audit_out_implies_audit_and_writes_jsonl(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        runner = ExperimentRunner("low", num_experiments=2, audit_out=path)
+        assert runner.audit
+        _records(runner, small_config())
+        runner.close()
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0]["kind"] == "run-start"
+        assert sum(1 for d in lines if d["kind"] == "run-end") == 2
+
+    def test_audit_off_by_default(self):
+        runner = ExperimentRunner("low", num_experiments=2)
+        assert runner.auditor is None
+        _records(runner, small_config())
+        assert runner.drain_audit().counters.runs == 0
+
+
+class TestParallelAudit:
+    def test_parallel_audited_records_match_serial(self):
+        config = small_config()
+        serial = _records(ExperimentRunner("low", num_experiments=4), config)
+        with ExperimentRunner("low", num_experiments=4, workers=2,
+                              audit=True) as runner:
+            parallel = _records(runner, config)
+            report = runner.drain_audit()
+        assert parallel == serial
+        assert report.ok
+        assert report.counters.runs == 4
+
+    def test_workers_write_per_process_jsonl(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with ExperimentRunner("low", num_experiments=4, workers=2,
+                              audit_out=path) as runner:
+            _records(runner, small_config())
+            report = runner.drain_audit()
+        assert report.counters.runs == 4
+        worker_files = sorted(tmp_path.glob("sweep.jsonl.w*"))
+        assert worker_files
+        run_ends = 0
+        for wf in worker_files:
+            for line in wf.read_text().splitlines():
+                event = json.loads(line)
+                if event["kind"] == "run-end":
+                    run_ends += 1
+        assert run_ends == 4
+
+    def test_with_workers_propagates_audit_flags(self, tmp_path):
+        path = str(tmp_path / "a.jsonl")
+        runner = ExperimentRunner("low", num_experiments=2, audit_out=path)
+        widened = runner.with_workers(2)
+        assert widened.audit
+        assert widened.audit_out == path

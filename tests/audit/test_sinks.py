@@ -1,0 +1,108 @@
+"""Unit tests for audit sinks and the event/counter value types."""
+
+from __future__ import annotations
+
+import json
+
+from repro.audit import AuditEvent, JsonlSink, MemorySink, NullSink, RunCounters
+
+
+def _event(run=1, seq=0, kind="transition", **data):
+    return AuditEvent(run=run, seq=seq, time=100.0, kind=kind, zone="za",
+                      detail="down->waiting", data=tuple(sorted(data.items())))
+
+
+class TestAuditEvent:
+    def test_to_dict_flattens_data(self):
+        e = _event(bid=0.81, policy="periodic")
+        d = e.to_dict()
+        assert d["kind"] == "transition"
+        assert d["bid"] == 0.81
+        assert d["policy"] == "periodic"
+
+    def test_to_json_round_trips(self):
+        e = _event(rate=0.3)
+        parsed = json.loads(e.to_json())
+        assert parsed == e.to_dict()
+
+    def test_frozen_and_hashable(self):
+        assert _event() == _event()
+        assert hash(_event()) == hash(_event())
+
+
+class TestRunCounters:
+    def test_add_accumulates_every_field(self):
+        a = RunCounters(ticks=2, segments=1, ticks_skipped=10, commits=3,
+                        decision_time_s=0.5, decisions=2, runs=1)
+        b = RunCounters(ticks=3, segments=2, ticks_skipped=5, commits=1,
+                        decision_time_s=0.25, decisions=1, runs=1)
+        a.add(b)
+        assert a.ticks == 5
+        assert a.segments == 3
+        assert a.ticks_skipped == 15
+        assert a.commits == 4
+        assert a.decisions == 3
+        assert a.decision_time_s == 0.75
+        assert a.runs == 2
+
+    def test_mean_decision_latency(self):
+        assert RunCounters().mean_decision_latency_s == 0.0
+        c = RunCounters(decisions=4, decision_time_s=2.0)
+        assert c.mean_decision_latency_s == 0.5
+
+
+class TestMemorySink:
+    def test_collects_and_slices_by_run(self):
+        sink = MemorySink()
+        sink.emit(_event(run=1))
+        sink.emit(_event(run=2))
+        sink.emit(_event(run=2, seq=1))
+        assert len(sink.events) == 3
+        assert len(sink.events_for(2)) == 2
+        sink.clear()
+        assert sink.events == []
+
+
+class TestNullSink:
+    def test_discards_everything(self):
+        sink = NullSink()
+        sink.emit(_event())
+        sink.flush()
+        sink.close()
+
+
+class TestJsonlSink:
+    def test_appends_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(_event(seq=0))
+            sink.emit(_event(seq=1))
+            sink.flush()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["seq"] == 1
+
+    def test_lazy_open_creates_nothing_without_events(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(path)
+        sink.flush()
+        sink.close()
+        assert not path.exists()
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(_event(seq=0))
+        with JsonlSink(path) as sink:
+            sink.emit(_event(seq=1))
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_caller_stream_not_closed(self):
+        import io
+
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit(_event())
+        sink.close()
+        assert not buf.closed
+        assert sink.path is None

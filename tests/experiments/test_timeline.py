@@ -12,7 +12,7 @@ from repro.experiments.timeline import (
     render_timeline,
 )
 
-from tests.conftest import flat_trace, make_sim, multi_step_trace, small_config
+from tests.conftest import make_sim, multi_step_trace, small_config
 
 
 def recorded_run(trace=None, record_timeline=True):

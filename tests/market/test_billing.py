@@ -113,3 +113,73 @@ class TestOnDemandCost:
     def test_paper_reference_cost(self):
         # 20 hours of CC2 on-demand = the $48 grey line of Figures 4-6
         assert ondemand_cost(20 * 3600.0, 2.40) == pytest.approx(48.00)
+
+
+class TestUserCloseAccounting:
+    """Regression tests for the fabricated-hour-start bug: ``user_close``
+    used to record ``hour_start=now - used`` and silently clamp an
+    overrunning hour, inventing an hour start the meter never opened."""
+
+    def test_close_records_true_hour_start(self):
+        m = BillingMeter()
+        m.open_hour(500.0, 0.30)
+        m.user_close(2000.0)
+        assert m.charges[-1].hour_start == 500.0
+        assert m.charges[-1].used_s == 1500.0
+
+    def test_close_at_exact_boundary_records_full_hour(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.user_close(3600.0)
+        assert m.charges[-1].hour_start == 0.0
+        assert m.charges[-1].used_s == 3600.0
+
+    def test_overrun_raises_instead_of_clamping(self):
+        # the driver missed a roll_hour: closing 100 s past the
+        # boundary must fail loudly, not fabricate hour_start=100
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        with pytest.raises(BillingError, match="overran"):
+            m.user_close(3700.0)
+
+    def test_close_before_open_raises(self):
+        m = BillingMeter()
+        m.open_hour(1000.0, 0.30)
+        with pytest.raises(BillingError, match="predates"):
+            m.user_close(500.0)
+
+
+class TestConservationLedger:
+    """Every opened hour ends in exactly one bucket: charged, free
+    sub-second close, or provider forfeiture (the audit layer's
+    billing-conservation identity)."""
+
+    def test_hours_opened_counts_rolls(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.roll_hour(0.40)
+        m.roll_hour(0.50)
+        m.user_close(7500.0)
+        assert m.hours_opened == 3
+        assert m.hours_charged == 3
+        assert m.num_forfeited == 0
+        assert m.num_free_closes == 0
+
+    def test_forfeiture_tracked(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.roll_hour(0.40)
+        m.provider_terminate()
+        assert m.hours_opened == 2
+        assert m.hours_charged == 1
+        assert m.num_forfeited == 1
+        assert m.forfeited_total == pytest.approx(0.40)
+        assert m.hours_charged + m.num_forfeited + m.num_free_closes == m.hours_opened
+
+    def test_free_close_tracked(self):
+        m = BillingMeter()
+        m.open_hour(0.0, 0.30)
+        m.roll_hour(0.40)
+        m.user_close(3600.0)
+        assert m.num_free_closes == 1
+        assert m.hours_charged + m.num_forfeited + m.num_free_closes == m.hours_opened

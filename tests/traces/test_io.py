@@ -130,3 +130,111 @@ class TestReadWrite:
         write_trace(trace, path)
         restored = read_trace(path)
         assert np.allclose(restored.matrix(), trace.matrix())
+
+
+BASE = 1356998400.0  # 2013-01-01T00:00:00Z
+
+
+class TestDuplicateTimestamps:
+    """Equal-timestamp change events must resolve deterministically:
+    the last row in *file order* wins (regression for the
+    forward-fill picking a price by searchsorted tie-breaking)."""
+
+    def _csv(self, rows):
+        header = ",".join(
+            ("timestamp", "availability_zone", "instance_type",
+             "product_description", "spot_price")
+        )
+        lines = [header] + [
+            f"{ts},za,cc2.8xlarge,Linux/UNIX,{price}" for ts, price in rows
+        ]
+        return io.StringIO("\n".join(lines) + "\n")
+
+    def test_last_row_in_file_order_wins(self):
+        events = read_price_events(self._csv([
+            ("2013-01-01T00:10:00Z", "0.9"),
+            ("2013-01-01T00:00:00Z", "0.3"),
+            ("2013-01-01T00:10:00Z", "0.5"),  # same instant, later row
+        ]))
+        prices = resample_events(events["za"], BASE, 4)
+        assert prices.tolist() == [0.3, 0.3, 0.5, 0.5]
+
+    def test_duplicates_are_dropped_not_kept(self):
+        events = read_price_events(self._csv([
+            ("2013-01-01T00:00:00Z", "0.3"),
+            ("2013-01-01T00:00:00Z", "0.4"),
+            ("2013-01-01T00:05:00Z", "0.6"),
+            ("2013-01-01T00:05:00Z", "0.2"),
+        ]))
+        times = [t for t, _ in events["za"]]
+        assert times == sorted(set(times))  # unique and sorted
+        assert events["za"] == [(BASE, 0.4), (BASE + 300.0, 0.2)]
+
+    def test_duplicate_at_grid_start(self):
+        events = read_price_events(self._csv([
+            ("2013-01-01T00:00:00Z", "0.7"),
+            ("2013-01-01T00:00:00Z", "0.3"),
+        ]))
+        prices = resample_events(events["za"], BASE, 2)
+        assert prices.tolist() == [0.3, 0.3]
+
+    def test_descending_duplicate_prices_keep_file_order(self):
+        # would fail under any tie-break that compares prices
+        events = read_price_events(self._csv([
+            ("2013-01-01T00:10:00Z", "0.1"),
+            ("2013-01-01T00:10:00Z", "0.9"),
+            ("2013-01-01T00:00:00Z", "0.5"),
+        ]))
+        assert events["za"][-1] == (BASE + 600.0, 0.9)
+
+
+class TestSubSecondPrecision:
+    """CSV round-trips must not truncate fractional seconds
+    (regression: ``timespec="seconds"`` shifted every change event of
+    a fractional-second grid up to 1 s earlier)."""
+
+    def test_format_preserves_fraction(self):
+        assert format_timestamp(100.5) == "1970-01-01T00:01:40.500000Z"
+
+    def test_format_keeps_compact_form_for_whole_seconds(self):
+        assert format_timestamp(BASE) == "2013-01-01T00:00:00Z"
+
+    def test_parse_format_round_trip_fractional(self):
+        for t in (0.5, BASE + 0.25, BASE + 600.5):
+            assert parse_timestamp(format_timestamp(t)) == t
+
+    def test_change_events_round_trip_exactly(self):
+        from repro.traces.model import ZoneTrace
+
+        zone = ZoneTrace(zone="za", start_time=BASE + 0.5,
+                         prices=np.array([0.3, 0.3, 0.5, 0.5, 0.7]))
+        buf = io.StringIO()
+        write_trace(SpotPriceTrace(zones=(zone,)), buf)
+        buf.seek(0)
+        events = read_price_events(buf)["za"]
+        assert events == [(BASE + 0.5, 0.3), (BASE + 600.5, 0.5),
+                          (BASE + 1200.5, 0.7)]
+
+    def test_fractional_grid_round_trip_does_not_shift_prices(self):
+        # The change truly happens at BASE+600.5; truncation used to
+        # move it to BASE+600, flipping the resampled price at that
+        # exact grid point.
+        from repro.traces.model import ZoneTrace
+
+        zone = ZoneTrace(zone="za", start_time=BASE + 0.5,
+                         prices=np.array([0.3, 0.3, 0.5, 0.5, 0.7]))
+        buf = io.StringIO()
+        write_trace(SpotPriceTrace(zones=(zone,)), buf)
+        buf.seek(0)
+        restored = read_trace(buf)
+        assert restored.zone("za").price_at(BASE + 600.0) == 0.3
+
+    def test_integral_grid_round_trip_is_exact(self):
+        # last sample changes in every zone, so the change-event CSV
+        # covers the full grid and nothing is trimmed on read-back
+        original = SpotPriceTrace.from_arrays(
+            BASE, {"za": [0.3, 0.31, 0.29, 0.3], "zb": [0.4, 0.4, 0.5, 0.6]}
+        )
+        restored = read_trace(io.StringIO(trace_to_csv_string(original)))
+        assert restored.start_time == original.start_time
+        assert (restored.matrix() == original.matrix()).all()
