@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Fail CI when a freshly measured benchmark speedup regresses.
+
+Compares the dimensionless ``speedup`` field of every fresh
+``BENCH_*.json`` in the repository root against the committed baseline
+(``git show HEAD:<file>``).  Speedup ratios are portable across
+machines where raw seconds are not, so the same floor works on a
+laptop and a throttled CI runner.  A fresh speedup more than
+``--tolerance`` (default 20%) below the committed one exits non-zero.
+
+Run the benchmark suite first so the working-tree JSON files hold
+fresh measurements::
+
+    python -m pytest benchmarks/ --benchmark-only
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def committed_baseline(path: Path) -> dict | None:
+    """The HEAD version of ``path``, or None if it is not committed."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{path.name}"],
+        capture_output=True,
+        cwd=path.parent,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare fresh BENCH_*.json speedups against HEAD."
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown before failing (default 0.2)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding the BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    checked = 0
+    for fresh_path in sorted(args.root.glob("BENCH_*.json")):
+        fresh = json.loads(fresh_path.read_text())
+        baseline = committed_baseline(fresh_path)
+        if baseline is None:
+            print(f"{fresh_path.name}: no committed baseline, skipping")
+            continue
+        got = fresh.get("speedup")
+        want = baseline.get("speedup")
+        if got is None or want is None:
+            print(f"{fresh_path.name}: no speedup field, skipping")
+            continue
+        floor = want * (1.0 - args.tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"{fresh_path.name}: fresh {got:.2f}x vs committed {want:.2f}x "
+            f"(floor {floor:.2f}x) {verdict}"
+        )
+        checked += 1
+        if got < floor:
+            failures.append(fresh_path.name)
+
+    if not checked:
+        print("no benchmark baselines checked")
+    if failures:
+        print(
+            f"benchmark regression in: {', '.join(failures)}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

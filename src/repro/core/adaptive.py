@@ -51,6 +51,19 @@ from repro.stats.daly import (
     expected_useful_fraction_batch,
 )
 
+#: Cost-comparison epsilon shared by the candidate tie-break, the
+#: rule-3 same-bid guard, and the guard-branch denominator clamp of the
+#: cost estimators.  Two predicted costs within this of each other are
+#: "the same cost" and tie-break toward fewer zones, then lower bid.
+COST_EPS: float = 1e-9
+
+#: Safety margin for lower-bound pruning, orders of magnitude above
+#: both COST_EPS and the float rounding between a candidate's bound and
+#: its exact cost: a permutation is skipped only when its bound cannot
+#: come within this of the incumbent, so the pruned search provably
+#: evaluates every candidate that could win *or tie* under COST_EPS.
+PRUNE_MARGIN: float = 1e-6
+
 
 @dataclass(frozen=True)
 class CandidateEstimate:
@@ -99,10 +112,33 @@ class AdaptiveController(Controller):
     max_zones: int = 3
     improvement_margin: float = 0.08
     reevaluate_every_s: float = 3600.0
+    #: Lower-bound pruning of the permutation loop.  ``False`` forces
+    #: the reference full-matrix evaluation; the two select the same
+    #: winner (the pruned path evaluates every candidate whose bound
+    #: reaches the incumbent within ``PRUNE_MARGIN``).
+    prune: bool = True
     _zone_sets: tuple[tuple[str, ...], ...] = ()
     _last_eval_at: float = -math.inf
     _applied: tuple[float, tuple[str, ...], str] | None = None
     _stats_cache: dict = field(default_factory=dict, repr=False)
+    #: (zone, bucket) -> (availability, rate) rows — the solve-free
+    #: statistics the pruning pass ranks candidates with.
+    _cheap_cache: dict = field(default_factory=dict, repr=False)
+    #: (zone, bucket) -> per-bid expected-uptime row, NaN where the
+    #: absorbing solve has not been paid for yet.
+    _uptime_cache: dict = field(default_factory=dict, repr=False)
+    #: bucket -> assembled (availability, rate) matrices over the full
+    #: (zone set, bid) grid — within a bucket only the deadline-clock
+    #: part of the cost changes between decisions, so the combination
+    #: pass is paid once per bucket, not once per decision.
+    _combined_cache: dict = field(default_factory=dict, repr=False)
+    #: bucket -> fully-solved (avail, uptime, rate, {kind: progress})
+    #: matrices, built on a bucket's SECOND decision.  Dense decision
+    #: sequences then pay only the deadline-clock half of the cost
+    #: grid per decision, while one-shot buckets keep the
+    #: solve-sparing pruned pass.
+    _dense_cache: dict = field(default_factory=dict, repr=False)
+    _seen_buckets: set = field(default_factory=set, repr=False)
 
     #: The display name used in figures.
     name: str = "adaptive"
@@ -115,6 +151,9 @@ class AdaptiveController(Controller):
         self._zone_sets = tuple(sets)
         self._last_eval_at = -math.inf
         self._applied = None
+        self._combined_cache.clear()
+        self._dense_cache.clear()
+        self._seen_buckets.clear()
 
     # -- controller hook -----------------------------------------------------
 
@@ -151,7 +190,7 @@ class AdaptiveController(Controller):
         # a running zone's participation or the bid mid-hour.
         if not (none_running or at_hour_boundary):
             keeps_running_zones = set(running) <= set(best.zones)
-            same_bid = abs(best.bid - ctx.bid) < 1e-9
+            same_bid = abs(best.bid - ctx.bid) < COST_EPS
             if not (keeps_running_zones and same_bid):
                 return None
 
@@ -198,15 +237,58 @@ class AdaptiveController(Controller):
         spot_market.PriceOracle.zone_stats` — the Markov fit, the
         stationary eigenvector, and the absorbing-chain solves are all
         shared across the grid instead of recomputed per (bid, stat)
-        pair.  A thin per-controller cache keyed by (zone, hour bucket)
-        avoids even the oracle's dictionary lookups in the hot loop.
+        pair.  A thin per-controller cache keyed by (zone, stats
+        bucket) avoids even the oracle's dictionary lookups in the hot
+        loop; the bucket comes from the oracle so a reference oracle
+        with ``bucket_s=None`` is never served a stale hourly entry.
         """
-        key = (zone, int(ctx.now // 3600.0))
+        key = (zone, ctx.oracle.stats_bucket(ctx.now))
         cached = self._stats_cache.get(key)
         if cached is None:
             cached = ctx.oracle.zone_stats(zone, ctx.now, self.bids)
             self._stats_cache[key] = cached
         return cached
+
+    def _zone_cheap(
+        self, ctx: PolicyContext, zone: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(availability, expected charged rate) rows — no uptime solves.
+
+        The solve-free share of :meth:`_zone_stats`, bit-identical to
+        its first two arrays; the pruning pass ranks every candidate
+        from these before paying for any absorbing-chain solve.
+        """
+        key = (zone, ctx.oracle.stats_bucket(ctx.now))
+        cached = self._cheap_cache.get(key)
+        if cached is None:
+            cached = ctx.oracle.zone_availability_rate(zone, ctx.now, self.bids)
+            self._cheap_cache[key] = cached
+        return cached
+
+    def _zone_uptime_row(self, ctx: PolicyContext, zone: str) -> np.ndarray:
+        """The zone's per-bid expected-uptime row, NaN where unsolved."""
+        key = (zone, ctx.oracle.stats_bucket(ctx.now))
+        row = self._uptime_cache.get(key)
+        if row is None:
+            row = np.full(len(self.bids), np.nan)
+            self._uptime_cache[key] = row
+        return row
+
+    def _fill_uptimes(
+        self, ctx: PolicyContext, zone: str, row: np.ndarray, idx: np.ndarray
+    ) -> None:
+        """Solve the still-NaN entries of ``row`` at bid indices ``idx``.
+
+        Solves route through the oracle's per-(zone, bucket, level)
+        model, whose per-up-state-count memo makes a masked subset now
+        plus the rest later cost exactly the same solves as one
+        full-grid call — and each value bit-identical to
+        :meth:`_zone_stats`'s third array.
+        """
+        missing = idx[np.isnan(row[idx])]
+        if missing.size:
+            bids = np.asarray(self.bids, dtype=np.float64)[missing]
+            row[missing] = ctx.oracle.zone_uptimes(zone, ctx.now, bids)
 
     def estimate(
         self,
@@ -296,7 +378,7 @@ class AdaptiveController(Controller):
             # plus overhead: T_r - t = (C_r - r t) + overhead.
             spot_s = max(
                 (remaining_time - remaining_compute - overhead)
-                / max(1.0 - progress_rate, 1e-9),
+                / max(1.0 - progress_rate, COST_EPS),
                 0.0,
             )
             od_s = remaining_compute - progress_rate * spot_s + config.restart_cost_s
@@ -328,7 +410,20 @@ class AdaptiveController(Controller):
         step keeps the scalar's operation order, so each element is
         bit-equal to the corresponding scalar call.
         """
-        config = ctx.config
+        progress_rate = self._progress_grid(
+            ctx.config, policy_kind, combined_avail, combined_uptime
+        )
+        return self._cost_from_rate(ctx, progress_rate, spot_rate)
+
+    @staticmethod
+    def _progress_grid(
+        config,
+        policy_kind: str,
+        combined_avail: np.ndarray,
+        combined_uptime: np.ndarray,
+    ) -> np.ndarray:
+        """Expected progress rate per cell — the ``now``-free half of
+        the cost grid, constant within a statistics bucket."""
         if policy_kind == "periodic":
             interval = 3600.0 - config.ckpt_cost_s
         else:
@@ -336,8 +431,16 @@ class AdaptiveController(Controller):
         useful = expected_useful_fraction_batch(
             combined_uptime, config.ckpt_cost_s, interval
         )
-        progress_rate = combined_avail * useful
+        return combined_avail * useful
 
+    def _cost_from_rate(
+        self,
+        ctx: PolicyContext,
+        progress_rate: np.ndarray,
+        spot_rate: np.ndarray,
+    ) -> np.ndarray:
+        """The deadline-clock half of :meth:`_cost_grid`."""
+        config = ctx.config
         committed = ctx.run.committed_progress_s()
         remaining_compute = max(config.compute_s - committed, 0.0)
         remaining_time = max(ctx.run.remaining_time_s(ctx.now), 0.0)
@@ -358,7 +461,7 @@ class AdaptiveController(Controller):
             spot_if_done = remaining_compute / progress_rate
         spot_guard = np.maximum(
             (remaining_time - remaining_compute - overhead)
-            / np.maximum(1.0 - progress_rate, 1e-9),
+            / np.maximum(1.0 - progress_rate, COST_EPS),
             0.0,
         )
         spot_s = np.where(
@@ -385,10 +488,20 @@ class AdaptiveController(Controller):
         :meth:`_estimate_from_combined`.  Ties break toward fewer
         zones, then lower bid — the cheaper configuration to be wrong
         about.
+
+        With :attr:`prune` on (the default) the permutation loop is
+        lower-bounded instead of exhaustive — same winner, fewer
+        absorbing-chain solves (see :meth:`_best_candidate_pruned`).
         """
-        sets = self._zone_sets
-        if not sets:
+        if not self._zone_sets:
             return None
+        if self.prune:
+            return self._best_candidate_pruned(ctx)
+        return self._best_candidate_full(ctx)
+
+    def _best_candidate_full(self, ctx: PolicyContext) -> CandidateEstimate | None:
+        """The reference exhaustive evaluation of every permutation."""
+        sets = self._zone_sets
         nbids = len(self.bids)
         avail = np.empty((len(sets), nbids))
         uptime = np.empty((len(sets), nbids))
@@ -419,8 +532,277 @@ class AdaptiveController(Controller):
             for i, bid in enumerate(self.bids):
                 for kind, row in zip(self.policy_kinds, rows):
                     cost = row[i]
-                    if best is None or cost < best[0] - 1e-9 or (
-                        abs(cost - best[0]) <= 1e-9
+                    if best is None or cost < best[0] - COST_EPS or (
+                        abs(cost - best[0]) <= COST_EPS
+                        and (nz, bid) < (best[1], best[2])
+                    ):
+                        best = (cost, nz, bid)
+                        winner = (si, kind, i)
+        if winner is None:
+            return None
+        si, kind, i = winner
+        return self._estimate_from_combined(
+            ctx, float(self.bids[i]), sets[si], kind,
+            combined_avail=float(avail[si, i]),
+            combined_uptime=float(uptime[si, i]),
+            spot_rate=float(rate[si, i]),
+        )
+
+    def _cost_lower_bound(
+        self, ctx: PolicyContext, avail: np.ndarray, rate: np.ndarray
+    ) -> np.ndarray:
+        """A cost no policy can beat, per (zone set, bid) cell.
+
+        Any checkpoint policy's useful-work fraction lies in [0, 1], so
+        the cell's progress rate lies in [0, avail] — and within each
+        branch of the cost estimator the predicted cost is monotone in
+        the progress rate.  The minimum over the whole interval is
+        therefore attained at ``r = 0``, ``r = avail`` or the
+        spot-phase branch boundary ``r = C_r / budget``; evaluating the
+        estimator's exact formulas at those three rates bounds every
+        (policy, useful-fraction) outcome from below, using only the
+        solve-free availability and rate statistics.
+        """
+        config = ctx.config
+        committed = ctx.run.committed_progress_s()
+        remaining_compute = max(config.compute_s - committed, 0.0)
+        remaining_time = max(ctx.run.remaining_time_s(ctx.now), 0.0)
+        overhead = config.ckpt_cost_s + config.restart_cost_s
+
+        if remaining_compute <= 0:
+            return np.zeros_like(avail)
+        budget = remaining_time - overhead
+        if budget <= 0:
+            od_hours = (remaining_compute + config.restart_cost_s) / 3600.0
+            return np.full(avail.shape, od_hours * ON_DEMAND_PRICE)
+
+        def cost_at(progress: np.ndarray) -> np.ndarray:
+            on_spot = (progress * budget >= remaining_compute) & (progress > 0)
+            runaway = ~on_spot & (progress >= 1.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                spot_if_done = remaining_compute / progress
+            spot_guard = np.maximum(
+                (remaining_time - remaining_compute - overhead)
+                / np.maximum(1.0 - progress, COST_EPS),
+                0.0,
+            )
+            spot_s = np.where(
+                on_spot, spot_if_done,
+                np.where(runaway, remaining_compute, spot_guard),
+            )
+            od_s = np.where(
+                on_spot | runaway,
+                0.0,
+                remaining_compute - progress * spot_guard + config.restart_cost_s,
+            )
+            return (
+                spot_s / 3600.0 * rate
+                + np.maximum(od_s, 0.0) / 3600.0 * ON_DEMAND_PRICE
+            )
+
+        bound = np.minimum(cost_at(avail), cost_at(np.zeros_like(avail)))
+        # Branch-boundary rate: the run just finishes on spot, so the
+        # spot phase is the whole budget at the cell's expected rate.
+        return np.minimum(bound, budget / 3600.0 * rate)
+
+    def _best_candidate_pruned(
+        self, ctx: PolicyContext
+    ) -> CandidateEstimate | None:
+        """The permutation loop with lower-bound pruning.
+
+        The solve-free (availability, rate) statistics price a lower
+        bound for every (zone set, bid) cell; each zone-set row's
+        smallest-bound cell is evaluated exactly (one small batch) to
+        seed the incumbent, and one global pass drops every cell whose
+        bound cannot come within :data:`PRUNE_MARGIN` of that seed.  Expected-uptime
+        solves are paid lazily for exactly the surviving bids, and the
+        survivors are priced in ONE :meth:`_cost_grid` call per policy
+        kind — the cost arithmetic is element-wise, so batching across
+        zone-set rows changes nothing.  The seed is an exact achievable
+        cost, so every pruned cell's true cost exceeds the winner's by
+        more than the margin — which itself exceeds the worst
+        accumulated tie-break drift (``2 * 210 * COST_EPS``) — and the
+        selection loop runs in the full loop's evaluation order with
+        its comparator, so the winner is identical to
+        :meth:`_best_candidate_full`'s — the property the pruning
+        differential tests pin down.
+
+        From a bucket's second decision on, the remaining solves are
+        completed once (:meth:`_build_dense`) and every further
+        decision in the bucket reprices only the deadline-clock half
+        of the estimator over cached matrices — same cost values, same
+        winner, no per-decision bounding overhead.
+        """
+        sets = self._zone_sets
+        nbids = len(self.bids)
+        bucket = ctx.oracle.stats_bucket(ctx.now)
+        dense = self._dense_cache.get(bucket)
+        if dense is None and bucket in self._seen_buckets:
+            # Second decision in this bucket: the statistics are warm
+            # and further decisions will keep landing here, so finish
+            # the few solves pruning spared once and drop to the dense
+            # path for the rest of the bucket.
+            dense = self._build_dense(ctx, bucket)
+        self._seen_buckets.add(bucket)
+        if dense is not None:
+            return self._select_dense(ctx, dense)
+
+        avail, rate = self._combined_cheap(ctx, bucket)
+        bound = self._cost_lower_bound(ctx, avail, rate)
+
+        def combined_uptime_at(si: int, cols: np.ndarray) -> np.ndarray:
+            zones = sets[si]
+            uptime_rows = [self._zone_uptime_row(ctx, z) for z in zones]
+            for z, urow in zip(zones, uptime_rows):
+                self._fill_uptimes(ctx, z, urow, cols)
+            combined = uptime_rows[0][cols]
+            for urow in uptime_rows[1:]:
+                combined = combined + urow[cols]
+            return combined
+
+        # Seed the incumbent from one exact batch: the full row holding
+        # the globally smallest bound plus each other row's
+        # smallest-bound cell.  The full row costs solves the final
+        # pass would pay anyway (its cells rarely prune), and the
+        # representatives give every row a chance to tighten the
+        # cutoff before any other solve is paid.
+        rep_cols = np.argmin(bound, axis=1)
+        best_row = int(np.argmin(bound)) // nbids
+        seed_plan = [
+            (si, np.arange(nbids) if si == best_row else rep_cols[si : si + 1])
+            for si in range(len(sets))
+        ]
+        seed_avail = np.concatenate([avail[si, c] for si, c in seed_plan])
+        seed_rate = np.concatenate([rate[si, c] for si, c in seed_plan])
+        seed_uptime = np.concatenate(
+            [combined_uptime_at(si, c) for si, c in seed_plan]
+        )
+        incumbent = min(
+            float(
+                self._cost_grid(
+                    ctx, kind, seed_avail, seed_uptime, seed_rate
+                ).min()
+            )
+            for kind in self.policy_kinds
+        )
+        cutoff = incumbent + PRUNE_MARGIN
+
+        surviving: list[tuple[int, np.ndarray]] = []
+        cat_avail: list[np.ndarray] = []
+        cat_uptime: list[np.ndarray] = []
+        cat_rate: list[np.ndarray] = []
+        for si in range(len(sets)):
+            cols = np.flatnonzero(bound[si] <= cutoff)
+            if cols.size == 0:
+                continue  # the whole (zone set, *) row cannot win
+            surviving.append((si, cols))
+            cat_avail.append(avail[si, cols])
+            cat_uptime.append(combined_uptime_at(si, cols))
+            cat_rate.append(rate[si, cols])
+        all_avail = np.concatenate(cat_avail)
+        all_uptime = np.concatenate(cat_uptime)
+        all_rate = np.concatenate(cat_rate)
+        costs = [
+            self._cost_grid(ctx, kind, all_avail, all_uptime, all_rate).tolist()
+            for kind in self.policy_kinds
+        ]
+
+        best: tuple[float, int, float] | None = None  # (cost, |zones|, bid)
+        winner: tuple[int, str, int] | None = None
+        winner_pos = -1
+        pos = 0
+        for si, cols in surviving:
+            nz = len(sets[si])
+            for ci, i in enumerate(cols.tolist()):
+                bid = self.bids[i]
+                for kind, row in zip(self.policy_kinds, costs):
+                    cost = row[pos + ci]
+                    if best is None or cost < best[0] - COST_EPS or (
+                        abs(cost - best[0]) <= COST_EPS
+                        and (nz, bid) < (best[1], best[2])
+                    ):
+                        best = (cost, nz, bid)
+                        winner = (si, kind, i)
+                        winner_pos = pos + ci
+            pos += cols.size
+        if winner is None:
+            return None
+        si, kind, i = winner
+        return self._estimate_from_combined(
+            ctx, float(self.bids[i]), sets[si], kind,
+            combined_avail=float(all_avail[winner_pos]),
+            combined_uptime=float(all_uptime[winner_pos]),
+            spot_rate=float(all_rate[winner_pos]),
+        )
+
+    def _combined_cheap(
+        self, ctx: PolicyContext, bucket: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bucket (availability, spot rate) over the candidate grid."""
+        cached = self._combined_cache.get(bucket)
+        if cached is None:
+            sets = self._zone_sets
+            avail = np.empty((len(sets), len(self.bids)))
+            rate = np.empty((len(sets), len(self.bids)))
+            for si, zones in enumerate(sets):
+                cheap = [self._zone_cheap(ctx, z) for z in zones]
+                one_minus = 1.0 - cheap[0][0]
+                spot_rate = cheap[0][0] * cheap[0][1]
+                for a, r in cheap[1:]:
+                    one_minus = one_minus * (1.0 - a)
+                    spot_rate = spot_rate + a * r
+                avail[si] = 1.0 - one_minus
+                rate[si] = spot_rate
+            cached = (avail, rate)
+            self._combined_cache[bucket] = cached
+        return cached
+
+    def _build_dense(self, ctx: PolicyContext, bucket: float):
+        """Complete the bucket's statistic matrices for the dense path.
+
+        Solves every still-missing uptime cell (reusing whatever the
+        pruned pass already paid for) and precomputes the per-kind
+        progress-rate grids, so each later decision in the bucket only
+        reprices the deadline-clock half of the estimator.
+        """
+        sets = self._zone_sets
+        avail, rate = self._combined_cheap(ctx, bucket)
+        all_cols = np.arange(len(self.bids))
+        uptime = np.empty((len(sets), len(self.bids)))
+        for si, zones in enumerate(sets):
+            uptime_rows = [self._zone_uptime_row(ctx, z) for z in zones]
+            for z, urow in zip(zones, uptime_rows):
+                self._fill_uptimes(ctx, z, urow, all_cols)
+            combined = uptime_rows[0][all_cols]
+            for urow in uptime_rows[1:]:
+                combined = combined + urow[all_cols]
+            uptime[si] = combined
+        progress = {
+            kind: self._progress_grid(ctx.config, kind, avail, uptime)
+            for kind in self.policy_kinds
+        }
+        dense = (avail, uptime, rate, progress)
+        self._dense_cache[bucket] = dense
+        return dense
+
+    def _select_dense(self, ctx: PolicyContext, dense) -> CandidateEstimate | None:
+        """:meth:`_best_candidate_full`'s selection over cached matrices."""
+        sets = self._zone_sets
+        avail, uptime, rate, progress = dense
+        costs = [
+            self._cost_from_rate(ctx, progress[kind], rate).tolist()
+            for kind in self.policy_kinds
+        ]
+        best: tuple[float, int, float] | None = None  # (cost, |zones|, bid)
+        winner: tuple[int, str, int] | None = None
+        for si, zones in enumerate(sets):
+            rows = [kind_costs[si] for kind_costs in costs]
+            nz = len(zones)
+            for i, bid in enumerate(self.bids):
+                for kind, row in zip(self.policy_kinds, rows):
+                    cost = row[i]
+                    if best is None or cost < best[0] - COST_EPS or (
+                        abs(cost - best[0]) <= COST_EPS
                         and (nz, bid) < (best[1], best[2])
                     ):
                         best = (cost, nz, bid)

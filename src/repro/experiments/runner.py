@@ -42,7 +42,7 @@ from repro.market.constants import LARGE_BID, SAMPLE_INTERVAL_S
 from repro.market.queuing import QueueDelayModel
 from repro.market.spot_market import PriceOracle
 from repro.traces.library import DEFAULT_SEED, evaluation_window
-from repro.traces.model import overlapping_starts
+from repro.traces.model import SpotPriceTrace, overlapping_starts
 
 #: Paper default: 80 partially overlapping chunks per window.
 DEFAULT_NUM_EXPERIMENTS: int = 80
@@ -111,6 +111,13 @@ class ExperimentRunner:
         JSONL path for the structured event stream (implies ``audit``).
         Under workers > 1 each worker appends to its own
         ``<audit_out>.w<pid>`` file, so the stream needs no locking.
+    trace, eval_start:
+        Prebuilt evaluation window.  Defaults to
+        :func:`~repro.traces.library.evaluation_window` on
+        ``window``/``seed``; sweep workers attached to a shared-memory
+        arena pass the mapped (zero-copy) trace instead so each process
+        skips regenerating the archive.  The arrays must equal the
+        generated window's — results are bit-identical either way.
     """
 
     window: str
@@ -121,16 +128,19 @@ class ExperimentRunner:
     engine_mode: str = "fast"
     audit: bool = False
     audit_out: str | None = None
+    trace: "SpotPriceTrace | None" = None
+    eval_start: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.audit_out is not None:
             self.audit = True
-        trace, eval_start = evaluation_window(self.window, self.seed)
-        self.trace = trace
-        self.eval_start = eval_start
-        self.oracle = PriceOracle(trace)
+        if self.trace is None:
+            self.trace, self.eval_start = evaluation_window(self.window, self.seed)
+        elif self.eval_start is None:
+            raise ValueError("eval_start is required with an explicit trace")
+        self.oracle = PriceOracle(self.trace)
         self._executor = None
         self._auditor = None
 

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.market.constants import MARKOV_HISTORY_S, SAMPLE_INTERVAL_S, bid_grid
 from repro.stats.availability import mean_up_run_s
-from repro.stats.markov import PriceMarkovModel
+from repro.stats.markov import PriceMarkovModel, RollingMarkovFitter
 from repro.traces.model import SpotPriceTrace, ZoneTrace
 
 
@@ -46,6 +46,17 @@ class PriceOracle:
 
     trace: SpotPriceTrace
     history_s: int = MARKOV_HISTORY_S
+    #: Width of the statistics bucket, seconds.  ``None`` disables
+    #: bucketing entirely: every query re-anchors the trailing window
+    #: at its own timestamp and re-fits from scratch — the paper's
+    #: literal per-decision protocol, kept as the reference (and
+    #: benchmark baseline) for the bucketed production path.
+    bucket_s: float | None = 3600.0
+    #: Maintain per-zone rolling-window fitters and re-condition
+    #: intra-bucket refits via ``with_initial`` instead of refitting.
+    #: Bit-identical to the full refit path (tests enforce it); keep
+    #: switchable so differential suites can compare both.
+    incremental: bool = True
     #: (zone, bucket) -> bucket Markov model.
     _markov_cache: dict = field(default_factory=dict, repr=False)
     #: (zone, bucket, level) -> model re-conditioned on an intra-bucket
@@ -57,6 +68,12 @@ class PriceOracle:
     _uprun_cache: dict = field(default_factory=dict, repr=False)
     #: (zone, i0, i1) -> min price over that exact sample range.
     _minprice_cache: dict = field(default_factory=dict, repr=False)
+    #: zone -> rolling-window fitter maintaining the trailing window's
+    #: transition counts incrementally as buckets advance.
+    _fitters: dict = field(default_factory=dict, repr=False)
+    #: (zone, bucket) -> precomputed stationary vector, installed by
+    #: :meth:`seed_stationary` (the sweep pool's shared-memory arena).
+    _warm_stationary: dict = field(default_factory=dict, repr=False)
 
     # -- raw prices -------------------------------------------------------
 
@@ -122,8 +139,20 @@ class PriceOracle:
 
     # -- cached derived statistics -----------------------------------------
 
-    def _bucket(self, t: float) -> int:
-        return int(t // 3600.0)
+    def _bucket(self, t: float) -> float:
+        if self.bucket_s is None:
+            return float(t)
+        return int(t // self.bucket_s)
+
+    def stats_bucket(self, t: float) -> float:
+        """Cache-key component identifying the statistics bucket of ``t``.
+
+        Consumers that memoize per-decision statistics (Adaptive's
+        controller-side caches) must key by this, not a hard-coded
+        hour, so a reference oracle with ``bucket_s=None`` is never
+        served stale hourly entries.
+        """
+        return self._bucket(t)
 
     def _anchor(self, t: float) -> float:
         """Measurement time of the hourly statistics: the bucket start.
@@ -134,20 +163,83 @@ class PriceOracle:
         longer depends on query order, so sweep workers, the Adaptive
         grid, and both engine modes can seed the caches in any order
         and still agree bit for bit.
+
+        With bucketing disabled (``bucket_s=None``) the anchor is the
+        query time itself: statistics are re-measured per decision.
         """
-        return int(t // 3600.0) * 3600.0
+        if self.bucket_s is None:
+            return float(t)
+        return int(t // self.bucket_s) * self.bucket_s
+
+    def _fitter(self, zone: str) -> RollingMarkovFitter:
+        fitter = self._fitters.get(zone)
+        if fitter is None:
+            fitter = RollingMarkovFitter(self.trace.zone(zone).prices)
+            self._fitters[zone] = fitter
+        return fitter
 
     def markov_model(self, zone: str, t: float) -> PriceMarkovModel:
-        """Markov chain fitted on the trailing history, hourly refreshed."""
+        """Markov chain fitted on the trailing history, hourly refreshed.
+
+        On the incremental path the fit consumes the zone's rolling
+        window statistics (O(samples entering + leaving) per bucket
+        advance); the full-window ``PriceMarkovModel.fit`` remains the
+        reference and the two are bit-identical at every bucket
+        boundary.
+        """
         key = (zone, self._bucket(t))
         model = self._markov_cache.get(key)
         if model is None:
-            model = PriceMarkovModel.fit(
-                self.history(zone, self._anchor(t)),
-                current_price=self.price(zone, t),
-            )
+            anchor = self._anchor(t)
+            if self.incremental:
+                fitter = self._fitter(zone)
+                fitter.set_window(*self._history_span(zone, anchor))
+                model = fitter.model(self.price(zone, t))
+            else:
+                model = PriceMarkovModel.fit(
+                    self.history(zone, anchor),
+                    current_price=self.price(zone, t),
+                )
+            warm = self._warm_stationary.get(key)
+            if warm is not None:
+                model.seed_stationary(warm)
             self._markov_cache[key] = model
         return model
+
+    def seed_stationary(self, tables: dict) -> None:
+        """Adopt precomputed stationary vectors keyed ``(zone, bucket)``.
+
+        Sweep workers call this with the tables the parent published in
+        the shared-memory arena (:meth:`prewarm_stationary` on the
+        parent side): a bucket's chain then skips its
+        eigendecomposition entirely.  The vectors are pure functions of
+        ``(zone, bucket)`` — the bucket-anchored window fixes the chain
+        — so substituting the parent's result is exact.
+        """
+        self._warm_stationary.update(tables)
+
+    def prewarm_stationary(self, t0: float, t1: float) -> dict:
+        """Fit every ``(zone, bucket)`` chain over ``[t0, t1)`` and
+        return the stationary vectors keyed for :meth:`seed_stationary`.
+
+        The rolling fitters make the walk O(total samples) and chain
+        dedup collapses calm stretches, so prewarming a whole
+        evaluation window costs well under a second — paid once by the
+        pool parent instead of once per worker.  Returns ``{}`` for a
+        reference oracle (``bucket_s=None``): per-decision refits have
+        no bucket grid to prewarm.
+        """
+        if self.bucket_s is None:
+            return {}
+        out: dict = {}
+        z0 = self.trace.start_time
+        lo = int(max(t0, z0) // self.bucket_s)
+        hi = int(min(t1, self.trace.end_time - SAMPLE_INTERVAL_S) // self.bucket_s)
+        for zone in self.zone_names:
+            for b in range(lo, hi + 1):
+                t = max(b * self.bucket_s, z0)
+                out[(zone, self._bucket(t))] = self.markov_model(zone, t).stationary()
+        return out
 
     def _model_at_level(self, zone: str, t: float) -> PriceMarkovModel:
         """The bucket model, re-conditioned on the current price level.
@@ -155,8 +247,10 @@ class PriceOracle:
         The bucket model's initial state is the price at the bucket's
         first query; an intra-bucket price move must be honoured for
         the uptime prediction (the walk starts from *this* level).
-        Refits are memoized by ``(zone, bucket, level)`` — previously
-        each query recomputed and discarded the refit.
+        Refits are memoized by ``(zone, bucket, level)``; incrementally
+        they are ``with_initial`` copies sharing the bucket chain's
+        stationary vector and absorbing solves — only the start state
+        changes, so nothing else needs recomputing.
         """
         model = self.markov_model(zone, t)
         level = float(self.price(zone, t))
@@ -165,9 +259,12 @@ class PriceOracle:
         key = (zone, self._bucket(t), level)
         refit = self._refit_cache.get(key)
         if refit is None:
-            refit = PriceMarkovModel.fit(
-                self.history(zone, self._anchor(t)), current_price=level
-            )
+            if self.incremental:
+                refit = model.with_initial(level)
+            else:
+                refit = PriceMarkovModel.fit(
+                    self.history(zone, self._anchor(t)), current_price=level
+                )
             self._refit_cache[key] = refit
         return refit
 
@@ -203,6 +300,46 @@ class PriceOracle:
             cached = (avail, rate, uptime)
             self._zone_stats_cache[key] = cached
         return cached
+
+    def zone_availability_rate(
+        self, zone: str, t: float, bids: Sequence[float] | np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The cheap two-thirds of :meth:`zone_stats`.
+
+        Availability and expected charged rate need only the bucket
+        chain's stationary vector — no absorbing solves — so Adaptive's
+        pruning pass can rank candidates from these alone and pay for
+        uptime solves (:meth:`zone_uptimes`) only where the lower bound
+        says a candidate might win.  Same arrays, bit for bit, as
+        :meth:`zone_stats`'s first two.
+        """
+        bids_arr = np.asarray(
+            bid_grid() if bids is None else bids, dtype=np.float64
+        )
+        key = ("ar", zone, self._bucket(t), bids_arr.tobytes())
+        cached = self._zone_stats_cache.get(key)
+        if cached is None:
+            model = self.markov_model(zone, t)
+            avail = model.availability_batch(bids_arr)
+            rate = model.expected_price_given_up_batch(bids_arr)
+            for arr in (avail, rate):
+                arr.setflags(write=False)
+            cached = (avail, rate)
+            self._zone_stats_cache[key] = cached
+        return cached
+
+    def zone_uptimes(
+        self, zone: str, t: float, bids: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Expected up times for an arbitrary bid subset.
+
+        The per-up-state-count memo on the level-conditioned model is
+        the cache, so querying a masked subset now and the rest later
+        costs exactly the same solves as one full-grid call — and the
+        values are bit-identical to :meth:`zone_stats`'s third array.
+        """
+        bids_arr = np.asarray(bids, dtype=np.float64)
+        return self._model_at_level(zone, t).expected_uptime_batch(bids_arr)
 
     def combined_uptimes(
         self, zones: Sequence[str], t: float, bids: Sequence[float] | np.ndarray

@@ -70,6 +70,14 @@ class PriceMarkovModel:
     _succ: tuple | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Chain-scoped cache shared across every ``with_initial`` copy of
+    # this chain: stationary vector, successor lists, reachability sets
+    # and absorbing-chain solve vectors depend on (levels, trans) only,
+    # so per-(zone, bucket, level) refits of one bucket's chain all
+    # read from the same table instead of re-deriving them.
+    _chain_shared: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = self.levels.size
@@ -158,6 +166,44 @@ class PriceMarkovModel:
         return cls(levels=levels, trans=trans, initial=initial, step_s=step_s,
                    fit_window_s=prices.size * step_s)
 
+    def with_initial(self, current_price: float) -> "PriceMarkovModel":
+        """A copy of this chain conditioned on ``current_price``.
+
+        Re-anchoring the initial state is the *only* thing a
+        per-(zone, bucket, level) refit changes: the window — and
+        therefore the levels, the transition matrix and every statistic
+        derived from them — is identical.  The copy shares this chain's
+        ``levels``/``trans`` arrays and its chain-scoped cache
+        (:attr:`_chain_shared`), so stationary vectors and absorbing
+        solves computed through any copy are visible to all of them.
+
+        Bit-identical to ``PriceMarkovModel.fit`` on the same window
+        with the new ``current_price``: the start state is the same
+        nearest-level ``argmin`` and the point-mass solve fast path
+        reproduces the dense ``p0 @ x`` contraction exactly.
+        """
+        start = int(np.argmin(np.abs(self.levels - current_price)))
+        if (
+            self.initial[start] == 1.0
+            and np.count_nonzero(self.initial) == 1
+        ):
+            return self
+        initial = np.zeros(self.num_states)
+        initial[start] = 1.0
+        clone = PriceMarkovModel(
+            levels=self.levels,
+            trans=self.trans,
+            initial=initial,
+            step_s=self.step_s,
+            fit_window_s=self.fit_window_s,
+        )
+        object.__setattr__(clone, "_chain_shared", self._chain_shared)
+        if self._stationary is not None:
+            object.__setattr__(clone, "_stationary", self._stationary)
+        if self._succ is not None:
+            object.__setattr__(clone, "_succ", self._succ)
+        return clone
+
     # ------------------------------------------------------------------
 
     def up_mask(self, bid: float) -> np.ndarray:
@@ -225,12 +271,19 @@ class PriceMarkovModel:
         )
 
     def _successors(self) -> tuple:
-        """Per-state lists of positive-probability successors, cached."""
+        """Per-state lists of positive-probability successors, cached.
+
+        Chain-scoped: the lists depend on ``trans`` only, so every
+        ``with_initial`` copy reads (and writes) one shared entry.
+        """
         s = self._succ
         if s is None:
-            s = tuple(
-                np.flatnonzero(row > 0.0).tolist() for row in self.trans
-            )
+            s = self._chain_shared.get("succ")
+            if s is None:
+                s = tuple(
+                    np.flatnonzero(row > 0.0).tolist() for row in self.trans
+                )
+                self._chain_shared["succ"] = s
             object.__setattr__(self, "_succ", s)
         return s
 
@@ -242,10 +295,30 @@ class PriceMarkovModel:
             self._uptime_by_count[k] = value
         return value
 
+    def _point_mass_state(self) -> int:
+        """Start state when ``initial`` is an exact point mass, else -1."""
+        s = self._chain_shared.get(("pm", self.initial.tobytes()))
+        if s is None:
+            nz = np.flatnonzero(self.initial)
+            s = int(nz[0]) if nz.size == 1 and self.initial[nz[0]] == 1.0 else -1
+            self._chain_shared[("pm", self.initial.tobytes())] = s
+        return s
+
     def _solve_uptime(self, k: int) -> float:
-        """One absorbing-chain solve for the up set = ``k`` cheapest levels."""
+        """One absorbing-chain solve for the up set = ``k`` cheapest levels.
+
+        Fitted chains always start from a point mass, which admits a
+        chain-shared evaluation: the reachable set depends only on
+        (start state, k) and the solve vector only on (k, reachable
+        set), so ``with_initial`` refits of one bucket's chain reuse
+        each other's factorizations.  The dense path below remains the
+        reference for arbitrary initial distributions.
+        """
         if k <= 0:
             return 0.0
+        s = self._point_mass_state()
+        if s >= 0:
+            return self._solve_uptime_point_mass(s, k)
         up_mask = np.zeros(self.num_states, dtype=bool)
         up_mask[:k] = True
         p0_full = self.initial * up_mask
@@ -288,6 +361,58 @@ class PriceMarkovModel:
             return cap
         return float(min(steps * self.step_s, cap))
 
+    def _solve_uptime_point_mass(self, s: int, k: int) -> float:
+        """Chain-shared absorbing solve for a point-mass start at ``s``.
+
+        Replicates the dense path exactly: for ``p0 = e_s`` the
+        contraction ``p0 @ x`` is ``x[s]`` when every component of
+        ``x`` is finite, and NaN (→ cap) when any component is not —
+        ``0.0 * inf`` poisons the dense dot product, so the shared
+        entry caps for every start sharing the same reachable set,
+        exactly as each dense solve would have.
+        """
+        if s >= k:
+            # Current level is already over the bid: initial up mass 0.
+            return 0.0
+        cap = self._uptime_cap()
+        shared = self._chain_shared
+        rkey = ("reach", s, k)
+        reachable = shared.get(rkey)
+        if reachable is None:
+            succ = self._successors()
+            seen = np.zeros(self.num_states, dtype=bool)
+            stack = [s]
+            seen[stack] = True
+            while stack:
+                for j in succ[stack.pop()]:
+                    if j < k and not seen[j]:
+                        seen[j] = True
+                        stack.append(j)
+            reachable = np.flatnonzero(seen)
+            reachable.setflags(write=False)
+            shared[rkey] = reachable
+        skey = ("solve", k, reachable.tobytes())
+        entry = shared.get(skey)
+        if entry is None:
+            q = self.trans[np.ix_(reachable, reachable)]
+            if np.all(q.sum(axis=1) > 1.0 - 1e-12):
+                entry = "cap"
+            else:
+                n = reachable.size
+                try:
+                    x = np.linalg.solve(np.eye(n) - q, np.ones(n))
+                except np.linalg.LinAlgError:
+                    entry = "cap"
+                else:
+                    entry = x if np.all(np.isfinite(x)) else "cap"
+            shared[skey] = entry
+        if isinstance(entry, str):
+            return cap
+        steps = float(entry[int(np.searchsorted(reachable, s))])
+        if steps < 0:
+            return cap
+        return float(min(steps * self.step_s, cap))
+
     def expected_uptime_iterative(
         self,
         bid: float,
@@ -325,16 +450,36 @@ class PriceMarkovModel:
         """
         v = self._stationary
         if v is None:
-            evals, evecs = np.linalg.eig(self.trans.T)
-            i = int(np.argmin(np.abs(evals - 1.0)))
-            v = np.abs(np.real(evecs[:, i]))
-            total = v.sum()
-            if total <= 0:
-                raise MarkovError("degenerate stationary distribution")
-            v = v / total
-            v.setflags(write=False)
+            v = self._chain_shared.get("stationary")
+            if v is None:
+                evals, evecs = np.linalg.eig(self.trans.T)
+                i = int(np.argmin(np.abs(evals - 1.0)))
+                v = np.abs(np.real(evecs[:, i]))
+                total = v.sum()
+                if total <= 0:
+                    raise MarkovError("degenerate stationary distribution")
+                v = v / total
+                v.setflags(write=False)
+                self._chain_shared["stationary"] = v
             object.__setattr__(self, "_stationary", v)
         return v
+
+    def seed_stationary(self, v: np.ndarray) -> None:
+        """Install a precomputed stationary vector for this chain.
+
+        The sweep pool's shared-memory arena ships the parent's
+        eigendecompositions to the workers so each process does not
+        redo them; the vector must be the one :meth:`stationary` would
+        compute (same chain, same arithmetic — which parent and worker
+        share, making the substitution exact).  A vector already
+        computed locally wins: seeding never overwrites.
+        """
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != (self.num_states,):
+            raise MarkovError(
+                f"stationary vector shape {v.shape} != ({self.num_states},)"
+            )
+        self._chain_shared.setdefault("stationary", v)
 
     def availability(self, bid: float) -> float:
         """Asymptotic probability of being up at ``bid``.
@@ -413,3 +558,189 @@ def combined_expected_uptime(
     if not models:
         raise MarkovError("no zone models supplied")
     return float(sum(m.expected_uptime(bid) for m in models))
+
+
+class RollingMarkovFitter:
+    """Incremental refitter for a sliding window over one price series.
+
+    The oracle re-fits each zone's chain on a trailing 2-day window
+    whose boundaries advance one bucket at a time; recounting all 576
+    samples per advance is pure waste when only a handful of samples
+    enter and leave.  This fitter keeps the window's sufficient
+    statistics — per-pair transition counts and per-level occupancy —
+    and updates them in O(samples entering + leaving) as the window
+    slides.  Materializing a model replays ``PriceMarkovModel.fit``'s
+    exact floating-point pipeline on those counts, so the result is
+    bit-identical to a full refit of the same window: same levels,
+    same transition matrix, same stationary vector.
+
+    Materialized chains are memoized by their count signature: calm
+    stretches where consecutive windows share the same transition
+    multiset (common on the low-volatility window) collapse to a
+    single chain object, sharing its eigendecomposition and absorbing
+    solves across buckets.
+    """
+
+    def __init__(
+        self,
+        prices: np.ndarray,
+        step_s: float = float(SAMPLE_INTERVAL_S),
+    ) -> None:
+        self._prices = np.asarray(prices, dtype=np.float64)
+        if self._prices.ndim != 1:
+            raise MarkovError("price series must be one-dimensional")
+        self._step_s = float(step_s)
+        self._lo = 0
+        self._hi = 0
+        self._pair_counts: dict[tuple[float, float], int] = {}
+        self._occupancy: dict[float, int] = {}
+        self._chains: dict = {}
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """Current window as a half-open index span ``[lo, hi)``."""
+        return (self._lo, self._hi)
+
+    # -- statistic maintenance -----------------------------------------
+
+    def _add_pairs(self, lo: int, hi: int) -> None:
+        """Count pairs ``(p[i], p[i+1])`` for ``i`` in ``[lo, hi)``."""
+        prices, pairs = self._prices, self._pair_counts
+        for i in range(lo, hi):
+            key = (float(prices[i]), float(prices[i + 1]))
+            pairs[key] = pairs.get(key, 0) + 1
+
+    def _remove_pairs(self, lo: int, hi: int) -> None:
+        pairs = self._pair_counts
+        prices = self._prices
+        for i in range(lo, hi):
+            key = (float(prices[i]), float(prices[i + 1]))
+            left = pairs[key] - 1
+            if left:
+                pairs[key] = left
+            else:
+                del pairs[key]
+
+    def _add_occupancy(self, lo: int, hi: int) -> None:
+        occ, prices = self._occupancy, self._prices
+        for i in range(lo, hi):
+            level = float(prices[i])
+            occ[level] = occ.get(level, 0) + 1
+
+    def _remove_occupancy(self, lo: int, hi: int) -> None:
+        occ, prices = self._occupancy, self._prices
+        for i in range(lo, hi):
+            level = float(prices[i])
+            left = occ[level] - 1
+            if left:
+                occ[level] = left
+            else:
+                del occ[level]
+
+    def _rebuild(self, lo: int, hi: int) -> None:
+        """Recount from scratch (first use, or a jump past the window)."""
+        self._pair_counts.clear()
+        self._occupancy.clear()
+        self._add_pairs(lo, hi - 1)
+        self._add_occupancy(lo, hi)
+
+    def set_window(self, lo: int, hi: int) -> None:
+        """Slide the window to ``[lo, hi)``, updating stats by deltas.
+
+        Overlapping moves touch only the samples entering and leaving;
+        a disjoint jump (or a move larger than the overlap saves)
+        recounts, which is never worse than the non-incremental path.
+        """
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= self._prices.size:
+            raise MarkovError(
+                f"window [{lo}, {hi}) out of range for {self._prices.size} samples"
+            )
+        if (lo, hi) == (self._lo, self._hi):
+            return
+        overlap = min(hi, self._hi) - max(lo, self._lo)
+        entering = (hi - lo) - max(overlap, 0)
+        leaving = (self._hi - self._lo) - max(overlap, 0)
+        if overlap <= 0 or entering + leaving >= hi - lo:
+            self._rebuild(lo, hi)
+        else:
+            # Shared samples remain counted; pairs straddling a moving
+            # edge are re-derived from the edge indices alone.
+            if lo > self._lo:
+                self._remove_pairs(self._lo, lo)
+                self._remove_occupancy(self._lo, lo)
+            elif lo < self._lo:
+                self._add_pairs(lo, self._lo)
+                self._add_occupancy(lo, self._lo)
+            if hi > self._hi:
+                self._add_pairs(self._hi - 1, hi - 1)
+                self._add_occupancy(self._hi, hi)
+            elif hi < self._hi:
+                self._remove_pairs(hi - 1, self._hi - 1)
+                self._remove_occupancy(hi, self._hi)
+        self._lo, self._hi = lo, hi
+
+    # -- materialization -----------------------------------------------
+
+    def _materialize(self) -> PriceMarkovModel:
+        """Build the chain from the maintained counts.
+
+        Replays ``PriceMarkovModel.fit`` operation for operation on a
+        counts matrix reconstructed from the pair dictionary — the
+        integer counts are identical to ``bincount`` over the window,
+        so every downstream float is bit-identical.
+        """
+        n_samples = self._hi - self._lo
+        if n_samples < 2:
+            raise MarkovError("need at least two samples to fit transitions")
+        occ = self._occupancy
+        levels = np.fromiter(sorted(occ), dtype=np.float64, count=len(occ))
+        index = {level: i for i, level in enumerate(levels.tolist())}
+        n = levels.size
+        counts = np.zeros((n, n), dtype=np.int64)
+        for (a, b), c in self._pair_counts.items():
+            counts[index[a], index[b]] = c
+        counts = counts.astype(np.float64)
+        row_sums = counts.sum(axis=1, keepdims=True)
+        trans = np.where(
+            row_sums > 0, counts / np.where(row_sums == 0, 1, row_sums), 0.0
+        )
+        marginal = counts.sum(axis=0)
+        total = marginal.sum()
+        marginal = marginal / total if total > 0 else np.full(n, 1.0 / n)
+        empty = np.flatnonzero(row_sums[:, 0] == 0)
+        if empty.size:
+            trans[empty] = marginal
+        smoothing = 1.0 / (2.0 * max(n_samples - 1, 1))
+        trans = (1.0 - smoothing) * trans + smoothing * marginal[np.newaxis, :]
+        initial = np.zeros(n)
+        initial[0] = 1.0
+        return PriceMarkovModel(
+            levels=levels,
+            trans=trans,
+            initial=initial,
+            step_s=self.step_s,
+            fit_window_s=n_samples * self.step_s,
+        )
+
+    @property
+    def step_s(self) -> float:
+        return self._step_s
+
+    def model(self, current_price: float) -> PriceMarkovModel:
+        """The current window's chain, conditioned on ``current_price``.
+
+        Chains are memoized by (window length, transition multiset):
+        windows with identical counts share one chain object — and
+        therefore one stationary eigendecomposition and one absorbing
+        solve table — across buckets.
+        """
+        key = (
+            self._hi - self._lo,
+            frozenset(self._pair_counts.items()),
+        )
+        base = self._chains.get(key)
+        if base is None:
+            base = self._materialize()
+            self._chains[key] = base
+        return base.with_initial(current_price)

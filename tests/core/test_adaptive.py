@@ -148,3 +148,81 @@ class TestEndToEnd:
                          controller=AdaptiveController())
         switches = [e for e in result.events if e.kind == "config-switch"]
         assert switches, "controller never configured the run"
+
+
+class TestPruning:
+    """The lower-bounded permutation loop must pick the full loop's winner."""
+
+    def same_winner(self, ctx):
+        pruned = AdaptiveController(prune=True)
+        full = AdaptiveController(prune=False)
+        pruned.reset(ctx)
+        full.reset(ctx)
+        a = pruned.best_candidate(ctx)
+        b = full.best_candidate(ctx)
+        assert a == b
+        return a
+
+    def test_synthetic_market(self):
+        trace = market_trace()
+        self.same_winner(make_ctx(trace))
+
+    @pytest.mark.parametrize("window", ["low", "high"])
+    def test_evaluation_windows_across_decision_times(self, window):
+        from repro.traces.library import evaluation_window
+
+        trace, eval_start = evaluation_window(window)
+        for hours in (0, 7, 25, 73, 140):
+            for slack in (0.15, 1.0):
+                config = small_config(compute_h=12.0, slack_fraction=slack)
+                ctx = make_ctx(
+                    trace, now=eval_start + hours * 3600.0, config=config
+                )
+                self.same_winner(ctx)
+
+    def test_pruned_skips_uptime_solves(self):
+        """Pruning must actually avoid work, not just agree on winners."""
+        from repro.traces.library import evaluation_window
+
+        trace, eval_start = evaluation_window("low")
+        ctx = make_ctx(trace, now=eval_start + 24 * 3600.0)
+        ctrl = AdaptiveController(prune=True)
+        ctrl.reset(ctx)
+        ctrl.best_candidate(ctx)
+        rows = list(ctrl._uptime_cache.values())
+        assert rows, "pruned path never touched the uptime cache"
+        unsolved = sum(int(np.isnan(row).sum()) for row in rows)
+        assert unsolved > 0, "pruning paid for every absorbing solve anyway"
+
+
+class TestTieBreak:
+    """Near-ties resolve toward fewer zones, then lower bid (COST_EPS)."""
+
+    def expired_budget_ctx(self, trace):
+        """All candidates predict the identical on-demand fallback cost."""
+        config = small_config(compute_h=2.0, slack_fraction=0.1)
+        start = trace.start_time + 86400.0
+        now = start + config.deadline_s  # budget exhausted: exact tie
+        run = ApplicationRun(config=config, start_time=start,
+                             store=CheckpointStore())
+        instances = {z: ZoneInstance(zone=z) for z in trace.zone_names}
+        return PolicyContext(now=now, bid=0.47, zones=trace.zone_names[:1],
+                             oracle=PriceOracle(trace), config=config, run=run,
+                             instances=instances)
+
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_exact_tie_takes_fewest_zones_then_lowest_bid(self, prune):
+        trace = market_trace()
+        ctx = self.expired_budget_ctx(trace)
+        ctrl = AdaptiveController(prune=prune)
+        ctrl.reset(ctx)
+        best = ctrl.best_candidate(ctx)
+        assert len(best.zones) == 1
+        assert best.bid == min(ctrl.bids)
+        assert best.policy_kind == ctrl.policy_kinds[0]
+
+    def test_tie_constant_shared_with_cost_grid(self):
+        from repro.core import adaptive
+
+        assert adaptive.COST_EPS == 1e-9
+        assert adaptive.PRUNE_MARGIN > 2 * 210 * adaptive.COST_EPS

@@ -1,0 +1,189 @@
+"""The shared-memory trace arena must be invisible in the results.
+
+The arena only relocates work: the parent publishes the window's price
+arrays and pre-warmed statistic tables once, and workers map them
+zero-copy instead of regenerating them.  Every test here pins the
+"only relocates" part — attached views equal the generated arrays bit
+for bit, seeded oracles answer exactly like cold ones, the fallback
+path (no arena) produces the identical records, and the segment is
+gone after close.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.app.workload import paper_experiment
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    ArenaSpec,
+    SweepExecutor,
+    TraceArena,
+    attach_arena,
+)
+from repro.experiments.runner import CellTask, ExperimentRunner
+from repro.market.constants import LARGE_BID, bid_grid
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+from repro.traces.library import DEFAULT_SEED, evaluation_window
+
+
+@pytest.fixture(scope="module")
+def low_window():
+    return evaluation_window("low")
+
+
+@pytest.fixture()
+def arena(low_window):
+    trace, eval_start = low_window
+    oracle = PriceOracle(trace)
+    warm = oracle.prewarm_stationary(eval_start, trace.end_time)
+    thresholds = tuple(float(b) for b in bid_grid()) + (LARGE_BID,)
+    arena = TraceArena.publish(
+        trace, eval_start, thresholds=thresholds, warm_stationary=warm
+    )
+    yield arena
+    arena.destroy()
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_identical(self, low_window, arena):
+        trace, eval_start = low_window
+        shm, mapped, mapped_start, warm = attach_arena(arena.spec)
+        try:
+            assert mapped_start == eval_start
+            assert mapped.zone_names == trace.zone_names
+            assert mapped.start_time == trace.start_time
+            assert mapped.interval_s == trace.interval_s
+            for name in trace.zone_names:
+                assert np.array_equal(
+                    mapped.zone(name).prices, trace.zone(name).prices
+                )
+        finally:
+            shm.close()
+
+    def test_views_are_zero_copy_and_read_only(self, arena):
+        shm, mapped, _, warm = attach_arena(arena.spec)
+        try:
+            z = mapped.zones[0]
+            # a view into the segment, not a copy
+            assert z.prices.base is not None
+            assert not z.prices.flags.writeable
+            for v in warm.values():
+                assert not v.flags.writeable
+        finally:
+            shm.close()
+
+    def test_crossings_arrive_pre_seeded(self, low_window, arena):
+        trace, _ = low_window
+        shm, mapped, _, _ = attach_arena(arena.spec)
+        try:
+            for name in trace.zone_names:
+                for theta in tuple(bid_grid()) + (LARGE_BID,):
+                    key = ("crossings", float(theta))
+                    seeded = mapped.zone(name)._derived.get(key)
+                    assert seeded is not None, "crossing index not seeded"
+                    assert np.array_equal(
+                        seeded, trace.zone(name).threshold_crossings(theta)
+                    )
+        finally:
+            shm.close()
+
+    def test_seeded_oracle_answers_like_a_cold_one(self, low_window, arena):
+        trace, eval_start = low_window
+        shm, mapped, _, warm = attach_arena(arena.spec)
+        try:
+            seeded = PriceOracle(mapped)
+            seeded.seed_stationary(warm)
+            cold = PriceOracle(trace)
+            t = eval_start + 26 * 3600.0
+            for zone in trace.zone_names:
+                a, r, u = seeded.zone_stats(zone, t)
+                ca, cr, cu = cold.zone_stats(zone, t)
+                assert np.array_equal(a, ca)
+                assert np.array_equal(r, cr)
+                assert np.array_equal(u, cu)
+                # the seeded oracle's vector IS the arena's, not a refit
+                model = seeded.markov_model(zone, t)
+                key = (zone, seeded.stats_bucket(t))
+                assert model.stationary() is warm[key]
+        finally:
+            shm.close()
+
+    def test_destroy_removes_segment_and_is_idempotent(self, low_window):
+        trace, eval_start = low_window
+        arena = TraceArena.publish(trace, eval_start)
+        name = arena.spec.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        arena.destroy()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        arena.destroy()  # second destroy is a no-op
+
+
+class TestWorkerFallback:
+    def test_attach_failure_falls_back_to_local_build(self):
+        bogus = ArenaSpec(
+            name="psm_repro_does_not_exist",
+            start_time=0.0,
+            interval_s=300,
+            eval_start=0.0,
+            zones=(),
+            stationary=(),
+            crossings=(),
+        )
+        saved_runner = parallel._WORKER_RUNNER
+        saved_shm = parallel._WORKER_SHM
+        try:
+            parallel._init_worker(
+                "low", 4, DEFAULT_SEED, QueueDelayModel(), arena=bogus
+            )
+            assert parallel._WORKER_SHM is None
+            runner = parallel._WORKER_RUNNER
+            assert runner is not None
+            trace, eval_start = evaluation_window("low", DEFAULT_SEED)
+            assert runner.trace is trace  # the regenerated (cached) window
+            assert runner.eval_start == eval_start
+        finally:
+            parallel._WORKER_RUNNER = saved_runner
+            parallel._WORKER_SHM = saved_shm
+
+    def test_executor_fallback_records_identical(self):
+        config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+        serial = ExperimentRunner("low", num_experiments=4)
+        task = CellTask(kind="redundant", config=config,
+                        policy_label="markov-daly", bid=0.81)
+        starts = [float(s) for s in serial.starts(config)]
+        expected = []
+        for s in starts:
+            expected.extend(serial.run_cell(task, s))
+        with SweepExecutor("low", num_experiments=4, workers=2,
+                           use_arena=True) as ex:
+            with_arena = ex.map_cells(task, starts)
+            assert ex._arena is not None, "arena path not exercised"
+        with SweepExecutor("low", num_experiments=4, workers=2,
+                           use_arena=False) as ex:
+            without_arena = ex.map_cells(task, starts)
+            assert ex._arena is None
+        assert with_arena == expected
+        assert without_arena == expected
+
+    def test_explicit_trace_requires_eval_start(self):
+        trace, _ = evaluation_window("low")
+        with pytest.raises(ValueError):
+            ExperimentRunner("low", num_experiments=4, trace=trace)
+
+
+class TestAuditedArenaSweep:
+    @pytest.mark.parametrize("engine_mode", ["fast", "tick"])
+    def test_zero_violations_through_the_arena(self, engine_mode):
+        config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+        with ExperimentRunner("low", num_experiments=4, workers=2,
+                              engine_mode=engine_mode, audit=True) as runner:
+            records = runner.run_adaptive(config)
+            report = runner.drain_audit()
+        assert records
+        assert report.counters.runs > 0
+        assert report.ok, f"arena workers reported violations: {report.violations}"

@@ -1,0 +1,182 @@
+"""The rolling-window fitter must be invisible in the fitted chains.
+
+``RollingMarkovFitter`` maintains a sliding window's transition counts
+and occupancy incrementally; materializing a chain replays
+``PriceMarkovModel.fit``'s float pipeline on those counts, so every
+window position must yield the *bit-identical* model a full refit of
+the same samples produces — same levels, same transition matrix, same
+stationary vector.  These tests sweep real evaluation-window zones and
+randomized series through overlapping slides, shrinks, grows, and
+disjoint jumps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market.constants import MARKOV_HISTORY_S, SAMPLE_INTERVAL_S
+from repro.stats.markov import MarkovError, PriceMarkovModel, RollingMarkovFitter
+
+
+def assert_same_chain(incremental: PriceMarkovModel, full: PriceMarkovModel):
+    """Bit-identical fit: exact array equality, not approximate."""
+    assert np.array_equal(incremental.levels, full.levels)
+    assert np.array_equal(incremental.trans, full.trans)
+    assert np.array_equal(incremental.initial, full.initial)
+    assert incremental.fit_window_s == full.fit_window_s
+    assert np.array_equal(incremental.stationary(), full.stationary())
+
+
+def reference(prices, lo, hi, current_price):
+    return PriceMarkovModel.fit(prices[lo:hi], current_price=current_price)
+
+
+class TestBucketSlides:
+    """The oracle's actual access pattern: hourly bucket advances."""
+
+    @pytest.mark.parametrize("window", ["low", "high"])
+    def test_every_bucket_boundary_matches_full_fit(self, window):
+        from repro.traces.library import evaluation_window
+
+        trace, eval_start = evaluation_window(window)
+        history = MARKOV_HISTORY_S // SAMPLE_INTERVAL_S
+        per_hour = 3600 // SAMPLE_INTERVAL_S
+        for zone in trace.zones:
+            prices = zone.prices
+            fitter = RollingMarkovFitter(prices)
+            i0 = zone.index_at(eval_start)
+            # Two days of hourly advances is plenty to cross many
+            # distinct chains on the volatile window.
+            for hour in range(48):
+                hi = i0 + hour * per_hour
+                lo = max(hi - history, 0)
+                hi = max(hi, lo + 2)
+                fitter.set_window(lo, hi)
+                current = float(prices[hi - 1])
+                assert_same_chain(
+                    fitter.model(current), reference(prices, lo, hi, current)
+                )
+
+    def test_calm_stretch_dedups_chain_objects(self):
+        prices = np.array([0.3, 0.4] * 300)
+        fitter = RollingMarkovFitter(prices)
+        fitter.set_window(0, 100)
+        m1 = fitter.model(0.3)
+        fitter.set_window(2, 102)  # same transition multiset
+        m2 = fitter.model(0.3)
+        assert m2 is m1  # one chain object, shared caches and all
+
+
+class TestWindowMoves:
+    PRICES = np.array(
+        [0.3, 0.3, 0.5, 0.3, 0.9, 0.9, 0.3, 0.5, 0.5, 0.3, 0.7, 0.3] * 8
+    )
+
+    def check(self, fitter, lo, hi):
+        fitter.set_window(lo, hi)
+        current = float(self.PRICES[hi - 1])
+        assert_same_chain(
+            fitter.model(current), reference(self.PRICES, lo, hi, current)
+        )
+
+    def test_grow_right(self):
+        fitter = RollingMarkovFitter(self.PRICES)
+        for hi in range(2, 40):
+            self.check(fitter, 0, hi)
+
+    def test_shrink_left_and_right(self):
+        fitter = RollingMarkovFitter(self.PRICES)
+        self.check(fitter, 0, 60)
+        self.check(fitter, 10, 60)  # advance lo
+        self.check(fitter, 10, 40)  # retract hi
+        self.check(fitter, 5, 45)   # move lo back
+        self.check(fitter, 5, 50)   # extend hi again
+
+    def test_disjoint_jump_rebuilds(self):
+        fitter = RollingMarkovFitter(self.PRICES)
+        self.check(fitter, 0, 20)
+        self.check(fitter, 50, 90)  # no overlap: full recount
+        self.check(fitter, 51, 91)  # then incremental again
+
+    def test_same_window_is_a_noop(self):
+        fitter = RollingMarkovFitter(self.PRICES)
+        self.check(fitter, 0, 30)
+        counts_before = dict(fitter._pair_counts)
+        fitter.set_window(0, 30)
+        assert fitter._pair_counts == counts_before
+
+    def test_out_of_range_window_rejected(self):
+        fitter = RollingMarkovFitter(self.PRICES)
+        with pytest.raises(MarkovError):
+            fitter.set_window(-1, 10)
+        with pytest.raises(MarkovError):
+            fitter.set_window(0, self.PRICES.size + 1)
+        with pytest.raises(MarkovError):
+            fitter.set_window(10, 5)
+
+    def test_too_small_window_rejected_at_materialize(self):
+        fitter = RollingMarkovFitter(self.PRICES)
+        fitter.set_window(3, 4)
+        with pytest.raises(MarkovError):
+            fitter.model(0.3)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    seq=st.lists(
+        st.sampled_from([0.25, 0.4, 0.55, 0.9, 1.3]), min_size=24, max_size=96
+    ),
+    moves=st.lists(
+        st.tuples(st.integers(0, 90), st.integers(2, 40)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_random_series_random_slides_bit_identical(seq, moves):
+    prices = np.array(seq)
+    fitter = RollingMarkovFitter(prices)
+    for lo, span in moves:
+        lo = min(lo, prices.size - 2)
+        hi = min(lo + span, prices.size)
+        if hi - lo < 2:
+            continue
+        fitter.set_window(lo, hi)
+        current = float(prices[hi - 1])
+        assert_same_chain(
+            fitter.model(current), reference(prices, lo, hi, current)
+        )
+
+
+class TestSeedStationary:
+    def test_seed_is_used(self):
+        prices = np.array([0.3, 0.5, 0.3, 0.9, 0.3, 0.5] * 20)
+        m = PriceMarkovModel.fit(prices)
+        expected = PriceMarkovModel.fit(prices).stationary()
+        m.seed_stationary(expected)
+        assert m.stationary() is not None
+        assert np.array_equal(m.stationary(), expected)
+
+    def test_local_result_wins_over_late_seed(self):
+        prices = np.array([0.3, 0.5, 0.3, 0.9, 0.3, 0.5] * 20)
+        m = PriceMarkovModel.fit(prices)
+        local = m.stationary()
+        bogus = np.full(m.num_states, 1.0 / m.num_states)
+        m.seed_stationary(bogus)
+        assert m.stationary() is local
+
+    def test_shape_mismatch_rejected(self):
+        prices = np.array([0.3, 0.5, 0.3, 0.9, 0.3, 0.5] * 20)
+        m = PriceMarkovModel.fit(prices)
+        with pytest.raises(MarkovError):
+            m.seed_stationary(np.ones(m.num_states + 1))
+
+    def test_seed_shared_with_initial_copies(self):
+        prices = np.array([0.3, 0.5, 0.3, 0.9, 0.3, 0.5] * 20)
+        m = PriceMarkovModel.fit(prices)
+        v = PriceMarkovModel.fit(prices).stationary()
+        m.seed_stationary(v)
+        clone = m.with_initial(0.9)
+        assert np.array_equal(clone.stationary(), v)

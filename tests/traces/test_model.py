@@ -215,3 +215,97 @@ class TestOverlappingStarts:
     def test_zero_count_rejected(self):
         with pytest.raises(ValueError):
             overlapping_starts(100 * 3600, 23 * 3600, 0)
+
+
+class TestSliceBoundaries:
+    def trace(self):
+        return ZoneTrace(zone="za", start_time=1000.0,
+                         prices=np.array([0.3, 0.5, 0.4, 0.8, 0.2, 0.6]),
+                         interval_s=300)
+
+    def test_window_start_exactly_on_sample(self):
+        z = self.trace()
+        w = z.window(1000.0 + 2 * 300, 2 * 300)
+        assert w.start_time == 1600.0
+        assert np.array_equal(w.prices, np.array([0.4, 0.8]))
+
+    def test_window_past_trace_end_clamps(self):
+        z = self.trace()
+        w = z.window(1000.0 + 4 * 300, 10 * 300)  # runs past the end
+        assert np.array_equal(w.prices, np.array([0.2, 0.6]))
+        assert w.end_time == z.end_time
+
+    def test_zero_length_window_rejected(self):
+        z = self.trace()
+        with pytest.raises(TraceError):
+            z.window(1000.0, 0.0)
+        with pytest.raises(TraceError):
+            z.slice(1300.0, 1300.0)
+
+    def test_mid_sample_start_snaps_to_covering_sample(self):
+        z = self.trace()
+        w = z.window(1000.0 + 2 * 300 + 150, 300)
+        assert w.start_time == 1600.0  # the sample covering t0
+        assert w.prices[0] == 0.4
+
+
+class TestDerivedCacheIsolation:
+    """Slices must never inherit the parent's memoized indices."""
+
+    def trace(self):
+        return ZoneTrace(zone="za", start_time=0.0,
+                         prices=np.array([0.3, 0.5, 0.3, 0.5, 0.3, 0.5, 0.3]),
+                         interval_s=300)
+
+    def test_slice_gets_fresh_cache(self):
+        z = self.trace()
+        parent_crossings = z.threshold_crossings(0.4)
+        parent_edges = z.rising_edges()
+        w = z.slice(2 * 300, 6 * 300)
+        assert w._derived == {}  # nothing leaked from the parent
+        assert np.array_equal(w.threshold_crossings(0.4),
+                              np.flatnonzero(np.diff(w.prices <= 0.4)) + 1)
+        assert w.threshold_crossings(0.4) is not parent_crossings
+        assert w.rising_edges() is not parent_edges
+
+    def test_slice_indices_are_local(self):
+        z = self.trace()
+        z.threshold_crossings(0.4)
+        w = z.slice(300, 7 * 300)  # shifted by one sample
+        # same price pattern flips at different *local* indices, so a
+        # parent-cache leak would corrupt every crossing lookup
+        assert not np.array_equal(
+            w.threshold_crossings(0.4), z.threshold_crossings(0.4)
+        )
+        assert np.array_equal(
+            w.threshold_crossings(0.4),
+            np.flatnonzero(np.diff(w.prices <= 0.4)) + 1,
+        )
+
+
+class TestSeedThresholdCrossings:
+    def trace(self):
+        return ZoneTrace(zone="za", start_time=0.0,
+                         prices=np.array([0.3, 0.5, 0.3, 0.5, 0.3]),
+                         interval_s=300)
+
+    def test_seeded_index_is_served(self):
+        z = self.trace()
+        expected = np.flatnonzero(np.diff(z.prices <= 0.4)) + 1
+        z.seed_threshold_crossings(0.4, expected)
+        assert z.threshold_crossings(0.4) is not None
+        assert np.array_equal(z.threshold_crossings(0.4), expected)
+        assert z.next_threshold_crossing(0, 0.4) == int(expected[0])
+
+    def test_locally_computed_index_wins(self):
+        z = self.trace()
+        local = z.threshold_crossings(0.4)
+        z.seed_threshold_crossings(0.4, np.array([99], dtype=np.int64))
+        assert z.threshold_crossings(0.4) is local
+
+    def test_seeded_array_read_only(self):
+        z = self.trace()
+        idx = np.array([1, 2], dtype=np.int64)
+        z.seed_threshold_crossings(0.4, idx)
+        with pytest.raises(ValueError):
+            z.threshold_crossings(0.4)[0] = 5
