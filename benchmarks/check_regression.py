@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Fail CI when a freshly measured benchmark speedup regresses.
 
-Compares the dimensionless ``speedup`` field of every fresh
-``BENCH_*.json`` in the repository root against the committed baseline
-(``git show HEAD:<file>``).  Speedup ratios are portable across
-machines where raw seconds are not, so the same floor works on a
-laptop and a throttled CI runner.  A fresh speedup more than
-``--tolerance`` (default 20%) below the committed one exits non-zero.
+Compares every dimensionless speedup field (``speedup`` or
+``speedup_*``) of every fresh ``BENCH_*.json`` in the repository root
+against the committed baseline (``git show HEAD:<file>``).  Speedup
+ratios are portable across machines where raw seconds are not, so the
+same floor works on a laptop and a throttled CI runner.  A fresh
+speedup more than ``--tolerance`` (default 20%) below the committed
+one exits non-zero, as does a malformed file: invalid JSON, a
+baseline key the fresh file no longer reports, or a file with no
+speedup keys at all — each error names the offending file and key so
+the fix is obvious from the CI log alone.
 
 Run the benchmark suite first so the working-tree JSON files hold
 fresh measurements::
@@ -36,6 +40,69 @@ def committed_baseline(path: Path) -> dict | None:
     return json.loads(proc.stdout)
 
 
+def speedup_keys(payload: dict) -> list[str]:
+    """The comparable keys of a benchmark payload, sorted."""
+    return sorted(
+        k for k in payload
+        if k == "speedup" or k.startswith("speedup_")
+    )
+
+
+def compare_file(
+    name: str,
+    fresh: dict,
+    baseline: dict | None,
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Compare one fresh payload against its committed baseline.
+
+    Returns ``(lines, errors)``: human-readable verdict lines for every
+    comparison made, and error strings (regressions or malformed data)
+    that should fail the check.  A missing baseline is not an error —
+    the benchmark is new this commit and has nothing to regress from.
+    """
+    lines: list[str] = []
+    errors: list[str] = []
+    if baseline is None:
+        lines.append(f"{name}: no committed baseline, skipping")
+        return lines, errors
+    keys = speedup_keys(baseline)
+    if not keys:
+        keys = speedup_keys(fresh)
+        if not keys:
+            errors.append(
+                f"{name}: no 'speedup' or 'speedup_*' key in either the "
+                f"fresh file or the committed baseline — nothing to compare"
+            )
+            return lines, errors
+    for key in keys:
+        want = baseline.get(key)
+        got = fresh.get(key)
+        if got is None:
+            errors.append(
+                f"{name}: baseline key '{key}' is missing from the fresh "
+                f"file — did the benchmark stop writing it?"
+            )
+            continue
+        if not isinstance(got, (int, float)) or not isinstance(
+            want, (int, float)
+        ):
+            errors.append(
+                f"{name}: key '{key}' is not numeric "
+                f"(fresh={got!r}, committed={want!r})"
+            )
+            continue
+        floor = want * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        lines.append(
+            f"{name}[{key}]: fresh {got:.2f}x vs committed {want:.2f}x "
+            f"(floor {floor:.2f}x) {verdict}"
+        )
+        if got < floor:
+            errors.append(f"{name}: '{key}' regressed below the floor")
+    return lines, errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare fresh BENCH_*.json speedups against HEAD."
@@ -57,31 +124,40 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     checked = 0
     for fresh_path in sorted(args.root.glob("BENCH_*.json")):
-        fresh = json.loads(fresh_path.read_text())
-        baseline = committed_baseline(fresh_path)
-        if baseline is None:
-            print(f"{fresh_path.name}: no committed baseline, skipping")
+        try:
+            fresh = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"{fresh_path.name}: invalid JSON ({exc})", file=sys.stderr)
+            failures.append(fresh_path.name)
             continue
-        got = fresh.get("speedup")
-        want = baseline.get("speedup")
-        if got is None or want is None:
-            print(f"{fresh_path.name}: no speedup field, skipping")
+        try:
+            baseline = committed_baseline(fresh_path)
+        except json.JSONDecodeError as exc:
+            print(
+                f"{fresh_path.name}: committed baseline is invalid JSON "
+                f"({exc})",
+                file=sys.stderr,
+            )
+            failures.append(fresh_path.name)
             continue
-        floor = want * (1.0 - args.tolerance)
-        verdict = "ok" if got >= floor else "REGRESSION"
-        print(
-            f"{fresh_path.name}: fresh {got:.2f}x vs committed {want:.2f}x "
-            f"(floor {floor:.2f}x) {verdict}"
+        lines, errors = compare_file(
+            fresh_path.name, fresh, baseline, args.tolerance
         )
-        checked += 1
-        if got < floor:
+        for line in lines:
+            print(line)
+        for error in errors:
+            print(error, file=sys.stderr)
+        if baseline is not None and not errors:
+            checked += 1
+        if errors:
             failures.append(fresh_path.name)
 
-    if not checked:
+    if not checked and not failures:
         print("no benchmark baselines checked")
     if failures:
         print(
-            f"benchmark regression in: {', '.join(failures)}", file=sys.stderr
+            f"benchmark check failed for: {', '.join(sorted(set(failures)))}",
+            file=sys.stderr,
         )
         return 1
     return 0

@@ -21,6 +21,13 @@ a serial run).  ``--audit`` attaches the run-audit layer
 each run, a summary is printed, and the process exits 1 if any
 violation was found; ``--audit-out PATH`` additionally streams the
 structured event log as JSONL.
+
+``--cache-dir DIR`` enables the content-addressed run cache
+(:mod:`repro.experiments.cache`): every engine run is memoized on
+disk keyed by the hash of its inputs, so rerunning a figure against a
+warm directory skips simulation entirely with identical output.  A
+``run-cache: hits=... misses=...`` summary goes to stderr.  Inspect
+or empty a cache directory with ``repro-spotsim cache DIR [--clear]``.
 """
 
 from __future__ import annotations
@@ -68,6 +75,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="stream structured audit events as JSONL to PATH "
                              "(implies --audit; with --workers N each worker "
                              "appends to PATH.w<pid>)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed run cache directory: engine "
+                             "runs are memoized on disk, so warm reruns skip "
+                             "simulation with identical results (created if "
+                             "missing; see the 'cache' command to inspect)")
 
 
 def _audit_enabled(args: argparse.Namespace) -> bool:
@@ -89,6 +101,21 @@ def _report_audit(report) -> int:
     for line in report.summary_lines():
         print(line)
     return 0 if report.ok else 1
+
+
+def _make_cache(args: argparse.Namespace):
+    """Run cache for the direct-simulator commands (fig1, run)."""
+    if args.cache_dir is None:
+        return None
+    from repro.experiments.cache import RunCache
+
+    return RunCache(args.cache_dir)
+
+
+def _report_cache(args: argparse.Namespace, stats) -> None:
+    """Print the hit/miss summary to stderr (CI greps for misses=0)."""
+    if args.cache_dir is not None and stats is not None:
+        print(f"{stats.line()} (dir={args.cache_dir})", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     _add_common(p)
 
+    p = sub.add_parser("cache", help="inspect or clear a --cache-dir directory")
+    p.add_argument("dir", help="run-cache directory")
+    p.add_argument("--clear", action="store_true",
+                   help="remove every cached entry instead of summarizing")
+
     return parser
 
 
@@ -186,16 +218,19 @@ def main(argv: list[str] | None = None) -> int:
         trace, eval_start = evaluation_window(args.window, args.seed)
         oracle = PriceOracle(trace)
         auditor = _make_auditor(args)
+        cache = _make_cache(args)
         sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
                             rng=np.random.default_rng(args.seed),
                             record_timeline=True, engine_mode=args.engine,
-                            auditor=auditor)
+                            auditor=auditor, run_cache=cache)
         config = paper_experiment(slack_fraction=args.slack)
         policy = _Periodic() if args.policy == "periodic" else RisingEdgePolicy()
         result = sim.run(config, policy, args.bid, trace.zone_names[:1],
                          eval_start + args.start_hours * 3600.0)
         print(render_timeline(result, oracle, width=args.width,
                               title=f"Figure 1-style timeline ({policy.name})"))
+        if cache is not None:
+            _report_cache(args, cache.stats)
         if auditor is not None:
             status = _report_audit(auditor.drain())
             auditor.close()
@@ -211,9 +246,10 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "fig4":
         with ExperimentRunner(args.window, args.experiments, args.seed,
                               workers=args.workers, engine_mode=args.engine,
-                              audit=args.audit,
-                              audit_out=args.audit_out) as runner:
+                              audit=args.audit, audit_out=args.audit_out,
+                              cache_dir=args.cache_dir) as runner:
             cells = figures.fig4_quadrant(runner, args.slack, args.tc)
+            _report_cache(args, runner.drain_cache_stats())
             if runner.audit:
                 status = _report_audit(runner.drain_audit())
         title = f"Figure 4 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
@@ -221,14 +257,16 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command in ("table2", "table3"):
         fn = figures.table2 if args.command == "table2" else figures.table3
         rows = fn(num_experiments=args.experiments, seed=args.seed,
-                  workers=args.workers, engine_mode=args.engine)
+                  workers=args.workers, engine_mode=args.engine,
+                  cache_dir=args.cache_dir)
         print(reporting.render_optimal_table(args.command.capitalize(), rows))
     elif args.command == "fig5":
         with ExperimentRunner(args.window, args.experiments, args.seed,
                               workers=args.workers, engine_mode=args.engine,
-                              audit=args.audit,
-                              audit_out=args.audit_out) as runner:
+                              audit=args.audit, audit_out=args.audit_out,
+                              cache_dir=args.cache_dir) as runner:
             cells = figures.fig5_quadrant(runner, args.slack, args.tc)
+            _report_cache(args, runner.drain_cache_stats())
             if runner.audit:
                 status = _report_audit(runner.drain_audit())
         title = f"Figure 5 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
@@ -236,9 +274,10 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "fig6":
         with ExperimentRunner(args.window, args.experiments, args.seed,
                               workers=args.workers, engine_mode=args.engine,
-                              audit=args.audit,
-                              audit_out=args.audit_out) as runner:
+                              audit=args.audit, audit_out=args.audit_out,
+                              cache_dir=args.cache_dir) as runner:
             cells = figures.fig6_panel(runner, args.slack, args.tc)
+            _report_cache(args, runner.drain_cache_stats())
             if runner.audit:
                 status = _report_audit(runner.drain_audit())
         title = f"Figure 6 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
@@ -246,16 +285,18 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "headline":
         claims = figures.headline_claims(num_experiments=args.experiments,
                                          seed=args.seed, workers=args.workers,
-                                         engine_mode=args.engine)
+                                         engine_mode=args.engine,
+                                         cache_dir=args.cache_dir)
         print(reporting.render_headline("Headline claims", claims))
     elif args.command == "run":
         trace, eval_start = evaluation_window(args.window, args.seed)
         oracle = PriceOracle(trace)
         auditor = _make_auditor(args)
+        cache = _make_cache(args)
         sim = SpotSimulator(oracle=oracle, queue_model=QueueDelayModel(),
                             rng=np.random.default_rng(args.seed),
                             record_events=True, engine_mode=args.engine,
-                            auditor=auditor)
+                            auditor=auditor, run_cache=cache)
         config = paper_experiment(slack_fraction=args.slack, ckpt_cost_s=args.tc)
         start = eval_start + args.start_hours * 3600.0
         if args.policy == "adaptive":
@@ -283,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
             offset_h = (event.time - start) / 3600.0
             zone = event.zone or "-"
             print(f"  {offset_h:7.2f}h  {event.kind:<22s} {zone:<12s} {event.detail}")
+        if cache is not None:
+            _report_cache(args, cache.stats)
         if auditor is not None:
             status = _report_audit(auditor.drain())
             auditor.close()
@@ -293,7 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         runner = ExperimentRunner(args.window, args.experiments, args.seed,
                                   workers=args.workers,
                                   engine_mode=args.engine,
-                                  audit=args.audit, audit_out=args.audit_out)
+                                  audit=args.audit, audit_out=args.audit_out,
+                                  cache_dir=args.cache_dir)
         if args.axis == "slack":
             points = sweeps.sweep_slack(
                 runner, (0.10, 0.15, 0.25, 0.50, 0.75, 1.00),
@@ -318,12 +362,23 @@ def main(argv: list[str] | None = None) -> int:
             [args.axis, "median $", "q3 $", "max $", "violations"],
             [p.row() for p in points],
         ))
+        _report_cache(args, runner.drain_cache_stats())
         if runner.audit:
             status = _report_audit(runner.drain_audit())
         runner.close()
     elif args.command == "export-trace":
         rows = write_trace(canonical_dataset(args.seed), args.path)
         print(f"wrote {rows} price-change rows to {args.path}")
+    elif args.command == "cache":
+        from repro.experiments.cache import RunCache
+
+        cache = RunCache(args.dir)
+        if args.clear:
+            removed = cache.clear()
+            print(f"cleared {removed} cached runs from {args.dir}")
+        else:
+            count, size = cache.disk_usage()
+            print(f"{args.dir}: {count} cached runs, {size / 1e6:.2f} MB")
     return status
 
 

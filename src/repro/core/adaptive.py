@@ -166,6 +166,27 @@ class AdaptiveController(Controller):
             return None
         return self._last_eval_at + self.reevaluate_every_s
 
+    def canonical_params(self) -> dict:
+        """Run-cache identity: the public tuning knobs.
+
+        Sound because :meth:`reset` rebuilds every piece of internal
+        state from the oracle (which the cache key covers through the
+        trace fingerprint and oracle configuration), and the
+        per-bucket statistic caches only memoize pure functions of
+        (zone, bucket) — decisions after a reset are a deterministic
+        function of these parameters and the run's other hashed
+        inputs.
+        """
+        return {
+            "name": self.name,
+            "bids": self.bids,
+            "policy_kinds": self.policy_kinds,
+            "max_zones": self.max_zones,
+            "improvement_margin": self.improvement_margin,
+            "reevaluate_every_s": self.reevaluate_every_s,
+            "prune": self.prune,
+        }
+
     def decide(self, ctx: PolicyContext) -> SwitchDecision | None:
         running = [z for z in ctx.zones if ctx.instances[z].is_running]
         none_running = not running

@@ -23,6 +23,8 @@ class RisingEdgePolicy(CheckpointPolicy):
 
     name = "edge"
     reschedule_is_noop = True
+    # triggers on price *movements* (diffs), never on the bid's value
+    bid_invariant = True
 
     def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
         if leader.local_progress_s <= ctx.run.committed_progress_s() + 1e-9:

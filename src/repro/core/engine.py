@@ -98,6 +98,18 @@ class Controller(abc.ABC):
         """
         return None
 
+    def canonical_params(self) -> dict | None:
+        """The controller's identity for run-cache keying.
+
+        ``None`` (the default) declares the controller *not*
+        canonicalizable: runs it drives bypass the run cache.
+        Returning a dict asserts that, after :meth:`reset`, the
+        controller's decisions are a pure function of these parameters
+        plus the run's other hashed inputs (trace, oracle config,
+        config, start) — i.e. a replay would be bit-identical.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -179,6 +191,16 @@ class SpotSimulator:
     #: tick/segment and at run end.  ``None`` (the default) costs only
     #: a few ``is None`` branches per tick.
     auditor: "RunAuditor | None" = None
+    #: Optional content-addressed run cache
+    #: (:class:`repro.experiments.cache.RunCache`).  When set, every
+    #: cacheable run is looked up by the hash of its inputs before
+    #: simulating and stored after; hits replay the queue-delay draws
+    #: against ``rng`` so subsequent runs see an unchanged stream.
+    #: Runs with an attached auditor, run-time dynamics callbacks or a
+    #: non-canonicalizable controller bypass the cache.
+    run_cache: "object | None" = None
+    #: Queue-delay draws consumed by the current run (cache bookkeeping).
+    _rng_draws: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
 
@@ -206,7 +228,110 @@ class SpotSimulator:
         to wall time with the *current* performance factor (capped at
         nominal), the strongest statement possible without foresight
         of future slowdowns.
+
+        With a :attr:`run_cache` attached, runs whose inputs can be
+        canonically hashed are served from the cache when present:
+        the stored result is returned as-is (it is bit-identical to
+        what simulating would produce — the key covers every input,
+        the RNG state included) after burning the cold run's
+        queue-delay draws from ``rng``.  Cache-ineligible runs (see
+        :meth:`_cache_key`) simulate unconditionally.
         """
+        cache = self.run_cache
+        if cache is not None:
+            key = self._cache_key(
+                config, policy, bid, zones, start_time,
+                controller, deadline_schedule, performance,
+            )
+            if key is not None:
+                entry = cache.get(key)
+                if entry is not None:
+                    for _ in range(entry.rng_draws):
+                        self.queue_model.sample(self.rng)
+                    return entry.result
+                self._rng_draws = 0
+                result = self._simulate(
+                    config, policy, bid, zones, start_time,
+                    controller, deadline_schedule, performance,
+                )
+                from repro.experiments.cache import CachedRun
+
+                cache.put(key, CachedRun(result=result, rng_draws=self._rng_draws))
+                return result
+        return self._simulate(
+            config, policy, bid, zones, start_time,
+            controller, deadline_schedule, performance,
+        )
+
+    def _cache_key(
+        self,
+        config: ExperimentConfig,
+        policy: CheckpointPolicy,
+        bid: float,
+        zones: tuple[str, ...],
+        start_time: float,
+        controller: Controller | None,
+        deadline_schedule: "DeadlineSchedule | None",
+        performance: "PerformanceProfile | None",
+    ) -> str | None:
+        """Content address of this run, or ``None`` when not cacheable.
+
+        Not cacheable: an attached auditor (a hit would silently skip
+        the audited event stream), run-time dynamics callbacks (opaque
+        callables), a controller without :meth:`Controller.canonical_params`,
+        or any input the canonicalizer rejects.  The key covers the
+        trace content, the oracle's statistical configuration, the
+        engine mode and recording flags, all run parameters *and the
+        RNG state* — so a hit stands in for a replay that would be
+        bit-identical, queue delays included.
+        """
+        if (
+            self.auditor is not None
+            or deadline_schedule is not None
+            or performance is not None
+        ):
+            return None
+        controller_params = None
+        if controller is not None:
+            controller_params = controller.canonical_params()
+            if controller_params is None:
+                return None
+        oracle = self.oracle
+        try:
+            return self.run_cache.run_key({
+                "trace": oracle.trace.fingerprint(),
+                "oracle": {
+                    "history_s": oracle.history_s,
+                    "bucket_s": oracle.bucket_s,
+                    "incremental": oracle.incremental,
+                },
+                "engine_mode": self.engine_mode,
+                "record_events": self.record_events,
+                "record_timeline": self.record_timeline,
+                "config": config,
+                "policy": policy.canonical_params(),
+                "bid": float(bid),
+                "zones": tuple(zones),
+                "start_time": float(start_time),
+                "controller": controller_params,
+                "queue_model": self.queue_model,
+                "rng": self.rng.bit_generator.state,
+            })
+        except TypeError:
+            return None
+
+    def _simulate(
+        self,
+        config: ExperimentConfig,
+        policy: CheckpointPolicy,
+        bid: float,
+        zones: tuple[str, ...],
+        start_time: float,
+        controller: Controller | None = None,
+        deadline_schedule: "DeadlineSchedule | None" = None,
+        performance: "PerformanceProfile | None" = None,
+    ) -> RunResult:
+        """The uncached simulation loop behind :meth:`run`."""
         if self.engine_mode not in ("fast", "tick"):
             raise EngineError(
                 f"engine_mode must be 'fast' or 'tick', got {self.engine_mode!r}"
@@ -893,6 +1018,7 @@ class SpotSimulator:
 
     def _start_instance(self, state: "_RunState", inst: ZoneInstance, t: float) -> None:
         delay = self.queue_model.sample(self.rng)
+        self._rng_draws += 1
         committed = state.store.committed_progress_s
         # a fresh start (no checkpoint yet) has no state to restore
         restore = state.config.restart_cost_s if committed > 0 else 0.0

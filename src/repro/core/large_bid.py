@@ -56,6 +56,12 @@ class LargeBidPolicy(CheckpointPolicy):
         """The bid this policy is meant to run with."""
         return LARGE_BID
 
+    def canonical_params(self) -> dict:
+        """Run-cache identity: the control threshold is a tunable, so
+        it joins the name explicitly (two decimals in the name would
+        alias L values that round together)."""
+        return {"name": "large-bid", "threshold": self.threshold}
+
     @property
     def control_threshold(self) -> float:
         """L as a number (infinite for Naive)."""

@@ -19,6 +19,8 @@ class PeriodicPolicy(CheckpointPolicy):
 
     name = "periodic"
     reschedule_is_noop = True
+    # decisions track billing-hour geometry, never the bid's value
+    bid_invariant = True
 
     def __init__(self) -> None:
         self._done_hours: set[tuple[str, float]] = set()

@@ -78,6 +78,29 @@ class CheckpointPolicy(abc.ABC):
     #: spent slack against.
     trust_speculative: bool = False
 
+    #: When True, the policy's decisions depend on the bid only through
+    #: the availability pattern ``price <= bid`` (terminations, starts,
+    #: eligibility) — never on the bid's numeric value.  Two bids whose
+    #: patterns agree over a run's horizon then yield bit-identical
+    #: trajectories, which is what lets the batched bid-axis engine
+    #: (:mod:`repro.core.bid_batch`) run one representative per
+    #: equivalence class and clone the rest.  Policies that feed the
+    #: bid into a formula or an oracle query (Threshold's price target,
+    #: Markov-Daly's MTBF) must leave this False — the batched path
+    #: then falls back to per-bid execution automatically.
+    bid_invariant: bool = False
+
+    def canonical_params(self) -> dict:
+        """The policy's identity for run-cache keying.
+
+        Two policy instances whose canonical params are equal must be
+        behaviourally interchangeable in the engine.  The default —
+        the policy's ``name`` — suffices for parameterless policies;
+        policies with tunables must include every one of them (see
+        :class:`~repro.core.large_bid.LargeBidPolicy`).
+        """
+        return {"name": self.name}
+
     def reset(self, ctx: PolicyContext) -> None:
         """Forget all per-run state; called once at experiment start."""
 
@@ -159,6 +182,8 @@ class NeverCheckpoint(CheckpointPolicy):
 
     name = "never"
     reschedule_is_noop = True
+    # never consults the bid at all
+    bid_invariant = True
 
     def checkpoint_due(self, ctx: PolicyContext, leader: ZoneInstance) -> bool:
         return False

@@ -190,6 +190,7 @@ def optimal_policy_table(
     include_redundant: bool = True,
     workers: int = 1,
     engine_mode: str = "fast",
+    cache_dir: str | None = None,
 ) -> list[dict]:
     """Tables 2/3: the least-median-cost (policy, bid) per quadrant.
 
@@ -197,13 +198,16 @@ def optimal_policy_table(
     the paper retains after Section 6); the redundancy candidate is
     the best-case redundancy box.  Returns one row per quadrant with
     the winner and the full per-candidate medians for inspection.
-    ``workers > 1`` fans each cell's experiments over a process pool.
+    ``workers > 1`` fans each cell's experiments over a process pool;
+    ``cache_dir`` memoizes every engine run on disk so a warm rerun
+    assembles the table without simulating.
     """
     rows = []
     for window, slack in QUADRANTS:
         with ExperimentRunner(window, num_experiments=num_experiments,
                               seed=seed, workers=workers,
-                              engine_mode=engine_mode) as runner:
+                              engine_mode=engine_mode,
+                              cache_dir=cache_dir) as runner:
             config = paper_experiment(slack_fraction=slack, ckpt_cost_s=ckpt_cost_s)
             candidates: dict[str, BoxplotStats] = {}
             for bid in bids:
@@ -229,20 +233,22 @@ def optimal_policy_table(
 
 def table2(
     num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1,
-    engine_mode: str = "fast",
+    engine_mode: str = "fast", cache_dir: str | None = None,
 ) -> list[dict]:
     """Table 2: optimal policies at t_c = 300 s."""
     return optimal_policy_table(CKPT_COST_LOW_S, num_experiments, seed,
-                                workers=workers, engine_mode=engine_mode)
+                                workers=workers, engine_mode=engine_mode,
+                                cache_dir=cache_dir)
 
 
 def table3(
     num_experiments: int = 40, seed: int = DEFAULT_SEED, workers: int = 1,
-    engine_mode: str = "fast",
+    engine_mode: str = "fast", cache_dir: str | None = None,
 ) -> list[dict]:
     """Table 3: optimal policies at t_c = 900 s."""
     return optimal_policy_table(CKPT_COST_HIGH_S, num_experiments, seed,
-                                workers=workers, engine_mode=engine_mode)
+                                workers=workers, engine_mode=engine_mode,
+                                cache_dir=cache_dir)
 
 
 # ----------------------------------------------------------------------
@@ -273,14 +279,15 @@ def fig5_quadrant(
 
 def fig5_all(
     num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1,
-    engine_mode: str = "fast",
+    engine_mode: str = "fast", cache_dir: str | None = None,
 ) -> dict[tuple[str, float, float], list[PolicyCell]]:
     """All eight plots of Figure 5 keyed by (window, slack, t_c)."""
     out: dict[tuple[str, float, float], list[PolicyCell]] = {}
     for window, slack in QUADRANTS:
         with ExperimentRunner(window, num_experiments=num_experiments,
                               seed=seed, workers=workers,
-                              engine_mode=engine_mode) as runner:
+                              engine_mode=engine_mode,
+                              cache_dir=cache_dir) as runner:
             for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
                 out[(window, slack, tc)] = fig5_quadrant(runner, slack, tc)
     return out
@@ -322,7 +329,7 @@ def fig6_panel(
 
 def headline_claims(
     num_experiments: int = 20, seed: int = DEFAULT_SEED, workers: int = 1,
-    engine_mode: str = "fast",
+    engine_mode: str = "fast", cache_dir: str | None = None,
 ) -> dict:
     """The abstract's three quantitative claims, measured.
 
@@ -339,7 +346,8 @@ def headline_claims(
     for window, slack in QUADRANTS:
         with ExperimentRunner(window, num_experiments=num_experiments,
                               seed=seed, workers=workers,
-                              engine_mode=engine_mode) as runner:
+                              engine_mode=engine_mode,
+                              cache_dir=cache_dir) as runner:
             for tc in (CKPT_COST_LOW_S, CKPT_COST_HIGH_S):
                 config = paper_experiment(slack_fraction=slack, ckpt_cost_s=tc)
                 adaptive = box(runner.run_adaptive(config))

@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.audit.auditor import AuditReport
+from repro.experiments.cache import CacheStats
 from repro.experiments.metrics import RunRecord
 from repro.experiments.runner import CellTask, ExperimentRunner
 from repro.market.constants import LARGE_BID, bid_grid
@@ -212,6 +213,7 @@ def _init_worker(
     audit: bool = False,
     audit_out: str | None = None,
     arena: ArenaSpec | None = None,
+    cache_dir: str | None = None,
 ) -> None:
     """Build this worker's trace + oracle once; all cells share them.
 
@@ -225,6 +227,12 @@ def _init_worker(
     An audited pool gives each worker its own ``<audit_out>.w<pid>``
     JSONL file — concurrent appends to one shared file would interleave
     partial lines, and per-process files need no locking.
+
+    A ``cache_dir`` gives every worker a run cache over the *same*
+    on-disk layer (entry writes are atomic, so concurrent workers are
+    safe); trace fingerprints hash content, not storage, so an
+    arena-mapped worker hits entries a locally-generated run stored
+    and vice versa.
     """
     global _WORKER_RUNNER, _WORKER_SHM
     if audit_out is not None:
@@ -246,25 +254,47 @@ def _init_worker(
         audit_out=audit_out,
         trace=trace,
         eval_start=eval_start,
+        cache_dir=cache_dir,
     )
     if warm:
         _WORKER_RUNNER.oracle.seed_stationary(warm)
 
 
+def _worker_extras() -> tuple[AuditReport | None, CacheStats | None]:
+    """Drained per-call side channels: audit report and cache counters."""
+    report = _WORKER_RUNNER.drain_audit() if _WORKER_RUNNER.audit else None
+    stats = (
+        _WORKER_RUNNER.drain_cache_stats()
+        if _WORKER_RUNNER.cache is not None
+        else None
+    )
+    return report, stats
+
+
 def _run_cell(
     task: CellTask, start: float
-) -> tuple[list[RunRecord], AuditReport | None]:
+) -> tuple[list[RunRecord], AuditReport | None, CacheStats | None]:
     """Worker entry point: one (task, start) unit on the shared runner.
 
-    Returns the records plus the drained audit report (``None`` when
-    auditing is off), so violations and counters observed inside the
-    worker travel back to the parent with the results they describe.
+    Returns the records plus the drained audit report and run-cache
+    counters (``None`` when the respective feature is off), so
+    violations and hit/miss tallies observed inside the worker travel
+    back to the parent with the results they describe.
     """
     if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool used before initialization")
     records = _WORKER_RUNNER.run_cell(task, start)
-    report = _WORKER_RUNNER.drain_audit() if _WORKER_RUNNER.audit else None
-    return records, report
+    return (records, *_worker_extras())
+
+
+def _run_bid_axis_cell(
+    task: CellTask, bids: tuple, start: float
+) -> tuple[list, AuditReport | None, CacheStats | None]:
+    """Worker entry point for one start of a batched bid axis."""
+    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool used before initialization")
+    pairs = _WORKER_RUNNER.run_bid_axis_cell(task, bids, start)
+    return (pairs, *_worker_extras())
 
 
 @dataclass
@@ -284,6 +314,9 @@ class SweepExecutor:
     engine_mode: str = "fast"
     audit: bool = False
     audit_out: str | None = None
+    #: Shared on-disk run-cache directory handed to every worker
+    #: (``None`` disables worker-side caching).
+    cache_dir: str | None = None
     #: Publish the window into a shared-memory :class:`TraceArena` at
     #: pool start-up.  Off (or a failed publish) falls back to each
     #: worker regenerating the window — results are identical; the
@@ -292,6 +325,7 @@ class SweepExecutor:
     _pool: ProcessPoolExecutor | None = field(default=None, repr=False)
     _arena: "TraceArena | None" = field(default=None, repr=False)
     _audit_report: AuditReport = field(default_factory=AuditReport, repr=False)
+    _cache_stats: CacheStats = field(default_factory=CacheStats, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -336,9 +370,16 @@ class SweepExecutor:
                     self.audit,
                     self.audit_out,
                     self._arena.spec if self._arena is not None else None,
+                    self.cache_dir,
                 ),
             )
         return self._pool
+
+    def _absorb_extras(self, report, stats) -> None:
+        if report is not None:
+            self._audit_report.merge(report)
+        if stats is not None:
+            self._cache_stats.merge(stats)
 
     def map_cells(
         self, task: CellTask, starts: Sequence[float]
@@ -353,17 +394,49 @@ class SweepExecutor:
         futures = [pool.submit(_run_cell, task, float(s)) for s in starts]
         records: list[RunRecord] = []
         for future in futures:
-            cell_records, report = future.result()
+            cell_records, report, stats = future.result()
             records.extend(cell_records)
-            if report is not None:
-                self._audit_report.merge(report)
+            self._absorb_extras(report, stats)
         return records
+
+    def map_bid_axis(
+        self, task: CellTask, bids: Sequence[float], starts: Sequence[float]
+    ) -> dict[float, list[RunRecord]]:
+        """Run a batched bid axis at every start; records in start order.
+
+        Each worker partitions the bid grid into equivalence classes
+        for its start and runs one representative per class
+        (:meth:`~repro.experiments.runner.ExperimentRunner.run_bid_axis_cell`);
+        the ordered merge makes every per-bid record list identical —
+        values and order — to the serial batched path, which is itself
+        identical to per-bid runs.
+        """
+        pool = self._ensure_pool()
+        bids = tuple(float(b) for b in bids)
+        futures = [
+            pool.submit(_run_bid_axis_cell, task, bids, float(s))
+            for s in starts
+        ]
+        out: dict[float, list[RunRecord]] = {bid: [] for bid in bids}
+        for future in futures:
+            pairs, report, stats = future.result()
+            for bid, records in pairs:
+                out[bid].extend(records)
+            self._absorb_extras(report, stats)
+        return out
 
     def drain_audit(self) -> AuditReport:
         """Hand off (and clear) the audit reports workers shipped back."""
         report = self._audit_report
         self._audit_report = AuditReport()
         return report
+
+    def drain_cache_stats(self) -> CacheStats:
+        """Hand off (and clear) the run-cache counters workers shipped
+        back with their results."""
+        stats = self._cache_stats
+        self._cache_stats = CacheStats()
+        return stats
 
     def close(self) -> None:
         """Shut the pool down and release the arena (idempotent)."""

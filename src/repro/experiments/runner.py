@@ -22,13 +22,14 @@ paths produce identical records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.app.workload import ExperimentConfig
 from repro.core.adaptive import AdaptiveController
+from repro.core.bid_batch import bid_equivalence_classes
 from repro.core.edge import RisingEdgePolicy
 from repro.core.engine import SpotSimulator
 from repro.core.large_bid import LargeBidPolicy
@@ -37,6 +38,7 @@ from repro.core.periodic import PeriodicPolicy
 from repro.core.policy import CheckpointPolicy
 from repro.core.threshold import ThresholdPolicy
 from repro.core.large_bid import naive_policy
+from repro.experiments.cache import CacheStats, RunCache
 from repro.experiments.metrics import RunRecord, best_case_per_start
 from repro.market.constants import LARGE_BID, SAMPLE_INTERVAL_S
 from repro.market.queuing import QueueDelayModel
@@ -58,6 +60,18 @@ POLICY_FACTORIES: dict[str, Callable[[], CheckpointPolicy]] = {
 #: Policies the paper keeps after Section 6 (Edge and Threshold are
 #: dropped for high recovery costs).
 RETAINED_POLICIES: tuple[str, ...] = ("periodic", "markov-daly")
+
+
+def _rebid(record: RunRecord, bid: float) -> RunRecord:
+    """``record`` as an independent run at ``bid`` would report it.
+
+    Valid only for a bid in the same availability-equivalence class as
+    the record's (under a bid-invariant policy): the trajectory — and
+    hence every other field, the event log included — is bit-identical
+    by construction, so only the recorded bid differs.  Event details
+    embed prices, never the bid, which is what keeps the log clone-safe.
+    """
+    return replace(record, bid=bid, result=replace(record.result, bid=bid))
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,15 @@ class ExperimentRunner:
         arena pass the mapped (zero-copy) trace instead so each process
         skips regenerating the archive.  The arrays must equal the
         generated window's — results are bit-identical either way.
+    cache_dir, cache:
+        Cross-run memoization (:mod:`repro.experiments.cache`).
+        ``cache_dir`` adds a persistent on-disk layer so warm figure
+        reruns skip simulation entirely; ``cache`` injects a prebuilt
+        :class:`~repro.experiments.cache.RunCache` (in-memory when its
+        ``cache_dir`` is None).  With neither, no caching happens.
+        Audited runs always simulate cold — the engine bypasses the
+        cache whenever an auditor is attached — so ``audit=True`` and
+        caching compose safely.
     """
 
     window: str
@@ -130,6 +153,8 @@ class ExperimentRunner:
     audit_out: str | None = None
     trace: "SpotPriceTrace | None" = None
     eval_start: float | None = None
+    cache_dir: str | None = None
+    cache: "RunCache | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -140,6 +165,8 @@ class ExperimentRunner:
             self.trace, self.eval_start = evaluation_window(self.window, self.seed)
         elif self.eval_start is None:
             raise ValueError("eval_start is required with an explicit trace")
+        if self.cache is None and self.cache_dir is not None:
+            self.cache = RunCache(self.cache_dir)
         self.oracle = PriceOracle(self.trace)
         self._executor = None
         self._auditor = None
@@ -171,6 +198,17 @@ class ExperimentRunner:
             report.merge(self._executor.drain_audit())
         return report
 
+    def drain_cache_stats(self) -> CacheStats:
+        """Collect (and clear) run-cache counters — the in-process
+        cache's own plus whatever the sweep workers shipped back with
+        their results."""
+        stats = CacheStats()
+        if self.cache is not None:
+            stats.merge(self.cache.drain_stats())
+        if self._executor is not None:
+            stats.merge(self._executor.drain_cache_stats())
+        return stats
+
     # -- parallel execution ------------------------------------------------
 
     def with_workers(self, workers: int) -> "ExperimentRunner":
@@ -187,6 +225,7 @@ class ExperimentRunner:
             engine_mode=self.engine_mode,
             audit=self.audit,
             audit_out=self.audit_out,
+            cache_dir=self.cache_dir,
         )
 
     @property
@@ -204,6 +243,7 @@ class ExperimentRunner:
                 engine_mode=self.engine_mode,
                 audit=self.audit,
                 audit_out=self.audit_out,
+                cache_dir=self.cache_dir,
             )
         return self._executor
 
@@ -225,7 +265,15 @@ class ExperimentRunner:
     # -- experiment geometry ----------------------------------------------
 
     def starts(self, config: ExperimentConfig) -> np.ndarray:
-        """Absolute start times of the overlapping experiment chunks."""
+        """Absolute start times of the overlapping experiment chunks.
+
+        Deduplicated: when the feasible span is narrower than
+        ``num_experiments`` grid steps, several raw offsets snap to the
+        same 5-minute tick — identical seed, identical trajectory — so
+        each colliding grid point is simulated once, not repeatedly.
+        ``overlapping_starts`` is non-decreasing, so dropping
+        duplicates preserves order.
+        """
         eval_span = self.trace.end_time - self.eval_start
         # keep one tick of headroom at the trace end for the last tick's
         # price lookup
@@ -233,7 +281,7 @@ class ExperimentRunner:
         offsets = overlapping_starts(
             usable, config.deadline_s, self.num_experiments
         )
-        return self.eval_start + offsets
+        return self.eval_start + np.unique(offsets)
 
     def simulator(self, start_time: float) -> SpotSimulator:
         """A simulator whose queue-delay stream is derived from the
@@ -247,6 +295,7 @@ class ExperimentRunner:
         return SpotSimulator(
             oracle=self.oracle, queue_model=self.queue_model, rng=rng,
             engine_mode=self.engine_mode, auditor=self.auditor,
+            run_cache=self.cache,
         )
 
     # -- cell execution ----------------------------------------------------
@@ -333,6 +382,92 @@ class ExperimentRunner:
         for start in starts:
             records.extend(self.run_cell(task, start))
         return records
+
+    # -- batched bid axis --------------------------------------------------
+
+    def run_bid_axis_cell(
+        self, task: CellTask, bids: Sequence[float], start: float
+    ) -> list[tuple[float, list[RunRecord]]]:
+        """One start's worth of a batched bid axis; worker entry point.
+
+        Partitions ``bids`` into availability-equivalence classes over
+        this start's run horizon (:mod:`repro.core.bid_batch`), runs
+        one representative per class and clones its records — bid
+        field rewritten — for the other members.  Under a
+        bid-invariant policy the clones are bit-identical to what
+        independent runs at those bids would produce (trajectory,
+        costs, event log, queue-delay draws — the differential tests
+        in ``tests/experiments/test_bid_axis.py`` prove it), so one
+        pass over the trace serves the whole axis.  Returns ``(bid,
+        records)`` pairs in ascending-bid order.
+        """
+        if task.kind == "single-zone":
+            cell_zones = task.zones
+        elif task.kind == "redundant":
+            cell_zones = self.trace.zone_names[: task.num_zones]
+        else:
+            raise ValueError(
+                f"bid axis is undefined for cell kind {task.kind!r}"
+            )
+        classes = bid_equivalence_classes(
+            self.trace, cell_zones, bids, start, task.config.deadline_s
+        )
+        pairs: list[tuple[float, list[RunRecord]]] = []
+        for cls in classes:
+            rep_records = self.run_cell(
+                replace(task, bid=cls.representative), start
+            )
+            for bid in cls.members:
+                if bid == cls.representative:
+                    pairs.append((bid, rep_records))
+                else:
+                    pairs.append(
+                        (bid, [_rebid(r, bid) for r in rep_records])
+                    )
+        return pairs
+
+    def run_bid_axis(
+        self,
+        policy_label: str,
+        config: ExperimentConfig,
+        bids: Sequence[float],
+        zones: Sequence[str] | None = None,
+        redundant: bool = False,
+        num_zones: int = 3,
+        batched: bool = True,
+    ) -> dict[float, list[RunRecord]]:
+        """All bid levels of one sweep cell, sharing work across bids.
+
+        For bid-invariant policies the batched engine runs one
+        representative per equivalence class and clones the rest (see
+        :meth:`run_bid_axis_cell`); the per-bid record lists — values
+        *and* order — are identical to ``run_single_zone`` /
+        ``run_redundant`` called once per bid.  Policies whose
+        decisions consume the bid numerically (Markov-Daly's MTBF,
+        Threshold's price target) fall back to exactly those per-bid
+        runs automatically, as does ``batched=False`` (the benchmark
+        baseline).  Returns ``{bid: records}`` over the unique bids.
+        """
+        bids = [float(b) for b in dict.fromkeys(float(b) for b in bids)]
+        if redundant:
+            task = CellTask(kind="redundant", config=config,
+                            policy_label=policy_label, num_zones=num_zones)
+        else:
+            cell_zones = tuple(zones) if zones is not None else self.trace.zone_names
+            task = CellTask(kind="single-zone", config=config,
+                            policy_label=policy_label, zones=cell_zones)
+        if not (batched and POLICY_FACTORIES[policy_label]().bid_invariant):
+            return {
+                bid: self._run_grid(replace(task, bid=bid)) for bid in bids
+            }
+        starts = [float(s) for s in self.starts(config)]
+        if self.workers > 1 and len(starts) > 1:
+            return self.executor.map_bid_axis(task, bids, starts)
+        out: dict[float, list[RunRecord]] = {bid: [] for bid in bids}
+        for start in starts:
+            for bid, records in self.run_bid_axis_cell(task, bids, start):
+                out[bid].extend(records)
+        return out
 
     # -- grid cells -------------------------------------------------------
 

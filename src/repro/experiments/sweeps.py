@@ -109,21 +109,26 @@ def sweep_bid(
     ckpt_cost_s: float = 300.0,
     redundant: bool = False,
     workers: int | None = None,
+    batched: bool = True,
 ) -> list[SweepPoint]:
     """Cost vs. bid — the sweet-spot curve behind Section 6's summary
     ("higher bid prices (after a sweet-spot) generally increase the
-    median cost for redundancy-based policies")."""
+    median cost for redundancy-based policies").
+
+    The whole axis goes through the batched bid-axis engine
+    (:meth:`~repro.experiments.runner.ExperimentRunner.run_bid_axis`):
+    bid-invariant policies run once per availability-equivalence class
+    per start instead of once per bid, with identical per-point
+    records; other policies (and ``batched=False``, the benchmark
+    baseline) execute per-bid exactly as before.
+    """
     runner = _with_workers(runner, workers)
-    points = []
     config = paper_experiment(slack_fraction=slack_fraction,
                               ckpt_cost_s=ckpt_cost_s)
-    for bid in bids:
-        if redundant:
-            records = runner.run_redundant(policy_label, config, float(bid))
-        else:
-            records = runner.run_single_zone(policy_label, config, float(bid))
-        points.append(_point(float(bid), records))
-    return points
+    axis = runner.run_bid_axis(
+        policy_label, config, bids, redundant=redundant, batched=batched
+    )
+    return [_point(float(b), axis[float(b)]) for b in dict.fromkeys(bids)]
 
 
 def sweep_zones(

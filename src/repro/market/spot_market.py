@@ -85,6 +85,18 @@ class PriceOracle:
         """Spot price of ``zone`` in force at time ``t``."""
         return self.trace.zone(zone).price_at(t)
 
+    def fingerprint(self) -> str:
+        """Content hash of the underlying trace (run-cache identity).
+
+        Every statistic this oracle serves is a deterministic pure
+        function of the trace samples and the oracle's configuration
+        (``history_s``, ``bucket_s``, ``incremental``) — the bucketed
+        caches are query-order independent — so (trace fingerprint,
+        configuration) fully identifies the oracle's observable
+        behaviour.
+        """
+        return self.trace.fingerprint()
+
     def previous_price(self, zone: str, t: float) -> float:
         """Spot price one sample before ``t`` (clamped at trace start)."""
         z = self.trace.zone(zone)

@@ -14,6 +14,7 @@ returns views wherever NumPy allows.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
@@ -222,6 +223,31 @@ class ZoneTrace:
         """Sorted unique price levels; the Markov model's state space."""
         return np.unique(self.prices)
 
+    # -- identity ---------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the zone's identity and every sample.
+
+        SHA-256 over (zone name, start time, sample interval, raw
+        price bytes): any change to any field — a single price sample
+        included — yields a different digest, while equal traces hash
+        equal regardless of how their arrays are stored (generated
+        locally or mapped from a sweep worker's shared-memory arena).
+        The run cache uses this as the trace component of its content
+        addresses.  Memoized: a month-long window is hashed once per
+        trace object.
+        """
+        fp = self._derived.get("fingerprint")
+        if fp is None:
+            h = hashlib.sha256()
+            h.update(self.zone.encode("utf-8"))
+            h.update(np.float64(self.start_time).tobytes())
+            h.update(np.int64(self.interval_s).tobytes())
+            h.update(np.ascontiguousarray(self.prices).tobytes())
+            fp = h.hexdigest()
+            self._derived["fingerprint"] = fp
+        return fp
+
 
 @dataclass(frozen=True)
 class SpotPriceTrace:
@@ -235,6 +261,7 @@ class SpotPriceTrace:
     zones: tuple[ZoneTrace, ...]
     _by_name: Mapping[str, ZoneTrace] = field(init=False, repr=False, compare=False)
     _matrix: np.ndarray | None = field(init=False, repr=False, compare=False)
+    _fingerprint: str | None = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.zones:
@@ -253,6 +280,7 @@ class SpotPriceTrace:
         object.__setattr__(self, "zones", tuple(self.zones))
         object.__setattr__(self, "_by_name", {z.zone: z for z in self.zones})
         object.__setattr__(self, "_matrix", None)
+        object.__setattr__(self, "_fingerprint", None)
 
     # -- construction helpers ---------------------------------------------
 
@@ -322,6 +350,17 @@ class SpotPriceTrace:
             stacked.setflags(write=False)
             object.__setattr__(self, "_matrix", stacked)
         return self._matrix
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole window — the per-zone
+        :meth:`ZoneTrace.fingerprint` digests combined in zone order.
+        Changing any sample in any zone changes the result."""
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            for z in self.zones:
+                h.update(z.fingerprint().encode("ascii"))
+            object.__setattr__(self, "_fingerprint", h.hexdigest())
+        return self._fingerprint
 
     # -- slicing ----------------------------------------------------------
 

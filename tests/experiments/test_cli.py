@@ -86,3 +86,28 @@ class TestFig1Command:
         out = capsys.readouterr().out
         assert "price us-east-1a" in out
         assert "legend" in out
+
+
+class TestCacheCommand:
+    def test_cache_dir_warm_rerun_identical(self, tmp_path, capsys):
+        argv = ["fig4", "--window", "low", "--experiments", "2",
+                "--cache-dir", str(tmp_path / "rc")]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "misses=" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "misses=0 " in warm.err
+
+    def test_cache_inspect_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "rc")
+        assert main(["run", "--policy", "periodic", "--window", "low",
+                     "--slack", "0.5", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", cache_dir]) == 0
+        assert "1 cached runs" in capsys.readouterr().out
+        assert main(["cache", cache_dir, "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", cache_dir]) == 0
+        assert "0 cached runs" in capsys.readouterr().out

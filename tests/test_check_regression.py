@@ -1,0 +1,97 @@
+"""Unit tests for the benchmark regression gate's comparison logic.
+
+``benchmarks/`` is not a package on the test path, so the script is
+loaded by file location; ``compare_file`` is pure (no git, no I/O),
+which is what makes the error paths testable at all.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+compare_file = check_regression.compare_file
+speedup_keys = check_regression.speedup_keys
+
+
+class TestSpeedupKeys:
+    def test_plain_and_prefixed(self):
+        payload = {"speedup": 2.0, "speedup_warm": 3.0, "seconds": 1.0}
+        assert speedup_keys(payload) == ["speedup", "speedup_warm"]
+
+    def test_none(self):
+        assert speedup_keys({"seconds": 1.0}) == []
+
+
+class TestCompareFile:
+    def test_ok_within_tolerance(self):
+        lines, errors = compare_file(
+            "BENCH_x.json", {"speedup": 1.9}, {"speedup": 2.0}, 0.2
+        )
+        assert errors == []
+        assert any("ok" in line for line in lines)
+
+    def test_regression_below_floor(self):
+        lines, errors = compare_file(
+            "BENCH_x.json", {"speedup": 1.0}, {"speedup": 2.0}, 0.2
+        )
+        assert any("REGRESSION" in line for line in lines)
+        assert errors and "speedup" in errors[0]
+
+    def test_multiple_keys_compared_independently(self):
+        fresh = {"speedup_a": 2.0, "speedup_b": 0.5}
+        base = {"speedup_a": 2.0, "speedup_b": 2.0}
+        lines, errors = compare_file("BENCH_x.json", fresh, base, 0.2)
+        assert len(lines) == 2
+        assert len(errors) == 1 and "speedup_b" in errors[0]
+
+    def test_missing_baseline_skips(self):
+        lines, errors = compare_file("BENCH_x.json", {"speedup": 2.0}, None, 0.2)
+        assert errors == []
+        assert "no committed baseline" in lines[0]
+
+    def test_baseline_key_gone_from_fresh_names_key(self):
+        _, errors = compare_file(
+            "BENCH_x.json", {"other": 1.0}, {"speedup_warm": 2.0}, 0.2
+        )
+        assert len(errors) == 1
+        assert "BENCH_x.json" in errors[0]
+        assert "speedup_warm" in errors[0]
+
+    def test_no_speedup_key_anywhere_is_an_error(self):
+        _, errors = compare_file("BENCH_x.json", {"a": 1}, {"b": 2}, 0.2)
+        assert len(errors) == 1
+        assert "nothing to compare" in errors[0]
+
+    def test_non_numeric_value_is_an_error(self):
+        _, errors = compare_file(
+            "BENCH_x.json", {"speedup": "fast"}, {"speedup": 2.0}, 0.2
+        )
+        assert len(errors) == 1 and "not numeric" in errors[0]
+
+
+class TestMain:
+    def test_invalid_fresh_json_fails_with_file_name(self, tmp_path, capsys):
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        rc = check_regression.main(["--root", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "BENCH_broken.json" in err and "invalid JSON" in err
+
+    def test_new_benchmark_without_baseline_passes(self, tmp_path, capsys):
+        (tmp_path / "BENCH_new.json").write_text(
+            json.dumps({"speedup": 3.0})
+        )
+        rc = check_regression.main(["--root", str(tmp_path)])
+        assert rc == 0
+        assert "no committed baseline" in capsys.readouterr().out
