@@ -1,0 +1,78 @@
+"""Start-axis lockstep throughput — the vector engine's reason to exist.
+
+A Figure-4-style sweep (native single-zone policies across the figure
+bids) over ``REPRO_BENCH_VECTOR_STARTS`` overlapping starts runs once
+through per-run fast simulations and once through the struct-of-arrays
+batch path.  The records must match bit for bit; the measured speedup
+lands in ``BENCH_vector.json`` at the repo root and is gated at 5x by
+``check_regression.py``.
+
+Set ``REPRO_BENCH_VECTOR_STARTS`` (default 512) to rescale; the paper
+acceptance bar is 512.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.app.workload import paper_experiment
+from repro.experiments.runner import ExperimentRunner
+from repro.traces.library import DEFAULT_SEED
+
+#: Native-policy cells of the Figure 4 grid (label, bid).
+VECTOR_CELLS = (
+    ("periodic", 0.27),
+    ("periodic", 0.81),
+    ("edge", 0.35),
+)
+
+
+def vector_starts() -> int:
+    return int(os.environ.get("REPRO_BENCH_VECTOR_STARTS", "512"))
+
+
+def _sweep(runner: ExperimentRunner, config) -> list:
+    """Per-run or batched according to the runner's ``engine_mode``."""
+    records = []
+    zones = runner.trace.zone_names[:1]
+    for label, bid in VECTOR_CELLS:
+        records.extend(
+            runner.run_single_zone(label, config, bid, zones=zones)
+        )
+    return records
+
+
+def test_vector_speedup_start_axis(benchmark):
+    """Lockstep batches vs per-run fast simulation on the calm window."""
+    n = vector_starts()
+    config = paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+    fast = ExperimentRunner("low", num_experiments=n, seed=DEFAULT_SEED)
+    vec = ExperimentRunner("low", num_experiments=n, seed=DEFAULT_SEED,
+                           engine_mode="vector")
+    starts = fast.starts(config)
+    assert len(starts) >= min(n, 512) * 0.9  # the axis really is wide
+
+    t0 = time.perf_counter()
+    fast_records = _sweep(fast, config)
+    fast_s = time.perf_counter() - t0
+
+    vec_records = benchmark(_sweep, vec, config)
+    assert vec_records == fast_records  # bit-identical sweeps
+
+    vec_s = float(benchmark.stats.stats.mean)
+    speedup = fast_s / vec_s
+    payload = {
+        "window": "low",
+        "starts": len(starts),
+        "sweep_cells": len(VECTOR_CELLS),
+        "runs_per_engine": len(fast_records),
+        "fast_seconds": fast_s,
+        "vector_seconds_mean": vec_s,
+        "speedup": speedup,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_vector.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert speedup >= 5.0, f"vector path only {speedup:.1f}x over fast loop"

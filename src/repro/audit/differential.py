@@ -15,6 +15,15 @@ engine seeds every cache through its own query pattern — and diffs
 A non-empty report pinpoints the first divergent event, which is the
 fastest way to localize a fast-path bug: the divergence names the
 simulation time, zone and event kind where the engines disagree.
+
+:func:`vector_differential_run` extends the same contract to the
+struct-of-arrays batch engine (:mod:`repro.core.vector_engine`): a
+whole start axis runs once through the vector engine and once through
+per-run audited fast simulations, and every run is diffed field by
+field — RunResults, engine event logs, and the vector log against the
+scalar side's *audited* stream (meta and transition events filtered
+out), so the batch path is held to the exact event sequence the audit
+layer certifies.
 """
 
 from __future__ import annotations
@@ -30,6 +39,10 @@ from repro.audit.sink import MemorySink
 
 #: Cap on reported diffs; past the first few, more add noise not signal.
 MAX_DIFFS = 50
+
+#: Audited kinds with no counterpart in an engine event log: auditor
+#: meta events plus the state-machine transition narration.
+NON_LOG_KINDS: frozenset[str] = META_KINDS | {"transition"}
 
 
 @dataclass(frozen=True)
@@ -193,3 +206,160 @@ def differential_run(
         fast_result=runs["fast"],
         tick_result=runs["tick"],
     )
+
+
+@dataclass
+class VectorDifferentialReport:
+    """Outcome of one vector-vs-fast batch replay.
+
+    Diffs reuse :class:`FieldDiff` with the vector engine's value in
+    ``fast`` and the scalar fast engine's in ``tick`` (the comparison
+    baseline); ``where`` carries a ``start[i]`` prefix naming the run.
+    """
+
+    #: RunResult field diffs (events included — tuple equality).
+    result_diffs: list[FieldDiff] = field(default_factory=list)
+    #: Vector event log vs the scalar side's audited stream, positional.
+    audit_stream_diffs: list[FieldDiff] = field(default_factory=list)
+    #: The scalar side's invariant-check outcome.
+    fast_audit: AuditReport = field(default_factory=AuditReport)
+    vector_results: list = field(default_factory=list)
+    fast_results: list = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.result_diffs and not self.audit_stream_diffs
+
+    @property
+    def ok(self) -> bool:
+        """Bit-identical batch *and* a violation-free scalar audit."""
+        return self.identical and self.fast_audit.ok
+
+    def summary_lines(self) -> list[str]:
+        lines = []
+        if self.identical:
+            lines.append(
+                f"vector-differential: {len(self.fast_results)} runs "
+                "bit-identical (results and audited event streams)"
+            )
+        else:
+            lines.append(
+                f"vector-differential: {len(self.result_diffs)} result "
+                f"field diffs, {len(self.audit_stream_diffs)} audited "
+                "event diffs"
+            )
+            for d in (self.result_diffs + self.audit_stream_diffs)[:MAX_DIFFS]:
+                lines.append(f"vector-differential: {d}")
+        if not self.fast_audit.ok:
+            lines.append(
+                "vector-differential: scalar side reported "
+                f"{len(self.fast_audit.violations)} invariant violations"
+            )
+        return lines
+
+
+def diff_log_vs_audit_stream(
+    log_events: Sequence[object],
+    audited: Sequence[AuditEvent],
+    where: str = "event",
+) -> list[FieldDiff]:
+    """Positional diff of an engine event log against an audited stream.
+
+    The audited stream is first filtered to the kinds an engine log
+    carries (:data:`NON_LOG_KINDS` removed); the remaining events must
+    then match the log entry for entry on the four shared fields.
+    """
+    b = [e for e in audited if e.kind not in NON_LOG_KINDS]
+    diffs: list[FieldDiff] = []
+    for i, (ea, eb) in enumerate(zip(log_events, b)):
+        for name in ("time", "kind", "zone", "detail"):
+            va, vb = getattr(ea, name), getattr(eb, name)
+            if va != vb:
+                diffs.append(FieldDiff(f"{where}[{i}]", name, va, vb))
+                if len(diffs) >= MAX_DIFFS:
+                    return diffs
+    if len(log_events) != len(b):
+        diffs.append(
+            FieldDiff(where, "length", len(log_events), len(b))
+        )
+    return diffs
+
+
+def vector_differential_run(
+    trace,
+    config,
+    policy_factory: Callable[[], object],
+    bid: float,
+    zones: tuple[str, ...],
+    starts: Sequence[float],
+    *,
+    queue_model=None,
+    seed: int = 0,
+) -> VectorDifferentialReport:
+    """Replay a start axis under the vector and fast engines and diff.
+
+    The vector side runs the whole batch at once through
+    :class:`~repro.core.vector_engine.VectorSimulator` (native lockstep
+    or per-run fallback, whatever the policy admits); the scalar side
+    runs every start through an *audited* fast simulator.  Both sides
+    get fresh oracles and runner-style per-start RNG streams
+    (``SeedSequence(entropy=seed, spawn_key=(start,))``), mirroring how
+    ``ExperimentRunner`` seeds the grid.  Every run is then diffed:
+    RunResult fields (the engine event logs ride along as a field) plus
+    the vector log against the audited stream, which pins the batch
+    engine to the event sequence the invariant checker certified.
+    """
+    from repro.core.engine import SpotSimulator
+    from repro.core.vector_engine import VectorSimulator
+    from repro.market.queuing import QueueDelayModel
+    from repro.market.spot_market import PriceOracle
+
+    qm = queue_model or QueueDelayModel()
+    starts = [float(s) for s in starts]
+
+    def start_rngs():
+        return [
+            np.random.default_rng(
+                np.random.SeedSequence(entropy=seed, spawn_key=(int(s),))
+            )
+            for s in starts
+        ]
+
+    fast_oracle = PriceOracle(trace)
+    sink = MemorySink()
+    auditor = RunAuditor(sink=sink, strict=False)
+    fast_results = []
+    audited_streams: list[list[AuditEvent]] = []
+    for s, rng in zip(starts, start_rngs()):
+        before = len(sink.events)
+        sim = SpotSimulator(
+            oracle=fast_oracle, queue_model=qm, rng=rng,
+            record_events=True, engine_mode="fast", auditor=auditor,
+        )
+        fast_results.append(sim.run(config, policy_factory(), bid, zones, s))
+        audited_streams.append(list(sink.events[before:]))
+    fast_audit = auditor.drain()
+
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=qm, record_events=True
+    )
+    vector_results = vec.run_batch(
+        config, policy_factory, bid, zones, starts, start_rngs()
+    )
+
+    report = VectorDifferentialReport(
+        fast_audit=fast_audit,
+        vector_results=vector_results,
+        fast_results=fast_results,
+    )
+    for i, (v, f) in enumerate(zip(vector_results, fast_results)):
+        for d in diff_results(v, f):
+            report.result_diffs.append(
+                FieldDiff(f"start[{i}].{d.where}", d.field, d.fast, d.tick)
+            )
+        report.audit_stream_diffs.extend(
+            diff_log_vs_audit_stream(
+                v.events, audited_streams[i], where=f"start[{i}].event"
+            )
+        )
+    return report

@@ -23,6 +23,7 @@ class RisingEdgePolicy(CheckpointPolicy):
 
     name = "edge"
     reschedule_is_noop = True
+    vector_kind = "edge"
     # triggers on price *movements* (diffs), never on the bid's value
     bid_invariant = True
 

@@ -19,6 +19,7 @@ class PeriodicPolicy(CheckpointPolicy):
 
     name = "periodic"
     reschedule_is_noop = True
+    vector_kind = "periodic"
     # decisions track billing-hour geometry, never the bid's value
     bid_invariant = True
 

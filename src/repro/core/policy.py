@@ -78,6 +78,17 @@ class CheckpointPolicy(abc.ABC):
     #: spent slack against.
     trust_speculative: bool = False
 
+    #: Which native lockstep path of the struct-of-arrays engine
+    #: (:mod:`repro.core.vector_engine`) can express this policy:
+    #: ``"periodic"``, ``"edge"`` or ``"never"``, or ``None`` when the
+    #: policy's decision state cannot be held as batch columns (price
+    #: statistics, execution-time anchors, …) and vector batches must
+    #: fall back to per-run scalar simulation.  Setting a kind asserts
+    #: that ``checkpoint_due``/``fast_forward_until`` follow the exact
+    #: decision rule of that kind — the vector engine re-implements the
+    #: rule column-wise and the differential suite holds both to it.
+    vector_kind: str | None = None
+
     #: When True, the policy's decisions depend on the bid only through
     #: the availability pattern ``price <= bid`` (terminations, starts,
     #: eligibility) — never on the bid's numeric value.  Two bids whose
@@ -182,6 +193,7 @@ class NeverCheckpoint(CheckpointPolicy):
 
     name = "never"
     reschedule_is_noop = True
+    vector_kind = "never"
     # never consults the bid at all
     bid_invariant = True
 

@@ -1,0 +1,639 @@
+"""Struct-of-arrays batched engine — thousands of runs in lockstep.
+
+Every figure aggregates hundreds of (start, seed) runs per grid cell;
+after the segment-skipping fast path, the remaining cost is the
+one-run-at-a-time Python loop around it.  This module batches the
+*start axis*: a :class:`VectorSimulator` advances a whole column of
+single-zone runs simultaneously, holding each scalar of the engine's
+per-run state (clock, zone state, phase countdowns, progress, billing
+meter, checkpoint store) as a NumPy column over the batch.
+
+One lockstep *round* executes, for every live run, exactly one full
+tick of Algorithm 1 — billing rolls, market transitions, the deadline
+guard, policy actions, one ``advance`` step — followed by the same
+vectorized quiescence analysis the scalar fast engine performs and a
+bulk skip of the provably event-free stretch.  Runs sit at different
+clocks (each skips at its own pace); the lockstep is over rounds, not
+over time.  Zone price-crossing and rising-edge indices are shared
+across the whole batch through the trace's memoized caches, and the
+per-event "which runs does this tick affect" step is a vectorized min
+over hazard bounds instead of a per-run heap.
+
+Bit-exactness is the contract: every float operation replays the
+scalar engine's arithmetic in the same order (left-associative sums,
+``min``-tie-breaking, the repeated-addition accrual for fractional
+accumulators), every RNG draw comes from the same per-run
+``numpy.random.Generator`` in the same sequence, and the event log —
+when recorded — matches entry for entry.  The differential suite
+(:func:`repro.audit.differential.vector_differential_run`) holds the
+engine to it.
+
+Scope: the native vectorized path covers single-zone runs at integral
+start times under policies that declare a ``vector_kind`` ("periodic",
+"edge", "never").  Anything else — multi-zone redundancy, controllers,
+Markov-Daly/Threshold/Large-bid, run-time dynamics, fractional starts
+— automatically falls back to a per-run scalar fast engine sharing the
+same RNG stream and run cache, so callers never need to know which
+path served them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.app.workload import ExperimentConfig
+from repro.core.engine import EngineError, Event, RunResult, SpotSimulator
+from repro.market.constants import ON_DEMAND_PRICE, SAMPLE_INTERVAL_S
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+
+# Integer codes of the ZoneState machine, in lifecycle order.  The
+# ordering carries meaning: ``state >= QUEUING`` is "running" (an open
+# billing hour), mirroring ``RUNNING_STATES``.
+DOWN, WAITING, QUEUING, RESTARTING, COMPUTING, CHECKPOINTING = range(6)
+
+#: Policy ``vector_kind`` values the native path can express.
+NATIVE_KINDS = frozenset({"periodic", "edge", "never"})
+
+
+def native_batch_kind(policy, zones: tuple[str, ...]) -> str | None:
+    """The native vector kind serving this (policy, zones) cell, or
+    ``None`` when every run must fall back to the scalar engine."""
+    kind = getattr(type(policy), "vector_kind", None)
+    if kind in NATIVE_KINDS and len(zones) == 1:
+        return kind
+    return None
+
+
+@dataclass
+class VectorSimulator:
+    """Batched start-axis engine over one oracle.
+
+    Parameters mirror :class:`~repro.core.engine.SpotSimulator` minus
+    the per-run ``rng`` — each run of a batch brings its own generator,
+    so queue-delay draws match the scalar engine draw for draw.
+    """
+
+    oracle: PriceOracle
+    queue_model: QueueDelayModel
+    record_events: bool = False
+    #: Optional :class:`repro.experiments.cache.RunCache`.  Vector runs
+    #: compute the *same* content addresses as the scalar fast engine
+    #: (``engine_mode="fast"`` in the key), so entries interoperate in
+    #: both directions: a vector batch hits entries a scalar run stored
+    #: and vice versa.
+    run_cache: object | None = None
+
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        config: ExperimentConfig,
+        policy_factory,
+        bid: float,
+        zones: tuple[str, ...],
+        starts,
+        rngs,
+    ) -> list[RunResult]:
+        """Simulate one run per (start, rng) pair; results in order.
+
+        Equivalent to ``SpotSimulator(engine_mode="fast").run(config,
+        policy_factory(), bid, zones, start)`` once per start with the
+        matching generator — bit-identical results, shared cache
+        entries, identical RNG streams afterwards.
+        """
+        zones = tuple(zones)
+        starts = [float(s) for s in starts]
+        if len(rngs) != len(starts):
+            raise EngineError(
+                f"{len(starts)} starts but {len(rngs)} rng streams"
+            )
+        if not zones:
+            raise EngineError("at least one zone is required")
+        for z in zones:
+            if z not in self.oracle.zone_names:
+                raise EngineError(
+                    f"zone {z!r} not in trace {self.oracle.zone_names}"
+                )
+        if bid <= 0:
+            raise EngineError(f"bid must be positive, got {bid}")
+
+        probe = policy_factory()
+        kind = native_batch_kind(probe, zones)
+        results: list[RunResult | None] = [None] * len(starts)
+        native = [
+            i for i, s in enumerate(starts)
+            if kind is not None and float(s).is_integer()
+        ]
+        if native:
+            self._run_native(
+                config, probe, kind, float(bid), zones[0],
+                starts, rngs, native, results,
+            )
+        for i in range(len(starts)):
+            if results[i] is None:
+                sim = SpotSimulator(
+                    oracle=self.oracle, queue_model=self.queue_model,
+                    rng=rngs[i], record_events=self.record_events,
+                    engine_mode="fast", run_cache=self.run_cache,
+                )
+                results[i] = sim.run(
+                    config, policy_factory(), bid, zones, starts[i]
+                )
+        return results
+
+    # -- cache-aware native dispatch ---------------------------------------
+
+    def _run_native(
+        self, config, probe, kind, bid, zone, starts, rngs, idxs, results
+    ) -> None:
+        """Serve ``idxs`` from the cache where possible, batch the rest."""
+        cache = self.run_cache
+        keys: dict[int, str] = {}
+        todo = idxs
+        if cache is not None:
+            oracle = self.oracle
+            base = {
+                "trace": oracle.trace.fingerprint(),
+                "oracle": {
+                    "history_s": oracle.history_s,
+                    "bucket_s": oracle.bucket_s,
+                    "incremental": oracle.incremental,
+                },
+                # Vector results are bit-identical to scalar fast runs,
+                # so they share the fast engine's content addresses.
+                "engine_mode": "fast",
+                "record_events": self.record_events,
+                "record_timeline": False,
+                "config": config,
+                "policy": probe.canonical_params(),
+                "bid": bid,
+                "zones": (zone,),
+                "controller": None,
+                "queue_model": self.queue_model,
+            }
+            todo = []
+            for i in idxs:
+                try:
+                    key = cache.run_key({
+                        **base,
+                        "start_time": starts[i],
+                        "rng": rngs[i].bit_generator.state,
+                    })
+                except TypeError:
+                    todo.append(i)
+                    continue
+                entry = cache.get(key)
+                if entry is not None:
+                    for _ in range(entry.rng_draws):
+                        self.queue_model.sample(rngs[i])
+                    results[i] = entry.result
+                else:
+                    keys[i] = key
+                    todo.append(i)
+        if not todo:
+            return
+        batch, draws = self._simulate_batch(
+            config, probe, kind, bid, zone,
+            [starts[i] for i in todo], [rngs[i] for i in todo],
+        )
+        if keys:
+            from repro.experiments.cache import CachedRun
+        for j, i in enumerate(todo):
+            results[i] = batch[j]
+            if i in keys:
+                cache.put(
+                    keys[i], CachedRun(result=batch[j], rng_draws=int(draws[j]))
+                )
+
+    # -- the lockstep core -------------------------------------------------
+
+    def _simulate_batch(
+        self, config, probe, kind, bid, zone, starts, rngs
+    ) -> tuple[list[RunResult], np.ndarray]:
+        """Advance ``len(starts)`` native runs to completion in lockstep."""
+        oracle = self.oracle
+        ztrace = oracle.trace.zone(zone)
+        prices = ztrace.prices
+        z0 = float(ztrace.start_time)
+        dt = float(SAMPLE_INTERVAL_S)
+        L = len(prices)
+        n = len(starts)
+
+        start_arr = np.asarray(starts, dtype=np.float64)
+        deadline = start_arr + config.deadline_s
+        end_time = float(oracle.trace.end_time)
+        if np.any(deadline > end_time):
+            bad = float(deadline[deadline > end_time][0])
+            raise EngineError(
+                f"trace ends at {end_time}, before the deadline {bad}"
+            )
+        C = float(config.compute_s)
+        tc = float(config.ckpt_cost_s)
+        tr = float(config.restart_cost_s)
+
+        # shared per-trace indices (memoized on the ZoneTrace)
+        cross = ztrace.threshold_crossings(bid)
+        cross_ext = np.concatenate([cross, [L]])
+        if kind == "edge":
+            edges = ztrace.rising_edges()
+            edges_ext = np.concatenate([edges, [L]])
+            rising = np.zeros(L, dtype=bool)
+            rising[edges] = True
+
+        # struct-of-arrays run state (one column entry per run)
+        t = start_arr.copy()
+        alive = np.ones(n, dtype=bool)
+        state = np.full(n, DOWN, dtype=np.int8)
+        phase = np.zeros(n)          # remaining seconds of the timed activity
+        pend_restart = np.zeros(n)   # restore time owed after QUEUING
+        base = np.zeros(n)           # committed progress restarted from
+        comp = np.zeros(n)           # compute seconds since the restart
+        pend_ckpt = np.zeros(n)      # progress snapshotted by in-flight ckpt
+        committed = np.zeros(n)      # checkpoint store
+        n_commits = np.zeros(n, dtype=np.int64)
+        hour_start = np.full(n, np.nan)  # NaN = no billing hour open
+        rate = np.zeros(n)
+        spot_cost = np.zeros(n)
+        hours_charged = np.zeros(n, dtype=np.int64)
+        n_restarts = np.zeros(n, dtype=np.int64)
+        n_terms = np.zeros(n, dtype=np.int64)
+        ckpt_flag = np.zeros(n, dtype=bool)  # checkpoint_just_committed
+        latched = np.full(n, np.nan)  # periodic: hour_start already latched
+        finish = np.full(n, np.nan)
+        od_cost = np.zeros(n)
+        switch_t = np.full(n, np.nan)
+        completed_on = np.zeros(n, dtype=np.int8)  # 1 = spot, 2 = ondemand
+        draws = np.zeros(n, dtype=np.int64)
+        events: list[list[Event]] | None = (
+            [[] for _ in range(n)] if self.record_events else None
+        )
+
+        def emit(idx_arr, times, ekind, ezone, details):
+            for j, i in enumerate(idx_arr):
+                events[i].append(Event(
+                    time=float(times[j]), kind=ekind, zone=ezone,
+                    detail=details[j],
+                ))
+
+        def roll_billing(mask, upto):
+            """Roll every open hour whose boundary is <= upto (per run)."""
+            while True:
+                m = mask & (hour_start + 3600.0 <= upto + 1e-6)
+                if not m.any():
+                    return
+                idx = np.flatnonzero(m)
+                boundary = hour_start[idx] + 3600.0
+                spot_cost[idx] += rate[idx]
+                hours_charged[idx] += 1
+                new_rate = prices[((boundary - z0) // dt).astype(np.int64)]
+                rate[idx] = new_rate
+                hour_start[idx] = boundary
+                if events is not None:
+                    emit(idx, boundary, "hour-rolled", zone,
+                         [f"rate={float(r):.3f}" for r in new_rate])
+
+        def user_close(mask, at):
+            """User-terminate open hours at per-run times ``at``."""
+            idx = np.flatnonzero(mask)
+            if idx.size == 0:
+                return
+            used = at[idx] - hour_start[idx]
+            if np.any(used > 3600.0 + 1e-6):  # pragma: no cover - invariant
+                raise EngineError("open billing hour overran its boundary")
+            charge = idx[used >= 1.0]  # < 1 s of a fresh hour is free
+            spot_cost[charge] += rate[charge]
+            hours_charged[charge] += 1
+            hour_start[idx] = np.nan
+            rate[idx] = 0.0
+
+        max_rounds = int(config.deadline_s // dt) + 16
+        for _round in range(max_rounds):
+            if not alive.any():
+                break
+
+            # -- one full tick for every live run (at its own clock) ------
+            running = alive & (state >= QUEUING)
+
+            # billing hours whose boundary has been reached
+            roll_billing(running, t)
+
+            # market transitions (Algorithm 1 lines 2-8)
+            i_now = np.clip(((t - z0) // dt).astype(np.int64), 0, L - 1)
+            p_now = prices[i_now]
+            term = running & (p_now > bid)
+            if term.any():
+                ti = np.flatnonzero(term)
+                hour_start[ti] = np.nan  # partial hour forfeited
+                rate[ti] = 0.0
+                phase[ti] = 0.0
+                pend_restart[ti] = 0.0
+                base[ti] = 0.0
+                comp[ti] = 0.0
+                pend_ckpt[ti] = 0.0
+                state[ti] = DOWN
+                n_terms[ti] += 1
+                if events is not None:
+                    emit(ti, t[ti], "provider-terminated", zone,
+                         [f"S={float(p):.3f}" for p in p_now[ti]])
+            notrun = alive & ~running  # terminated runs wait till next tick
+            to_wait = notrun & (p_now <= bid) & (state == DOWN)
+            if to_wait.any():
+                wi = np.flatnonzero(to_wait)
+                state[wi] = WAITING
+                if events is not None:
+                    emit(wi, t[wi], "waiting", zone,
+                         [f"S={float(p):.3f}" for p in p_now[wi]])
+            to_down = notrun & (p_now > bid) & (state == WAITING)
+            state[to_down & alive] = DOWN
+
+            # deadline guard (line 11) — exact scalar arithmetic
+            local = base + comp
+            trigger = (np.maximum(C - committed, 0.0) + tc) + tr
+            remaining_time = deadline - t
+            margin = remaining_time - trigger
+            safe = margin > dt + 1e-6
+            force = (
+                alive & safe & (margin <= tc + 3.0 * dt)
+                & (state == COMPUTING) & (local > committed + 1e-9)
+            )
+            if force.any():
+                fi = np.flatnonzero(force)
+                pend_ckpt[fi] = local[fi]
+                state[fi] = CHECKPOINTING
+                phase[fi] = tc
+                if events is not None:
+                    emit(fi, t[fi], "checkpoint-started", zone,
+                         [f"forced P={float(p):.0f}s" for p in pend_ckpt[fi]])
+            migrate = alive & ~safe
+            if migrate.any():
+                # candidate 0: restore the committed checkpoint
+                prog = committed.copy()
+                pre_od = np.zeros(n)
+                key0 = (
+                    np.maximum(C - committed, 0.0)
+                    + np.where(committed > 0, tr, 0.0)
+                )
+                use2 = migrate & (state == COMPUTING)
+                key2 = (np.maximum(C - local, 0.0) + tc) + np.where(
+                    local > 0, tr, 0.0
+                )
+                use2 &= key2 < key0  # strict: first candidate wins ties
+                prog[use2] = local[use2]
+                pre_od[use2] = tc
+                use3 = migrate & (state == CHECKPOINTING)
+                key3 = (np.maximum(C - pend_ckpt, 0.0) + phase) + np.where(
+                    pend_ckpt > 0, tr, 0.0
+                )
+                use3 &= key3 < key0
+                prog[use3] = pend_ckpt[use3]
+                pre_od[use3] = phase[use3]
+                restore = np.where(prog > 0, tr, 0.0)
+                overhead = pre_od + restore
+                rem_comp = np.maximum(C - prog, 0.0)
+                mi = np.flatnonzero(migrate)
+                if events is not None:
+                    emit(mi, t[mi], "ondemand-switch", None,
+                         [f"C_r={float(c):.0f}s T_r={float(r):.0f}s"
+                          for c, r in zip(rem_comp[mi], remaining_time[mi])])
+                user_close(migrate & running & ~term, t)
+                state[mi] = DOWN
+                finish[mi] = (t[mi] + overhead[mi]) + rem_comp[mi]
+                od_sec = restore + rem_comp
+                od_cost[mi] = np.where(
+                    od_sec[mi] > 0,
+                    np.ceil(od_sec[mi] / 3600.0) * ON_DEMAND_PRICE,
+                    0.0,
+                )
+                switch_t[mi] = t[mi]
+                completed_on[mi] = 2
+                alive &= ~migrate
+
+            # policy actions (lines 16-35); single zone: no join-commit,
+            # and a waiting zone always restarts (nothing else can run)
+            computing = alive & (state == COMPUTING)
+            local = base + comp
+            if kind == "periodic":
+                left = np.maximum((hour_start + 3600.0) - t, 0.0)
+                due = computing & (left <= tc + 1e-6)
+                due &= latched != hour_start  # NaN compares unequal
+                due &= local > committed + 1e-9
+                latched[due] = hour_start[due]
+            elif kind == "edge":
+                due = computing & (local > committed + 1e-9) & rising[i_now]
+            else:  # "never"
+                due = np.zeros(n, dtype=bool)
+            if due.any():
+                di = np.flatnonzero(due)
+                pend_ckpt[di] = local[di]
+                state[di] = CHECKPOINTING
+                phase[di] = tc
+                if events is not None:
+                    emit(di, t[di], "checkpoint-started", zone,
+                         [f"P={float(p):.0f}s" for p in pend_ckpt[di]])
+            restart = alive & (state == WAITING)
+            for i in np.flatnonzero(restart):
+                delay = self.queue_model.sample(rngs[i])
+                draws[i] += 1
+                state[i] = QUEUING
+                phase[i] = delay
+                pend_restart[i] = tr if committed[i] > 0 else 0.0
+                base[i] = committed[i]
+                comp[i] = 0.0
+                hour_start[i] = t[i]
+                rate[i] = p_now[i]
+                n_restarts[i] += 1
+                if events is not None:
+                    source = "recent" if ckpt_flag[i] else "previous"
+                    events[i].append(Event(
+                        time=float(t[i]), kind="restarted", zone=zone,
+                        detail=f"from-{source}-ckpt P={committed[i]:.0f}s",
+                    ))
+            ckpt_flag &= ~alive  # cleared every tick by _policy_actions
+
+            # advance one tick.  The scalar while-loop only ever moves a
+            # zone forward through QUEUING -> RESTARTING -> CHECKPOINTING
+            # -> COMPUTING within a tick, so one sweep in that order
+            # replays every intra-tick cascade.
+            running = alive & (state >= QUEUING)
+            remaining = np.where(running, dt, 0.0)
+            commit_evt = np.full(n, -1.0)
+            completion = np.full(n, np.nan)
+
+            m = running & (state == QUEUING) & (remaining > 1e-9)
+            if m.any():
+                qi = np.flatnonzero(m)
+                used = np.minimum(phase[qi], remaining[qi])
+                phase[qi] = phase[qi] - used
+                remaining[qi] = remaining[qi] - used
+                fin_q = qi[phase[qi] <= 1e-9]
+                state[fin_q] = RESTARTING
+                phase[fin_q] = pend_restart[fin_q]
+                direct = fin_q[phase[fin_q] <= 1e-9]
+                state[direct] = COMPUTING
+            m = running & (state == RESTARTING) & (remaining > 1e-9)
+            if m.any():
+                ri = np.flatnonzero(m)
+                used = np.minimum(phase[ri], remaining[ri])
+                phase[ri] = phase[ri] - used
+                remaining[ri] = remaining[ri] - used
+                fin_r = ri[phase[ri] <= 1e-9]
+                state[fin_r] = COMPUTING
+            m = running & (state == CHECKPOINTING) & (remaining > 1e-9)
+            if m.any():
+                ci = np.flatnonzero(m)
+                used = np.minimum(phase[ci], remaining[ci])
+                phase[ci] = phase[ci] - used
+                remaining[ci] = remaining[ci] - used
+                fin_c = ci[phase[ci] <= 1e-9]
+                commit_evt[fin_c] = pend_ckpt[fin_c]
+                state[fin_c] = COMPUTING
+            m = running & (state == COMPUTING) & (remaining > 1e-9)
+            if m.any():
+                gi = np.flatnonzero(m)
+                need = C - (base[gi] + comp[gi])
+                done = need <= 1e-9
+                completion[gi[done]] = dt - remaining[gi[done]]
+                gi = gi[~done]
+                used = np.minimum(need[~done], remaining[gi])
+                comp[gi] = comp[gi] + used
+                remaining[gi] = remaining[gi] - used
+                done2 = C - (base[gi] + comp[gi]) <= 1e-9
+                completion[gi[done2]] = dt - remaining[gi[done2]]
+
+            cm = commit_evt >= 0.0
+            if cm.any():
+                ci = np.flatnonzero(cm)
+                committed[ci] = commit_evt[ci]
+                n_commits[ci] += 1
+                ckpt_flag[ci] = True
+                if events is not None:
+                    emit(ci, t[ci] + dt, "checkpoint-committed", zone,
+                         [f"P={float(p):.0f}s" for p in committed[ci]])
+            done = alive & ~np.isnan(completion)
+            if done.any():
+                di = np.flatnonzero(done)
+                fin = t + completion
+                user_close(done, fin)  # reason="complete": same billing
+                if events is not None:
+                    emit(di, fin[di], "completed", None,
+                         ["on spot"] * di.size)
+                finish[di] = fin[di]
+                completed_on[di] = 1
+                state[di] = DOWN
+                alive &= ~done
+
+            t[alive] += dt
+
+            # -- vectorized quiescence + bulk skip ------------------------
+            if not alive.any():
+                break
+            computing = state == COMPUTING
+            transient = (state == QUEUING) | (state == RESTARTING)
+            waitingq = state == WAITING
+            runningq = computing | transient
+            zero = (state == CHECKPOINTING) | waitingq
+            dropc = ckpt_flag & ~waitingq  # reschedule is a no-op
+
+            i2 = np.clip(((t - z0) // dt).astype(np.int64), 0, L - 1)
+            p2 = prices[i2]
+            zero |= runningq & (p2 > bid)
+            zero |= ~runningq & ((p2 <= bid) != waitingq)
+            k = (cross_ext[np.searchsorted(cross, i2, side="right")] - i2
+                 ).astype(np.float64)
+
+            nstep = np.floor_divide(phase - 1e-6, dt)
+            zero |= transient & (nstep < 1)
+            k = np.where(transient, np.minimum(k, nstep), k)
+
+            margin = ((((deadline - t) - np.maximum(C - committed, 0.0))
+                       - tc) - tr)
+            k = np.minimum(k, np.floor(((margin - tc) - 3.0 * dt) / dt) - 1)
+
+            if computing.any():
+                local = base + comp
+                k = np.where(
+                    computing,
+                    np.minimum(k, np.floor((C - local) / dt) - 2),
+                    k,
+                )
+                if kind == "periodic":
+                    due_at = (hour_start + 3600.0) - tc
+                    due_at = np.where(
+                        latched == hour_start, due_at + 3600.0, due_at
+                    )
+                    hb = np.ceil(((due_at - t) - 1e-6) / dt)
+                    k = np.where(computing, np.minimum(k, hb), k)
+                elif kind == "edge":
+                    j = edges_ext[np.searchsorted(edges, i2, side="right")]
+                    hb = np.ceil(((z0 + j * dt - t) - 1e-6) / dt)
+                    hb = np.where(rising[i2], 0.0, hb)  # edge in force now
+                    k = np.where(computing, np.minimum(k, hb), k)
+                # "never": fast_forward_until is +inf — no bound
+
+            kq = np.where(alive & ~zero, k, 0.0)
+            kq = np.maximum(kq, 0.0).astype(np.int64)
+            ckpt_flag &= ~(dropc & (kq > 0))  # dropped on the way out
+
+            skip = alive & (kq > 0)
+            if not skip.any():
+                continue
+            kf = kq.astype(np.float64)
+            accr = skip & (computing | transient)
+            plain = skip & ~accr
+            t[plain] += kf[plain] * dt  # integral clock: closed form exact
+            if accr.any():
+                last = t + (kf - 1.0) * dt
+                roll_billing(accr, np.where(accr, last, -np.inf))
+                cm2 = skip & computing
+                if cm2.any():
+                    whole = cm2 & (comp == np.floor(comp))
+                    comp[whole] += kf[whole] * dt
+                    for i in np.flatnonzero(cm2 & ~whole):
+                        cs = comp[i]  # fractional: replay the float ops
+                        for _ in range(kq[i]):
+                            cs += dt
+                        comp[i] = cs
+                tm2 = skip & transient
+                if tm2.any():
+                    whole = tm2 & (phase == np.floor(phase))
+                    phase[whole] -= kf[whole] * dt
+                    for i in np.flatnonzero(tm2 & ~whole):
+                        ph = phase[i]
+                        for _ in range(kq[i]):
+                            ph -= dt
+                        phase[i] = ph
+                t[accr] += kf[accr] * dt
+        else:  # pragma: no cover - defensive round budget
+            raise EngineError(
+                f"vector engine exceeded {max_rounds} rounds; "
+                f"{int(alive.sum())} runs still live"
+            )
+
+        results = []
+        for j in range(n):
+            if completed_on[j] == 0:  # pragma: no cover - loop invariant
+                raise EngineError(f"run at start {starts[j]} never finished")
+            results.append(RunResult(
+                policy_name=probe.name,
+                bid=bid,
+                zones=(zone,),
+                start_time=float(start_arr[j]),
+                finish_time=float(finish[j]),
+                deadline=float(deadline[j]),
+                completed_on="spot" if completed_on[j] == 1 else "ondemand",
+                spot_cost=float(spot_cost[j]),
+                ondemand_cost=float(od_cost[j]),
+                num_checkpoints=int(n_commits[j]),
+                num_restarts=int(n_restarts[j]),
+                num_provider_terminations=int(n_terms[j]),
+                ondemand_switch_time=(
+                    float(switch_t[j]) if not math.isnan(switch_t[j]) else None
+                ),
+                spot_hours_charged=int(hours_charged[j]),
+                events=tuple(events[j]) if events is not None else (),
+            ))
+        return results, draws

@@ -297,6 +297,19 @@ def _run_bid_axis_cell(
     return (pairs, *_worker_extras())
 
 
+def _run_start_axis_chunk(
+    task: CellTask, starts: tuple
+) -> tuple[list[RunRecord], AuditReport | None, CacheStats | None]:
+    """Worker entry point for one contiguous chunk of a batched start
+    axis: the whole chunk goes through the vector engine in one batch
+    (:meth:`~repro.experiments.runner.ExperimentRunner.run_start_axis_cells`),
+    so the per-run Python loop disappears inside the workers too."""
+    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool used before initialization")
+    records = _WORKER_RUNNER.run_start_axis_cells(task, list(starts))
+    return (records, *_worker_extras())
+
+
 @dataclass
 class SweepExecutor:
     """Fans grid cells out over a :class:`ProcessPoolExecutor`.
@@ -424,6 +437,35 @@ class SweepExecutor:
                 out[bid].extend(records)
             self._absorb_extras(report, stats)
         return out
+
+    def map_start_axis(
+        self, task: CellTask, starts: Sequence[float]
+    ) -> list[RunRecord]:
+        """Run one single-zone cell's batched start axis over the pool.
+
+        The start grid splits into one contiguous chunk per worker
+        (start order preserved), each chunk runs as one vector-engine
+        batch, and the ordered merge reproduces the serial path's
+        records — values and order — exactly: per-start seeding means
+        chunk boundaries cannot change any run.
+        """
+        pool = self._ensure_pool()
+        starts = [float(s) for s in starts]
+        chunks = [
+            tuple(float(s) for s in chunk)
+            for chunk in np.array_split(np.asarray(starts), self.workers)
+            if len(chunk)
+        ]
+        futures = [
+            pool.submit(_run_start_axis_chunk, task, chunk)
+            for chunk in chunks
+        ]
+        records: list[RunRecord] = []
+        for future in futures:
+            chunk_records, report, stats = future.result()
+            records.extend(chunk_records)
+            self._absorb_extras(report, stats)
+        return records
 
     def drain_audit(self) -> AuditReport:
         """Hand off (and clear) the audit reports workers shipped back."""

@@ -116,7 +116,11 @@ class ExperimentRunner:
     engine_mode:
         ``"fast"`` (default) uses the engine's segment-skipping
         scheduler; ``"tick"`` forces the reference tick-by-tick loop
-        (for debugging — results are bit-identical either way).
+        (for debugging); ``"vector"`` batches each single-zone cell's
+        whole start axis through the struct-of-arrays engine
+        (:mod:`repro.core.vector_engine`), falling back to per-run
+        fast simulation for everything the vector path can't express.
+        Results are bit-identical across all three.
     audit:
         Attach a :class:`~repro.audit.auditor.RunAuditor` to every
         simulator: invariants are checked on each run and violations
@@ -198,13 +202,18 @@ class ExperimentRunner:
             report.merge(self._executor.drain_audit())
         return report
 
-    def drain_cache_stats(self) -> CacheStats:
+    def drain_cache_stats(self) -> CacheStats | None:
         """Collect (and clear) run-cache counters — the in-process
         cache's own plus whatever the sweep workers shipped back with
-        their results."""
+        their results.  ``None`` when no cache is configured at all, so
+        callers can distinguish "cache off" from "cache cold" instead
+        of printing a zero-hit stats line on uncached commands."""
+        if self.cache is None:
+            # no cache here means none in the workers either — they
+            # inherit this runner's cache_dir, which must be unset
+            return None
         stats = CacheStats()
-        if self.cache is not None:
-            stats.merge(self.cache.drain_stats())
+        stats.merge(self.cache.drain_stats())
         if self._executor is not None:
             stats.merge(self._executor.drain_cache_stats())
         return stats
@@ -283,18 +292,27 @@ class ExperimentRunner:
         )
         return self.eval_start + np.unique(offsets)
 
-    def simulator(self, start_time: float) -> SpotSimulator:
-        """A simulator whose queue-delay stream is derived from the
-        experiment's start offset, so every (policy, bid) cell sees the
-        same acquisition delays at the same start."""
-        rng = np.random.default_rng(
+    def _start_rng(self, start_time: float) -> np.random.Generator:
+        """The per-start queue-delay stream, derived from the start
+        offset alone — identical for every (policy, bid) cell and for
+        the batched and per-run execution paths."""
+        return np.random.default_rng(
             np.random.SeedSequence(
                 entropy=self.seed, spawn_key=(int(start_time),)
             )
         )
+
+    def simulator(self, start_time: float) -> SpotSimulator:
+        """A simulator whose queue-delay stream is derived from the
+        experiment's start offset, so every (policy, bid) cell sees the
+        same acquisition delays at the same start.  Under
+        ``engine_mode="vector"`` per-run simulators (cells the batch
+        path doesn't serve) degrade to the bit-identical fast engine."""
+        engine = "fast" if self.engine_mode == "vector" else self.engine_mode
         return SpotSimulator(
-            oracle=self.oracle, queue_model=self.queue_model, rng=rng,
-            engine_mode=self.engine_mode, auditor=self.auditor,
+            oracle=self.oracle, queue_model=self.queue_model,
+            rng=self._start_rng(start_time),
+            engine_mode=engine, auditor=self.auditor,
             run_cache=self.cache,
         )
 
@@ -368,14 +386,89 @@ class ExperimentRunner:
             return records
         raise ValueError(f"unknown cell task kind {task.kind!r}")
 
+    def run_start_axis_cells(
+        self, task: CellTask, starts: Sequence[float]
+    ) -> list[RunRecord]:
+        """Batch one single-zone cell's ``starts`` through the
+        struct-of-arrays engine; the parallel chunk entry point.
+
+        One RNG per start (the same :meth:`_start_rng` stream the
+        per-run path uses) shared across the cell's zone waves, so a
+        merged three-zone cell draws queue delays in exactly the order
+        the serial ``run_cell`` loop would.  Records come back
+        start-major, zone-minor — the serial order.
+        """
+        from repro.core.vector_engine import VectorSimulator
+
+        if task.kind != "single-zone":
+            raise ValueError(
+                f"start-axis batching is undefined for cell kind {task.kind!r}"
+            )
+        factory = POLICY_FACTORIES[task.policy_label]
+        config = task.config
+        starts = [float(s) for s in starts]
+        rngs = [self._start_rng(s) for s in starts]
+        vec = VectorSimulator(
+            oracle=self.oracle, queue_model=self.queue_model,
+            run_cache=self.cache,
+        )
+        per_zone = [
+            vec.run_batch(config, factory, task.bid, (zone,), starts, rngs)
+            for zone in task.zones
+        ]
+        records = []
+        for i, start in enumerate(starts):
+            for results in per_zone:
+                records.append(
+                    self._record(task.policy_label, config, task.bid,
+                                 start, results[i])
+                )
+        return records
+
+    def run_start_axis(
+        self,
+        policy_label: str,
+        config: ExperimentConfig,
+        bid: float,
+        zones: Sequence[str] | None = None,
+    ) -> list[RunRecord]:
+        """One single-zone cell over the full start grid, batched.
+
+        Same records — values and order — as :meth:`run_single_zone`;
+        the start axis is served by the struct-of-arrays engine (with
+        per-run scalar fallback where the vector path doesn't apply)
+        regardless of ``engine_mode``.  Audited runners fall back to
+        per-run simulation so the auditor observes every run.
+        """
+        zones = tuple(zones) if zones is not None else self.trace.zone_names
+        task = CellTask(kind="single-zone", config=config,
+                        policy_label=policy_label, bid=bid, zones=zones)
+        if self.audit:
+            return self._run_grid(task)
+        starts = [float(s) for s in self.starts(config)]
+        if self.workers > 1 and len(starts) > 1:
+            return self.executor.map_start_axis(task, starts)
+        return self.run_start_axis_cells(task, starts)
+
     def _run_grid(self, task: CellTask) -> list[RunRecord]:
         """All starts of one cell — serial, or fanned out over workers.
 
         The parallel path merges worker results in start order, so the
         returned records are identical (values and order) to a serial
-        run.
+        run.  Under ``engine_mode="vector"`` single-zone cells route
+        through the start-axis batch engine instead of the per-start
+        loop (audited runners excepted — the vector path has no audit
+        hooks, so those runs stay per-run on the fast engine).
         """
         starts = [float(s) for s in self.starts(task.config)]
+        if (
+            self.engine_mode == "vector"
+            and task.kind == "single-zone"
+            and not self.audit
+        ):
+            if self.workers > 1 and len(starts) > 1:
+                return self.executor.map_start_axis(task, starts)
+            return self.run_start_axis_cells(task, starts)
         if self.workers > 1 and len(starts) > 1:
             return self.executor.map_cells(task, starts)
         records = []

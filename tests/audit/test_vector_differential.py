@@ -1,0 +1,108 @@
+"""Vector-vs-fast differential: the acceptance gate for the batch engine.
+
+One start axis runs through the struct-of-arrays engine and through
+per-run *audited* fast simulations; everything is diffed — RunResult
+fields (event logs ride along) and the vector log against the audited
+stream the invariant checker certified.  All five paper policies are
+covered on both volatility windows: Periodic and Edge exercise the
+native lockstep paths, Markov-Daly, Threshold and Large-bid/Naive the
+per-run fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.workload import paper_experiment
+from repro.audit.differential import (
+    VectorDifferentialReport,
+    diff_log_vs_audit_stream,
+    vector_differential_run,
+)
+from repro.core.edge import RisingEdgePolicy
+from repro.core.large_bid import naive_policy
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.core.threshold import ThresholdPolicy
+from repro.market.constants import LARGE_BID
+
+#: The paper's five policy schemes with representative bids.
+PAPER_POLICIES = [
+    ("periodic", PeriodicPolicy, 0.27),
+    ("edge", RisingEdgePolicy, 0.81),
+    ("markov-daly", MarkovDalyPolicy, 0.40),
+    ("threshold", ThresholdPolicy, 0.35),
+    ("naive", naive_policy, LARGE_BID),
+]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+
+
+@pytest.mark.parametrize("window_name", ["low", "high"])
+@pytest.mark.parametrize(
+    "label,factory,bid", PAPER_POLICIES, ids=[p[0] for p in PAPER_POLICIES]
+)
+def test_vector_differential_identical(
+    window_name, label, factory, bid, config, low_window, high_window
+):
+    trace, eval_start = low_window if window_name == "low" else high_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 7200.0 for k in range(4)]
+    report = vector_differential_run(
+        trace, config, factory, bid, (zone,), starts
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+    assert len(report.vector_results) == len(starts)
+    # the audited-stream comparison must have had real content
+    assert any(r.events for r in report.fast_results)
+
+
+def test_vector_differential_over_bid_grid(low_window, config):
+    """Policy × bid grid on the calm window, per the acceptance bar."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[1]
+    starts = [eval_start, eval_start + 10800.0]
+    for factory in (PeriodicPolicy, RisingEdgePolicy):
+        for bid in (0.27, 0.35, 0.81, 2.40):
+            report = vector_differential_run(
+                trace, config, factory, bid, (zone,), starts
+            )
+            assert report.ok, "\n".join(report.summary_lines())
+
+
+def test_report_flags_divergence(low_window, config):
+    """A doctored result is caught by both comparison layers."""
+    from dataclasses import replace
+
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    report = vector_differential_run(
+        trace, config, PeriodicPolicy, 0.27, (zone,), [eval_start]
+    )
+    assert report.identical
+    good = report.vector_results[0]
+    forged = replace(good, spot_cost=good.spot_cost + 1.0)
+    from repro.audit.differential import diff_results
+
+    diffs = diff_results(forged, report.fast_results[0])
+    assert [d.field for d in diffs] == ["spot_cost"]
+    # event-stream layer: drop one event from the log
+    stream_diffs = diff_log_vs_audit_stream(
+        good.events[:-1],
+        [e for e in _audited_stream(report)],
+        where="start[0].event",
+    )
+    assert any(d.field == "length" for d in stream_diffs)
+    bad = VectorDifferentialReport(audit_stream_diffs=stream_diffs)
+    assert not bad.identical
+    assert any("event" in line for line in bad.summary_lines())
+
+
+def _audited_stream(report):
+    """Reconstruct the scalar side's audited events from the comparison
+    baseline: identical runs means the engine log *is* the stream's
+    log-kind projection, which is all the helper consumes."""
+    return list(report.fast_results[0].events)

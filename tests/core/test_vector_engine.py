@@ -1,0 +1,230 @@
+"""Vector engine: bit-exact lockstep batches with scalar fallback.
+
+The struct-of-arrays engine promises results — RunResult fields, event
+logs, queue-delay draw sequences, cache entries — bit-identical to a
+per-run ``SpotSimulator(engine_mode="fast")`` loop.  These tests hold
+the native lockstep path (periodic / edge / never, single zone) and
+every fallback route to that promise on the real evaluation windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.app.workload import paper_experiment
+from repro.core.edge import RisingEdgePolicy
+from repro.core.engine import EngineError, SpotSimulator
+from repro.core.markov_daly import MarkovDalyPolicy
+from repro.core.periodic import PeriodicPolicy
+from repro.core.policy import NeverCheckpoint
+from repro.core.vector_engine import VectorSimulator, native_batch_kind
+from repro.experiments.cache import RunCache
+from repro.market.queuing import QueueDelayModel
+from repro.market.spot_market import PriceOracle
+
+
+def _start_rngs(starts, seed=1234):
+    return [
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(int(s),))
+        )
+        for s in starts
+    ]
+
+
+def _fast_results(trace, config, factory, bid, zones, starts, *,
+                  record_events=True, seed=1234, cache=None):
+    oracle = PriceOracle(trace)
+    out = []
+    for s, rng in zip(starts, _start_rngs(starts, seed)):
+        sim = SpotSimulator(
+            oracle=oracle, queue_model=QueueDelayModel(), rng=rng,
+            record_events=record_events, engine_mode="fast", run_cache=cache,
+        )
+        out.append(sim.run(config, factory(), bid, zones, s))
+    return out
+
+
+def _vector_results(trace, config, factory, bid, zones, starts, *,
+                    record_events=True, seed=1234, cache=None):
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=record_events, run_cache=cache,
+    )
+    return vec.run_batch(
+        config, factory, bid, zones, starts, _start_rngs(starts, seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_experiment(slack_fraction=0.15, ckpt_cost_s=300.0)
+
+
+@pytest.mark.parametrize(
+    "factory,bid",
+    [
+        (PeriodicPolicy, 0.27),
+        (PeriodicPolicy, 0.81),
+        (RisingEdgePolicy, 0.35),
+        (NeverCheckpoint, 0.40),
+    ],
+)
+def test_native_batch_matches_fast_engine(low_window, config, factory, bid):
+    """Native lockstep runs equal per-run fast runs, events included."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 3600.0 for k in range(8)]
+    fast = _fast_results(trace, config, factory, bid, (zone,), starts)
+    vec = _vector_results(trace, config, factory, bid, (zone,), starts)
+    assert vec == fast
+    assert any(r.events for r in vec)  # the comparison saw real content
+
+
+def test_native_batch_matches_on_volatile_window(high_window, config):
+    """Terminations, forced commits and on-demand switches line up too."""
+    trace, eval_start = high_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 3600.0 for k in range(8)]
+    fast = _fast_results(trace, config, PeriodicPolicy, 0.35, (zone,), starts)
+    vec = _vector_results(trace, config, PeriodicPolicy, 0.35, (zone,), starts)
+    assert vec == fast
+    # the cell must actually exercise the interesting paths
+    assert any(r.num_provider_terminations > 0 for r in fast)
+    assert any(r.completed_on == "ondemand" for r in fast)
+
+
+def test_rng_streams_advance_identically(low_window, config):
+    """After a batch, every per-start generator sits at the same state a
+    scalar loop would have left it in — draw-for-draw equivalence."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[1]
+    starts = [eval_start + k * 3600.0 for k in range(5)]
+    rf, rv = _start_rngs(starts), _start_rngs(starts)
+    oracle = PriceOracle(trace)
+    for s, rng in zip(starts, rf):
+        SpotSimulator(
+            oracle=oracle, queue_model=QueueDelayModel(), rng=rng,
+            engine_mode="fast",
+        ).run(config, PeriodicPolicy(), 0.27, (zone,), s)
+    VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+    ).run_batch(config, PeriodicPolicy, 0.27, (zone,), starts, rv)
+    for a, b in zip(rf, rv):
+        assert a.bit_generator.state == b.bit_generator.state
+
+
+def test_fallback_policy_matches_fast_engine(low_window, config):
+    """A policy without a vector kind falls back per run, bit-exactly."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 7200.0 for k in range(4)]
+    assert native_batch_kind(MarkovDalyPolicy(), (zone,)) is None
+    fast = _fast_results(trace, config, MarkovDalyPolicy, 0.40, (zone,), starts)
+    vec = _vector_results(trace, config, MarkovDalyPolicy, 0.40, (zone,), starts)
+    assert vec == fast
+
+
+def test_multi_zone_falls_back(low_window, config):
+    """len(zones) > 1 is outside the native scope → scalar fallback."""
+    trace, eval_start = low_window
+    zones = trace.zone_names[:2]
+    assert native_batch_kind(PeriodicPolicy(), zones) is None
+    starts = [eval_start, eval_start + 7200.0]
+    fast = _fast_results(trace, config, PeriodicPolicy, 0.81, zones, starts)
+    vec = _vector_results(trace, config, PeriodicPolicy, 0.81, zones, starts)
+    assert vec == fast
+
+
+def test_fractional_start_falls_back(low_window, config):
+    """Non-integral starts take the per-run path inside a native batch."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start, eval_start + 150.5, eval_start + 7200.0]
+    fast = _fast_results(trace, config, PeriodicPolicy, 0.27, (zone,), starts)
+    vec = _vector_results(trace, config, PeriodicPolicy, 0.27, (zone,), starts)
+    assert vec == fast
+
+
+def test_batch_validation_errors(low_window, config):
+    trace, eval_start = low_window
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel()
+    )
+    with pytest.raises(EngineError, match="zone"):
+        vec.run_batch(config, PeriodicPolicy, 0.27, ("nope",),
+                      [eval_start], _start_rngs([eval_start]))
+    with pytest.raises(EngineError, match="bid"):
+        vec.run_batch(config, PeriodicPolicy, 0.0, trace.zone_names[:1],
+                      [eval_start], _start_rngs([eval_start]))
+    late = trace.end_time - 3600.0  # deadline beyond the trace end
+    with pytest.raises(EngineError, match="before the deadline"):
+        vec.run_batch(config, PeriodicPolicy, 0.27, trace.zone_names[:1],
+                      [late], _start_rngs([late]))
+    with pytest.raises(EngineError, match="rng streams"):
+        vec.run_batch(config, PeriodicPolicy, 0.27, trace.zone_names[:1],
+                      [eval_start, eval_start + 300.0],
+                      _start_rngs([eval_start]))
+    assert vec.run_batch(config, PeriodicPolicy, 0.27, trace.zone_names[:1],
+                         [], []) == []
+
+
+def test_vector_populates_cache_fast_engine_hits(low_window, config, tmp_path):
+    """Vector-stored entries are content-addressed exactly as fast runs."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 3600.0 for k in range(4)]
+    cache = RunCache(str(tmp_path))
+    vec = _vector_results(trace, config, PeriodicPolicy, 0.27, (zone,),
+                          starts, record_events=False, cache=cache)
+    stored = cache.drain_stats()
+    assert stored.stores == len(starts) and stored.hits == 0
+    fast = _fast_results(trace, config, PeriodicPolicy, 0.27, (zone,),
+                         starts, record_events=False, cache=cache)
+    warm = cache.drain_stats()
+    assert warm.hits == len(starts) and warm.misses == 0
+    assert fast == vec
+
+
+def test_vector_hits_fast_engine_entries(low_window, config, tmp_path):
+    """...and the reverse: a cold fast run warms the vector batch."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 3600.0 for k in range(4)]
+    cache = RunCache(str(tmp_path))
+    fast = _fast_results(trace, config, PeriodicPolicy, 0.27, (zone,),
+                         starts, record_events=False, cache=cache)
+    cache.drain_stats()
+    vec = _vector_results(trace, config, PeriodicPolicy, 0.27, (zone,),
+                          starts, record_events=False, cache=cache)
+    warm = cache.drain_stats()
+    assert warm.hits == len(starts) and warm.misses == 0
+    assert vec == fast
+
+
+def test_cache_hit_burns_rng_draws(low_window, config, tmp_path):
+    """A vector cache hit leaves the RNG where a simulated run would."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 3600.0 for k in range(3)]
+    cache = RunCache(str(tmp_path))
+    _vector_results(trace, config, PeriodicPolicy, 0.27, (zone,), starts,
+                    record_events=False, cache=cache)
+    cold = _start_rngs(starts)
+    warm = _start_rngs(starts)
+    _fast_results(trace, config, PeriodicPolicy, 0.27, (zone,), starts,
+                  record_events=False)  # no cache: simulates for real
+    vecsim = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=False, run_cache=cache,
+    )
+    vecsim.run_batch(config, PeriodicPolicy, 0.27, (zone,), starts, warm)
+    oracle = PriceOracle(trace)
+    for s, rng in zip(starts, cold):
+        SpotSimulator(
+            oracle=oracle, queue_model=QueueDelayModel(), rng=rng,
+            engine_mode="fast",
+        ).run(config, PeriodicPolicy(), 0.27, (zone,), s)
+    for a, b in zip(cold, warm):
+        assert a.bit_generator.state == b.bit_generator.state

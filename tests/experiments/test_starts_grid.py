@@ -1,0 +1,98 @@
+"""`ExperimentRunner.starts()` grid-offset dedup (Section 5 geometry).
+
+The start grid snaps ``num_experiments`` raw offsets onto the 5-minute
+sample grid; narrow feasible spans make neighbouring offsets collide.
+These tests pin the dedup contract: sorted, unique, grid-aligned,
+within the feasible span — for hand-picked edge cases and for random
+(window, deadline, count) combinations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.workload import ExperimentConfig, paper_experiment
+from repro.experiments.runner import ExperimentRunner
+from repro.market.constants import SAMPLE_INTERVAL_S
+from repro.traces.model import overlapping_starts
+
+
+def _runner(n):
+    return ExperimentRunner("low", num_experiments=n)
+
+
+def test_colliding_offsets_dedup():
+    """A span narrower than the grid count collapses to unique ticks."""
+    runner = _runner(80)
+    eval_span = runner.trace.end_time - runner.eval_start
+    # leave ~10 grid steps of feasible span for 80 requested offsets
+    deadline = eval_span - SAMPLE_INTERVAL_S - 10 * SAMPLE_INTERVAL_S
+    config = ExperimentConfig(
+        compute_s=deadline / 1.15, deadline_s=deadline,
+        ckpt_cost_s=300.0, restart_cost_s=300.0,
+    )
+    starts = runner.starts(config)
+    assert len(starts) < 80  # collisions happened
+    assert len(starts) == len(np.unique(starts))
+    assert np.all(np.diff(starts) > 0)
+
+
+def test_exact_fit_single_start():
+    """Zero feasible span: every offset snaps to the same single start."""
+    runner = _runner(40)
+    eval_span = runner.trace.end_time - runner.eval_start
+    deadline = eval_span - SAMPLE_INTERVAL_S  # usable == deadline
+    config = ExperimentConfig(
+        compute_s=deadline, deadline_s=deadline,
+        ckpt_cost_s=300.0, restart_cost_s=300.0,
+    )
+    starts = runner.starts(config)
+    assert len(starts) == 1
+    assert float(starts[0]) == runner.eval_start
+
+
+def test_infeasible_deadline_raises():
+    """A deadline longer than the usable window is an empty grid."""
+    runner = _runner(10)
+    eval_span = runner.trace.end_time - runner.eval_start
+    deadline = eval_span + 3600.0
+    config = ExperimentConfig(
+        compute_s=deadline, deadline_s=deadline,
+        ckpt_cost_s=300.0, restart_cost_s=300.0,
+    )
+    with pytest.raises(ValueError):
+        runner.starts(config)
+
+
+def test_overlapping_starts_rejects_empty_count():
+    with pytest.raises(ValueError):
+        overlapping_starts(1000.0, 500.0, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    slack=st.floats(min_value=0.0, max_value=1.0),
+    count=st.integers(min_value=1, max_value=200),
+)
+def test_starts_sorted_unique_aligned(slack, count):
+    """Property: any (slack, count) grid is sorted, unique, 5-minute
+    aligned, and stays inside the feasible span."""
+    runner = _runner(count)
+    config = paper_experiment(slack_fraction=slack)
+    usable = (runner.trace.end_time - runner.eval_start) - SAMPLE_INTERVAL_S
+    if config.deadline_s > usable:
+        with pytest.raises(ValueError):
+            runner.starts(config)
+        return
+    starts = runner.starts(config)
+    assert 1 <= len(starts) <= count
+    assert len(starts) == len(np.unique(starts))
+    if len(starts) > 1:
+        assert np.all(np.diff(starts) > 0)
+    offsets = starts - runner.eval_start
+    assert np.all(offsets % SAMPLE_INTERVAL_S == 0)
+    assert np.all(offsets >= 0)
+    assert np.all(offsets + config.deadline_s <= usable + 1e-6)
