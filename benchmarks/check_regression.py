@@ -10,7 +10,10 @@ speedup more than ``--tolerance`` (default 20%) below the committed
 one exits non-zero, as does a malformed file: invalid JSON, a
 baseline key the fresh file no longer reports, or a file with no
 speedup keys at all — each error names the offending file and key so
-the fix is obvious from the CI log alone.
+the fix is obvious from the CI log alone.  Committed speedups at or
+above 1.0 additionally enforce an absolute floor of 1.0: no tolerance
+excuses an optimized path falling behind the baseline it claims to
+beat.
 
 Run the benchmark suite first so the working-tree JSON files hold
 fresh measurements::
@@ -93,6 +96,11 @@ def compare_file(
             )
             continue
         floor = want * (1.0 - tolerance)
+        if want >= 1.0:
+            # a committed speedup that beats its baseline must never be
+            # allowed to dip below parity: tolerance covers machine
+            # noise, not "the optimization stopped optimizing"
+            floor = max(floor, 1.0)
         verdict = "ok" if got >= floor else "REGRESSION"
         lines.append(
             f"{name}[{key}]: fresh {got:.2f}x vs committed {want:.2f}x "

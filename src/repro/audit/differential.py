@@ -23,7 +23,9 @@ per-run audited fast simulations, and every run is diffed field by
 field — RunResults, engine event logs, and the vector log against the
 scalar side's *audited* stream (meta and transition events filtered
 out), so the batch path is held to the exact event sequence the audit
-layer certifies.
+layer certifies.  :func:`vector_differential_grid` does the same for a
+fused (bid x start) tile — bid-equivalence clone rows included, each
+held to a fully independent audited run at its own bid.
 """
 
 from __future__ import annotations
@@ -360,6 +362,106 @@ def vector_differential_run(
         report.audit_stream_diffs.extend(
             diff_log_vs_audit_stream(
                 v.events, audited_streams[i], where=f"start[{i}].event"
+            )
+        )
+    return report
+
+
+def vector_differential_grid(
+    trace,
+    config,
+    policy_factory: Callable[[], object],
+    bids: Sequence[float],
+    zones: tuple[str, ...],
+    starts: Sequence[float],
+    *,
+    queue_model=None,
+    seed: int = 0,
+) -> VectorDifferentialReport:
+    """Replay a fused (bid x start) tile and diff it row by row.
+
+    Rows are laid out start-major over the bid grid — the layout
+    ``ExperimentRunner.run_grid_cell`` feeds the engine — including the
+    availability-equivalence clone plan for bid-invariant policies.
+    The scalar side simulates *every* row independently through an
+    audited fast engine, so cloned rows are held to the strongest
+    standard: bit-identical to a full independent run at their own
+    (bid, start), not merely to the representative they were copied
+    from.
+    """
+    from repro.core.bid_batch import bid_equivalence_classes
+    from repro.core.engine import SpotSimulator
+    from repro.core.vector_engine import VectorSimulator
+    from repro.market.queuing import QueueDelayModel
+    from repro.market.spot_market import PriceOracle
+
+    qm = queue_model or QueueDelayModel()
+    bids = [float(b) for b in bids]
+    starts = [float(s) for s in starts]
+    zones = tuple(zones)
+    nb = len(bids)
+    row_bids = [bid for _ in starts for bid in bids]
+    row_starts = [s for s in starts for _ in bids]
+
+    def row_rngs():
+        return [
+            np.random.default_rng(
+                np.random.SeedSequence(entropy=seed, spawn_key=(int(s),))
+            )
+            for s in row_starts
+        ]
+
+    clone_of = None
+    if nb > 1 and getattr(type(policy_factory()), "bid_invariant", False):
+        clone_of = [None] * len(row_bids)
+        bcol = {bid: j for j, bid in enumerate(bids)}
+        for si, s in enumerate(starts):
+            classes = bid_equivalence_classes(
+                trace, zones, bids, s, config.deadline_s
+            )
+            for cls in classes:
+                rep_row = si * nb + bcol[cls.representative]
+                for bid in cls.members:
+                    if bid != cls.representative:
+                        clone_of[si * nb + bcol[bid]] = rep_row
+
+    fast_oracle = PriceOracle(trace)
+    sink = MemorySink()
+    auditor = RunAuditor(sink=sink, strict=False)
+    fast_results = []
+    audited_streams: list[list[AuditEvent]] = []
+    for bid, s, rng in zip(row_bids, row_starts, row_rngs()):
+        before = len(sink.events)
+        sim = SpotSimulator(
+            oracle=fast_oracle, queue_model=qm, rng=rng,
+            record_events=True, engine_mode="fast", auditor=auditor,
+        )
+        fast_results.append(sim.run(config, policy_factory(), bid, zones, s))
+        audited_streams.append(list(sink.events[before:]))
+    fast_audit = auditor.drain()
+
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=qm, record_events=True
+    )
+    vector_results = vec.run_grid(
+        config, policy_factory, zones, row_bids, row_starts, row_rngs(),
+        clone_of=clone_of,
+    )
+
+    report = VectorDifferentialReport(
+        fast_audit=fast_audit,
+        vector_results=vector_results,
+        fast_results=fast_results,
+    )
+    for i, (v, f) in enumerate(zip(vector_results, fast_results)):
+        where = f"row[{i}](bid={row_bids[i]:.2f})"
+        for d in diff_results(v, f):
+            report.result_diffs.append(
+                FieldDiff(f"{where}.{d.where}", d.field, d.fast, d.tick)
+            )
+        report.audit_stream_diffs.extend(
+            diff_log_vs_audit_stream(
+                v.events, audited_streams[i], where=f"{where}.event"
             )
         )
     return report

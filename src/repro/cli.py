@@ -67,10 +67,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default="fast",
                         help="simulation engine: 'fast' skips event-free "
                              "segments, 'tick' is the reference tick-by-tick "
-                             "loop, 'vector' batches each grid cell's start "
-                             "axis through the struct-of-arrays engine with "
-                             "per-run fast fallback (results are "
-                             "bit-identical across all three)")
+                             "loop, 'vector' advances each grid cell's whole "
+                             "(bid x start) grid in lockstep through the "
+                             "struct-of-arrays engine with per-run fast "
+                             "fallback (results are bit-identical across "
+                             "all three; a 'vector-engine: native=...' "
+                             "summary goes to stderr)")
     parser.add_argument("--audit", action="store_true",
                         help="attach the run-audit layer: validate billing, "
                              "progress, state-machine and deadline invariants "
@@ -126,6 +128,20 @@ def _report_cache(args: argparse.Namespace, stats) -> None:
         return
     suffix = f" (dir={args.cache_dir})" if args.cache_dir is not None else ""
     print(f"{stats.line()}{suffix}", file=sys.stderr)
+
+
+def _report_vector(args: argparse.Namespace, stats) -> None:
+    """Print the vector engine's native/cloned/fallback tally to stderr.
+
+    ``stats`` is ``None`` when no vector batch ran at all (engine !=
+    vector and nothing routed through the start-axis batcher) — then
+    nothing is printed, mirroring :func:`_report_cache`'s silence on
+    uncached commands.  Fallback rows are broken down by reason so a
+    grid that silently degraded to per-run simulation is visible.
+    """
+    if stats is None:
+        return
+    print(stats.line(), file=sys.stderr)
 
 
 def _sim_engine(args: argparse.Namespace) -> str:
@@ -269,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
                               cache_dir=args.cache_dir) as runner:
             cells = figures.fig4_quadrant(runner, args.slack, args.tc)
             _report_cache(args, runner.drain_cache_stats())
+            _report_vector(args, runner.drain_vector_stats())
             if runner.audit:
                 status = _report_audit(runner.drain_audit())
         title = f"Figure 4 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
@@ -286,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
                               cache_dir=args.cache_dir) as runner:
             cells = figures.fig5_quadrant(runner, args.slack, args.tc)
             _report_cache(args, runner.drain_cache_stats())
+            _report_vector(args, runner.drain_vector_stats())
             if runner.audit:
                 status = _report_audit(runner.drain_audit())
         title = f"Figure 5 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
@@ -297,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
                               cache_dir=args.cache_dir) as runner:
             cells = figures.fig6_panel(runner, args.slack, args.tc)
             _report_cache(args, runner.drain_cache_stats())
+            _report_vector(args, runner.drain_vector_stats())
             if runner.audit:
                 status = _report_audit(runner.drain_audit())
         title = f"Figure 6 — window={args.window} slack={args.slack:.0%} t_c={args.tc:.0f}s"
@@ -382,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
             [p.row() for p in points],
         ))
         _report_cache(args, runner.drain_cache_stats())
+        _report_vector(args, runner.drain_vector_stats())
         if runner.audit:
             status = _report_audit(runner.drain_audit())
         runner.close()

@@ -22,6 +22,9 @@ class MarkovDalyPolicy(CheckpointPolicy):
     """Expected-uptime-driven checkpoint scheduling (single or multi zone)."""
 
     name = "markov-daly"
+    # the vector engine carries the re-arm clock T_s as a batch column
+    # and replays schedule_next_checkpoint's arithmetic per run
+    vector_kind = "markov-daly"
 
     def __init__(self) -> None:
         self._next_checkpoint_at: float | None = None

@@ -30,6 +30,9 @@ class ThresholdPolicy(CheckpointPolicy):
 
     name = "threshold"
     reschedule_is_noop = True
+    # the vector engine evaluates the price/execution-time tests per
+    # run against the oracle's memoized threshold statistics
+    vector_kind = "threshold"
 
     def price_threshold(self, ctx: PolicyContext, zone: str) -> float:
         """``(S_min + B) / 2`` with S_min from the trailing history."""

@@ -1,12 +1,20 @@
-"""Struct-of-arrays batched engine — thousands of runs in lockstep.
+"""Struct-of-arrays batched engine — whole (bid × start) grids in lockstep.
 
 Every figure aggregates hundreds of (start, seed) runs per grid cell;
 after the segment-skipping fast path, the remaining cost is the
-one-run-at-a-time Python loop around it.  This module batches the
-*start axis*: a :class:`VectorSimulator` advances a whole column of
-single-zone runs simultaneously, holding each scalar of the engine's
-per-run state (clock, zone state, phase countdowns, progress, billing
-meter, checkpoint store) as a NumPy column over the batch.
+one-run-at-a-time Python loop around it.  This module batches that
+loop away: a :class:`VectorSimulator` advances a whole *grid* of runs
+simultaneously, holding each scalar of the engine's per-run state
+(clock, zone states, phase countdowns, progress, billing meters, the
+checkpoint store, policy decision state) as a NumPy column over the
+batch.  Multi-zone cells store per-zone state as per-zone column
+blocks (one ``(zones, runs)`` array per field), and the bid axis is
+folded into the same batch: every run carries its own bid column, so
+one lockstep pass serves an entire (bid × start) grid per (policy,
+zone-set) cell.  Bid-invariant policies compose with
+:mod:`repro.core.bid_batch`'s equivalence classes — one representative
+row simulates per class and the engine clones the rest inside the
+batch, rewriting only the bid.
 
 One lockstep *round* executes, for every live run, exactly one full
 tick of Algorithm 1 — billing rolls, market transitions, the deadline
@@ -28,19 +36,23 @@ when recorded — matches entry for entry.  The differential suite
 (:func:`repro.audit.differential.vector_differential_run`) holds the
 engine to it.
 
-Scope: the native vectorized path covers single-zone runs at integral
-start times under policies that declare a ``vector_kind`` ("periodic",
-"edge", "never").  Anything else — multi-zone redundancy, controllers,
-Markov-Daly/Threshold/Large-bid, run-time dynamics, fractional starts
-— automatically falls back to a per-run scalar fast engine sharing the
-same RNG stream and run cache, so callers never need to know which
-path served them.
+Scope: the native vectorized path covers runs at integral start times
+under policies that declare a ``vector_kind`` ("periodic", "edge",
+"never", "markov-daly", "threshold"), over any zone set, each run at
+its own bid.  Markov-Daly's re-arm clock and Periodic's per-(zone,
+hour) latch ride along as decision-state columns; Threshold's price
+and execution-time guards evaluate per run against the oracle's
+memoized statistics.  Anything else — controllers (Adaptive),
+Large-bid, run-time dynamics, fractional starts — automatically falls
+back to a per-run scalar fast engine sharing the same RNG stream and
+run cache, so callers never need to know which path served them; the
+:attr:`VectorSimulator.stats` counters say which one did.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -49,6 +61,7 @@ from repro.core.engine import EngineError, Event, RunResult, SpotSimulator
 from repro.market.constants import ON_DEMAND_PRICE, SAMPLE_INTERVAL_S
 from repro.market.queuing import QueueDelayModel
 from repro.market.spot_market import PriceOracle
+from repro.stats.daly import daly_interval
 
 # Integer codes of the ZoneState machine, in lifecycle order.  The
 # ordering carries meaning: ``state >= QUEUING`` is "running" (an open
@@ -56,21 +69,61 @@ from repro.market.spot_market import PriceOracle
 DOWN, WAITING, QUEUING, RESTARTING, COMPUTING, CHECKPOINTING = range(6)
 
 #: Policy ``vector_kind`` values the native path can express.
-NATIVE_KINDS = frozenset({"periodic", "edge", "never"})
+NATIVE_KINDS = frozenset(
+    {"periodic", "edge", "never", "markov-daly", "threshold"}
+)
 
 
 def native_batch_kind(policy, zones: tuple[str, ...]) -> str | None:
     """The native vector kind serving this (policy, zones) cell, or
     ``None`` when every run must fall back to the scalar engine."""
     kind = getattr(type(policy), "vector_kind", None)
-    if kind in NATIVE_KINDS and len(zones) == 1:
+    if kind in NATIVE_KINDS:
         return kind
     return None
 
 
 @dataclass
+class BatchStats:
+    """Where a batch's runs were served: native columns, in-batch bid
+    clones, or the per-run scalar fallback (and why)."""
+
+    native: int = 0
+    cloned: int = 0
+    fallback: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.native + self.cloned + sum(self.fallback.values())
+
+    def count_fallback(self, reason: str, n: int = 1) -> None:
+        self.fallback[reason] = self.fallback.get(reason, 0) + n
+
+    def merge(self, other: "BatchStats") -> None:
+        self.native += other.native
+        self.cloned += other.cloned
+        for reason, count in other.fallback.items():
+            self.count_fallback(reason, count)
+
+    def line(self) -> str:
+        """One-line summary for the CLI's stderr stats report."""
+        total_fb = sum(self.fallback.values())
+        msg = (
+            f"vector-engine: native={self.native} cloned={self.cloned} "
+            f"fallback={total_fb}"
+        )
+        if total_fb:
+            detail = " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.fallback.items())
+            )
+            msg += f" ({detail})"
+        return msg
+
+
+@dataclass
 class VectorSimulator:
-    """Batched start-axis engine over one oracle.
+    """Batched grid engine over one oracle.
 
     Parameters mirror :class:`~repro.core.engine.SpotSimulator` minus
     the per-run ``rng`` — each run of a batch brings its own generator,
@@ -86,6 +139,15 @@ class VectorSimulator:
     #: both directions: a vector batch hits entries a scalar run stored
     #: and vice versa.
     run_cache: object | None = None
+    #: Running native/cloned/fallback counters across every batch this
+    #: simulator served; drained by the runner for the CLI stats line.
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def drain_stats(self) -> BatchStats:
+        """Return the accumulated counters and reset them."""
+        out = self.stats
+        self.stats = BatchStats()
+        return out
 
     # ------------------------------------------------------------------
 
@@ -105,11 +167,42 @@ class VectorSimulator:
         matching generator — bit-identical results, shared cache
         entries, identical RNG streams afterwards.
         """
+        return self.run_grid(
+            config, policy_factory, zones,
+            [bid] * len(starts), starts, rngs,
+        )
+
+    def run_grid(
+        self,
+        config: ExperimentConfig,
+        policy_factory,
+        zones: tuple[str, ...],
+        bids,
+        starts,
+        rngs,
+        clone_of=None,
+    ) -> list[RunResult]:
+        """Simulate one run per (bid, start, rng) row; results in order.
+
+        ``clone_of`` optionally maps row ``i`` to a representative row
+        whose trajectory is bid-for-bid identical (same availability
+        signature, from :func:`repro.core.bid_batch.bid_equivalence_classes`);
+        for bid-invariant policies those rows are served by cloning the
+        representative's result with only the bid rewritten — exactly
+        what the scalar batched bid-axis path does — consuming no RNG
+        draws and writing no cache entries.  Rows outside the native
+        scope (no ``vector_kind``, fractional starts) fall back to
+        per-run scalar fast simulation.
+        """
         zones = tuple(zones)
         starts = [float(s) for s in starts]
         if len(rngs) != len(starts):
             raise EngineError(
                 f"{len(starts)} starts but {len(rngs)} rng streams"
+            )
+        if len(bids) != len(starts):
+            raise EngineError(
+                f"{len(starts)} starts but {len(bids)} bids"
             )
         if not zones:
             raise EngineError("at least one zone is required")
@@ -118,37 +211,70 @@ class VectorSimulator:
                 raise EngineError(
                     f"zone {z!r} not in trace {self.oracle.zone_names}"
                 )
-        if bid <= 0:
-            raise EngineError(f"bid must be positive, got {bid}")
+        for b in bids:
+            if b <= 0:
+                raise EngineError(f"bid must be positive, got {b}")
 
         probe = policy_factory()
         kind = native_batch_kind(probe, zones)
-        results: list[RunResult | None] = [None] * len(starts)
-        native = [
-            i for i, s in enumerate(starts)
-            if kind is not None and float(s).is_integer()
+        n = len(starts)
+        results: list[RunResult | None] = [None] * n
+        is_native = [
+            kind is not None and float(starts[i]).is_integer()
+            for i in range(n)
         ]
-        if native:
-            self._run_native(
-                config, probe, kind, float(bid), zones[0],
-                starts, rngs, native, results,
+
+        # Bid-equivalence clone plan: honored only for bid-invariant
+        # policies and only between rows the native path serves.
+        plan: dict[int, int] = {}
+        if clone_of is not None and getattr(
+            type(probe), "bid_invariant", False
+        ):
+            for i, rep in enumerate(clone_of):
+                if rep is None or rep == i:
+                    continue
+                rep = int(rep)
+                if not (0 <= rep < n):
+                    continue
+                if is_native[i] and is_native[rep]:
+                    plan[i] = rep
+            for i in list(plan):  # follow chains to their root rows
+                rep = plan[i]
+                seen = {i}
+                while rep in plan and rep not in seen:
+                    seen.add(rep)
+                    rep = plan[rep]
+                plan[i] = rep
+
+        sim_rows = [i for i in range(n) if is_native[i] and i not in plan]
+        if sim_rows:
+            self._run_native_rows(
+                config, probe, kind, zones, bids, starts, rngs,
+                sim_rows, results,
             )
-        for i in range(len(starts)):
+            self.stats.native += len(sim_rows)
+        for i, rep in sorted(plan.items()):
+            results[i] = replace(results[rep], bid=float(bids[i]))
+        self.stats.cloned += len(plan)
+        for i in range(n):
             if results[i] is None:
+                self.stats.count_fallback(
+                    "policy" if kind is None else "fractional-start"
+                )
                 sim = SpotSimulator(
                     oracle=self.oracle, queue_model=self.queue_model,
                     rng=rngs[i], record_events=self.record_events,
                     engine_mode="fast", run_cache=self.run_cache,
                 )
                 results[i] = sim.run(
-                    config, policy_factory(), bid, zones, starts[i]
+                    config, policy_factory(), bids[i], zones, starts[i]
                 )
         return results
 
     # -- cache-aware native dispatch ---------------------------------------
 
-    def _run_native(
-        self, config, probe, kind, bid, zone, starts, rngs, idxs, results
+    def _run_native_rows(
+        self, config, probe, kind, zones, bids, starts, rngs, idxs, results
     ) -> None:
         """Serve ``idxs`` from the cache where possible, batch the rest."""
         cache = self.run_cache
@@ -170,8 +296,7 @@ class VectorSimulator:
                 "record_timeline": False,
                 "config": config,
                 "policy": probe.canonical_params(),
-                "bid": bid,
-                "zones": (zone,),
+                "zones": zones,
                 "controller": None,
                 "queue_model": self.queue_model,
             }
@@ -180,6 +305,7 @@ class VectorSimulator:
                 try:
                     key = cache.run_key({
                         **base,
+                        "bid": float(bids[i]),
                         "start_time": starts[i],
                         "rng": rngs[i].bit_generator.state,
                     })
@@ -196,9 +322,11 @@ class VectorSimulator:
                     todo.append(i)
         if not todo:
             return
-        batch, draws = self._simulate_batch(
-            config, probe, kind, bid, zone,
-            [starts[i] for i in todo], [rngs[i] for i in todo],
+        batch, draws = self._simulate_rows(
+            config, probe, kind, zones,
+            [float(bids[i]) for i in todo],
+            [starts[i] for i in todo],
+            [rngs[i] for i in todo],
         )
         if keys:
             from repro.experiments.cache import CachedRun
@@ -206,24 +334,40 @@ class VectorSimulator:
             results[i] = batch[j]
             if i in keys:
                 cache.put(
-                    keys[i], CachedRun(result=batch[j], rng_draws=int(draws[j]))
+                    keys[i],
+                    CachedRun(result=batch[j], rng_draws=int(draws[j])),
                 )
 
     # -- the lockstep core -------------------------------------------------
 
-    def _simulate_batch(
-        self, config, probe, kind, bid, zone, starts, rngs
+    def _simulate_rows(
+        self, config, probe, kind, zones, bids, starts, rngs
     ) -> tuple[list[RunResult], np.ndarray]:
-        """Advance ``len(starts)`` native runs to completion in lockstep."""
+        """Advance ``len(starts)`` native rows to completion in lockstep."""
         oracle = self.oracle
-        ztrace = oracle.trace.zone(zone)
-        prices = ztrace.prices
-        z0 = float(ztrace.start_time)
         dt = float(SAMPLE_INTERVAL_S)
-        L = len(prices)
         n = len(starts)
 
+        # Zone geometry: state blocks are laid out in *oracle* zone
+        # order (the scalar engine's ``instances`` dict order), while
+        # market transitions walk the *given* zone order — both orders
+        # matter for bit-exact event streams and RNG draw sequences.
+        zset = set(zones)
+        zorder = tuple(z for z in oracle.zone_names if z in zset)
+        Z = len(zorder)
+        gorder = [zorder.index(z) for z in zones]
+        ztr = [oracle.trace.zone(z) for z in zorder]
+        zprices = [zt.prices for zt in ztr]
+        zz0 = [float(zt.start_time) for zt in ztr]
+        zlen = [len(zt.prices) for zt in ztr]
+        # the scalar quiescence scan indexes every zone's prices with
+        # the *first given* zone's grid index — replicated verbatim
+        ref = oracle.trace.zone(zones[0])
+        ref_z0 = float(ref.start_time)
+        ref_len = len(ref.prices)
+
         start_arr = np.asarray(starts, dtype=np.float64)
+        bid_arr = np.asarray(bids, dtype=np.float64)
         deadline = start_arr + config.deadline_s
         end_time = float(oracle.trace.end_time)
         if np.any(deadline > end_time):
@@ -235,39 +379,56 @@ class VectorSimulator:
         tc = float(config.ckpt_cost_s)
         tr = float(config.restart_cost_s)
 
-        # shared per-trace indices (memoized on the ZoneTrace)
-        cross = ztrace.threshold_crossings(bid)
-        cross_ext = np.concatenate([cross, [L]])
-        if kind == "edge":
-            edges = ztrace.rising_edges()
-            edges_ext = np.concatenate([edges, [L]])
-            rising = np.zeros(L, dtype=bool)
-            rising[edges] = True
+        # shared per-trace indices (memoized on the ZoneTrace), one
+        # crossing array per (zone, distinct bid) — the fused bid axis
+        # groups rows into bid classes for the quiescence bound
+        ubids, bclass = np.unique(bid_arr, return_inverse=True)
+        class_rows = [np.flatnonzero(bclass == b) for b in range(len(ubids))]
+        zcross = [
+            [zt.threshold_crossings(float(ub)) for ub in ubids] for zt in ztr
+        ]
+        zcross_ext = [
+            [np.concatenate([cr, [zlen[zi]]]) for cr in zcross[zi]]
+            for zi in range(Z)
+        ]
+        if kind in ("edge", "threshold"):
+            zedges = [zt.rising_edges() for zt in ztr]
+            zedges_ext = [
+                np.concatenate([zedges[zi], [zlen[zi]]]) for zi in range(Z)
+            ]
+            zrising = []
+            for zi in range(Z):
+                mask = np.zeros(zlen[zi], dtype=bool)
+                mask[zedges[zi]] = True
+                zrising.append(mask)
 
-        # struct-of-arrays run state (one column entry per run)
+        # struct-of-arrays run state: per-run columns, per-zone blocks
         t = start_arr.copy()
         alive = np.ones(n, dtype=bool)
-        state = np.full(n, DOWN, dtype=np.int8)
-        phase = np.zeros(n)          # remaining seconds of the timed activity
-        pend_restart = np.zeros(n)   # restore time owed after QUEUING
-        base = np.zeros(n)           # committed progress restarted from
-        comp = np.zeros(n)           # compute seconds since the restart
-        pend_ckpt = np.zeros(n)      # progress snapshotted by in-flight ckpt
-        committed = np.zeros(n)      # checkpoint store
-        n_commits = np.zeros(n, dtype=np.int64)
-        hour_start = np.full(n, np.nan)  # NaN = no billing hour open
-        rate = np.zeros(n)
-        spot_cost = np.zeros(n)
-        hours_charged = np.zeros(n, dtype=np.int64)
-        n_restarts = np.zeros(n, dtype=np.int64)
-        n_terms = np.zeros(n, dtype=np.int64)
+        zst = np.full((Z, n), DOWN, dtype=np.int8)
+        phase = np.zeros((Z, n))     # remaining seconds of timed activity
+        pendr = np.zeros((Z, n))     # restore time owed after QUEUING
+        zbase = np.zeros((Z, n))     # committed progress restarted from
+        zcomp = np.zeros((Z, n))     # compute seconds since the restart
+        pendc = np.zeros((Z, n))     # progress snapshotted by in-flight ckpt
+        csince = np.full((Z, n), np.nan)  # COMPUTING entry timestamp
+        hourst = np.full((Z, n), np.nan)  # NaN = no billing hour open
+        zrate = np.zeros((Z, n))
+        zspot = np.zeros((Z, n))
+        zhours = np.zeros((Z, n), dtype=np.int64)
+        zrest = np.zeros((Z, n), dtype=np.int64)
+        zterm = np.zeros((Z, n), dtype=np.int64)
+        latch = np.full((Z, n), np.nan)  # periodic per-(zone, hour) latch
+        committed = np.zeros(n)          # checkpoint store
+        ncomm = np.zeros(n, dtype=np.int64)
         ckpt_flag = np.zeros(n, dtype=bool)  # checkpoint_just_committed
-        latched = np.full(n, np.nan)  # periodic: hour_start already latched
         finish = np.full(n, np.nan)
         od_cost = np.zeros(n)
         switch_t = np.full(n, np.nan)
         completed_on = np.zeros(n, dtype=np.int8)  # 1 = spot, 2 = ondemand
         draws = np.zeros(n, dtype=np.int64)
+        md_next = np.full(n, np.nan)  # markov-daly re-arm clocks
+        rows = np.arange(n)
         events: list[list[Event]] | None = (
             [[] for _ in range(n)] if self.record_events else None
         )
@@ -279,36 +440,35 @@ class VectorSimulator:
                     detail=details[j],
                 ))
 
-        def roll_billing(mask, upto):
-            """Roll every open hour whose boundary is <= upto (per run)."""
-            while True:
-                m = mask & (hour_start + 3600.0 <= upto + 1e-6)
-                if not m.any():
-                    return
-                idx = np.flatnonzero(m)
-                boundary = hour_start[idx] + 3600.0
-                spot_cost[idx] += rate[idx]
-                hours_charged[idx] += 1
-                new_rate = prices[((boundary - z0) // dt).astype(np.int64)]
-                rate[idx] = new_rate
-                hour_start[idx] = boundary
-                if events is not None:
-                    emit(idx, boundary, "hour-rolled", zone,
-                         [f"rate={float(r):.3f}" for r in new_rate])
+        zones_t = tuple(zones)
 
-        def user_close(mask, at):
-            """User-terminate open hours at per-run times ``at``."""
-            idx = np.flatnonzero(mask)
-            if idx.size == 0:
-                return
-            used = at[idx] - hour_start[idx]
-            if np.any(used > 3600.0 + 1e-6):  # pragma: no cover - invariant
-                raise EngineError("open billing hour overran its boundary")
-            charge = idx[used >= 1.0]  # < 1 s of a fresh hour is free
-            spot_cost[charge] += rate[charge]
-            hours_charged[charge] += 1
-            hour_start[idx] = np.nan
-            rate[idx] = 0.0
+        def md_schedule(i: int) -> None:
+            """MarkovDalyPolicy.schedule_next_checkpoint in Python
+            floats — identical arithmetic, identical oracle queries."""
+            now = float(t[i])
+            uptime = float(
+                oracle.combined_uptimes(zones_t, now, (float(bid_arr[i]),))[0]
+            )
+            interval = daly_interval(uptime, tc)
+            remaining_compute = max(C - float(committed[i]), 0.0)
+            margin = (
+                max(float(deadline[i]) - now, 0.0)
+                - remaining_compute
+                - tc
+                - tr
+            )
+            reserve = tc + 4.0 * 300.0  # forced-commit window + ticks
+            budget = margin - reserve
+            if budget > 0:
+                interval = max(interval, remaining_compute * tc / budget)
+                interval = min(interval, max(budget, tc))
+            else:
+                interval = max(margin, tc)
+            md_next[i] = now + interval
+
+        if kind == "markov-daly":
+            for i in range(n):  # policy reset + schedule at t = start
+                md_schedule(i)
 
         max_rounds = int(config.deadline_s // dt) + 16
         for _round in range(max_rounds):
@@ -316,91 +476,153 @@ class VectorSimulator:
                 break
 
             # -- one full tick for every live run (at its own clock) ------
-            running = alive & (state >= QUEUING)
 
-            # billing hours whose boundary has been reached
-            roll_billing(running, t)
+            # billing hours whose boundary has been reached: all of one
+            # zone's boundaries roll before the next zone's, matching
+            # the scalar per-instance while loop
+            for zi in range(Z):
+                while True:
+                    m = alive & (hourst[zi] + 3600.0 <= t + 1e-6)
+                    if not m.any():
+                        break
+                    idx = np.flatnonzero(m)
+                    boundary = hourst[zi][idx] + 3600.0
+                    zspot[zi][idx] += zrate[zi][idx]
+                    zhours[zi][idx] += 1
+                    new_rate = zprices[zi][
+                        ((boundary - zz0[zi]) // dt).astype(np.int64)
+                    ]
+                    zrate[zi][idx] = new_rate
+                    hourst[zi][idx] = boundary
+                    if events is not None:
+                        emit(idx, boundary, "hour-rolled", zorder[zi],
+                             [f"rate={float(r):.3f}" for r in new_rate])
 
-            # market transitions (Algorithm 1 lines 2-8)
-            i_now = np.clip(((t - z0) // dt).astype(np.int64), 0, L - 1)
-            p_now = prices[i_now]
-            term = running & (p_now > bid)
-            if term.any():
-                ti = np.flatnonzero(term)
-                hour_start[ti] = np.nan  # partial hour forfeited
-                rate[ti] = 0.0
-                phase[ti] = 0.0
-                pend_restart[ti] = 0.0
-                base[ti] = 0.0
-                comp[ti] = 0.0
-                pend_ckpt[ti] = 0.0
-                state[ti] = DOWN
-                n_terms[ti] += 1
-                if events is not None:
-                    emit(ti, t[ti], "provider-terminated", zone,
-                         [f"S={float(p):.3f}" for p in p_now[ti]])
-            notrun = alive & ~running  # terminated runs wait till next tick
-            to_wait = notrun & (p_now <= bid) & (state == DOWN)
-            if to_wait.any():
-                wi = np.flatnonzero(to_wait)
-                state[wi] = WAITING
-                if events is not None:
-                    emit(wi, t[wi], "waiting", zone,
-                         [f"S={float(p):.3f}" for p in p_now[wi]])
-            to_down = notrun & (p_now > bid) & (state == WAITING)
-            state[to_down & alive] = DOWN
+            # market transitions (Algorithm 1 lines 2-8), in the given
+            # zone order like the scalar loop over ``active_zones``
+            znow_i = [
+                np.clip(((t - zz0[zi]) // dt).astype(np.int64),
+                        0, zlen[zi] - 1)
+                for zi in range(Z)
+            ]
+            znow_p = [zprices[zi][znow_i[zi]] for zi in range(Z)]
+            for zi in gorder:
+                pz = znow_p[zi]
+                st = zst[zi]
+                run_z = alive & (st >= QUEUING)
+                term = run_z & (pz > bid_arr)
+                if term.any():
+                    ti = np.flatnonzero(term)
+                    hourst[zi][ti] = np.nan  # partial hour forfeited
+                    zrate[zi][ti] = 0.0
+                    phase[zi][ti] = 0.0
+                    pendr[zi][ti] = 0.0
+                    zbase[zi][ti] = 0.0
+                    zcomp[zi][ti] = 0.0
+                    pendc[zi][ti] = 0.0
+                    csince[zi][ti] = np.nan
+                    st[ti] = DOWN
+                    zterm[zi][ti] += 1
+                    if events is not None:
+                        emit(ti, t[ti], "provider-terminated", zorder[zi],
+                             [f"S={float(p):.3f}" for p in pz[ti]])
+                notrun = alive & ~run_z  # terminated zones wait a tick
+                to_wait = notrun & (pz <= bid_arr) & (st == DOWN)
+                if to_wait.any():
+                    wi = np.flatnonzero(to_wait)
+                    st[wi] = WAITING
+                    if events is not None:
+                        emit(wi, t[wi], "waiting", zorder[zi],
+                             [f"S={float(p):.3f}" for p in pz[wi]])
+                to_down = notrun & (pz > bid_arr) & (st == WAITING)
+                st[to_down] = DOWN
 
-            # deadline guard (line 11) — exact scalar arithmetic
-            local = base + comp
+            # deadline guard (line 11) — exact scalar arithmetic.  The
+            # leader is the argmax over -inf-masked progress, which
+            # replays Python max()'s first-wins tie-breaking in zone
+            # block order.
+            loc = zbase + zcomp
+            comp_mask = zst == COMPUTING
+            loc_masked = np.where(comp_mask, loc, -np.inf)
+            lead_zi = np.argmax(loc_masked, axis=0)
+            lead_local = loc_masked[lead_zi, rows]
+            has_comp = comp_mask.any(axis=0)
+            any_ck = (zst == CHECKPOINTING).any(axis=0)
+
             trigger = (np.maximum(C - committed, 0.0) + tc) + tr
             remaining_time = deadline - t
             margin = remaining_time - trigger
             safe = margin > dt + 1e-6
             force = (
                 alive & safe & (margin <= tc + 3.0 * dt)
-                & (state == COMPUTING) & (local > committed + 1e-9)
+                & ~any_ck & has_comp & (lead_local > committed + 1e-9)
             )
             if force.any():
                 fi = np.flatnonzero(force)
-                pend_ckpt[fi] = local[fi]
-                state[fi] = CHECKPOINTING
-                phase[fi] = tc
+                lz = lead_zi[fi]
+                pendc[lz, fi] = lead_local[fi]
+                zst[lz, fi] = CHECKPOINTING
+                phase[lz, fi] = tc
                 if events is not None:
-                    emit(fi, t[fi], "checkpoint-started", zone,
-                         [f"forced P={float(p):.0f}s" for p in pend_ckpt[fi]])
+                    for j, i in enumerate(fi):
+                        events[i].append(Event(
+                            time=float(t[i]), kind="checkpoint-started",
+                            zone=zorder[lz[j]],
+                            detail=f"forced P={lead_local[i]:.0f}s",
+                        ))
             migrate = alive & ~safe
             if migrate.any():
-                # candidate 0: restore the committed checkpoint
-                prog = committed.copy()
-                pre_od = np.zeros(n)
-                key0 = (
-                    np.maximum(C - committed, 0.0)
-                    + np.where(committed > 0, tr, 0.0)
+                # candidate 0: restore the committed checkpoint; then
+                # one candidate per zone block in order, taken on a
+                # strictly better key (min()'s first-wins ties)
+                best_prog = committed.copy()
+                best_pre = np.zeros(n)
+                best_key = np.maximum(C - committed, 0.0) + np.where(
+                    committed > 0, tr, 0.0
                 )
-                use2 = migrate & (state == COMPUTING)
-                key2 = (np.maximum(C - local, 0.0) + tc) + np.where(
-                    local > 0, tr, 0.0
-                )
-                use2 &= key2 < key0  # strict: first candidate wins ties
-                prog[use2] = local[use2]
-                pre_od[use2] = tc
-                use3 = migrate & (state == CHECKPOINTING)
-                key3 = (np.maximum(C - pend_ckpt, 0.0) + phase) + np.where(
-                    pend_ckpt > 0, tr, 0.0
-                )
-                use3 &= key3 < key0
-                prog[use3] = pend_ckpt[use3]
-                pre_od[use3] = phase[use3]
-                restore = np.where(prog > 0, tr, 0.0)
-                overhead = pre_od + restore
-                rem_comp = np.maximum(C - prog, 0.0)
+                for zi in range(Z):
+                    key2 = (np.maximum(C - loc[zi], 0.0) + tc) + np.where(
+                        loc[zi] > 0, tr, 0.0
+                    )
+                    use2 = migrate & (zst[zi] == COMPUTING) & (
+                        key2 < best_key
+                    )
+                    best_prog[use2] = loc[zi][use2]
+                    best_pre[use2] = tc
+                    best_key[use2] = key2[use2]
+                    key3 = (
+                        np.maximum(C - pendc[zi], 0.0) + phase[zi]
+                    ) + np.where(pendc[zi] > 0, tr, 0.0)
+                    use3 = migrate & (zst[zi] == CHECKPOINTING) & (
+                        key3 < best_key
+                    )
+                    best_prog[use3] = pendc[zi][use3]
+                    best_pre[use3] = phase[zi][use3]
+                    best_key[use3] = key3[use3]
+                restore = np.where(best_prog > 0, tr, 0.0)
+                overhead = best_pre + restore
+                rem_comp = np.maximum(C - best_prog, 0.0)
                 mi = np.flatnonzero(migrate)
                 if events is not None:
                     emit(mi, t[mi], "ondemand-switch", None,
                          [f"C_r={float(c):.0f}s T_r={float(r):.0f}s"
                           for c, r in zip(rem_comp[mi], remaining_time[mi])])
-                user_close(migrate & running & ~term, t)
-                state[mi] = DOWN
+                for zi in range(Z):  # user_close at t, reason="user"
+                    close = migrate & (zst[zi] >= QUEUING)
+                    idx = np.flatnonzero(close)
+                    if idx.size == 0:
+                        continue
+                    used = t[idx] - hourst[zi][idx]
+                    if np.any(used > 3600.0 + 1e-6):  # pragma: no cover
+                        raise EngineError(
+                            "open billing hour overran its boundary"
+                        )
+                    charge = idx[used >= 1.0]  # < 1 s of a fresh hour free
+                    zspot[zi][charge] += zrate[zi][charge]
+                    zhours[zi][charge] += 1
+                    hourst[zi][idx] = np.nan
+                    zrate[zi][idx] = 0.0
+                zst[:, mi] = DOWN
                 finish[mi] = (t[mi] + overhead[mi]) + rem_comp[mi]
                 od_sec = restore + rem_comp
                 od_cost[mi] = np.where(
@@ -412,228 +634,509 @@ class VectorSimulator:
                 completed_on[mi] = 2
                 alive &= ~migrate
 
-            # policy actions (lines 16-35); single zone: no join-commit,
-            # and a waiting zone always restarts (nothing else can run)
-            computing = alive & (state == COMPUTING)
-            local = base + comp
+            # policy actions (lines 16-35)
+            if kind == "markov-daly":
+                for i in np.flatnonzero(alive & ckpt_flag):
+                    md_schedule(i)  # line 23: re-arm after a commit
+
+            comp_mask = zst == COMPUTING
+            loc = zbase + zcomp
+            loc_masked = np.where(comp_mask, loc, -np.inf)
+            lead_zi = np.argmax(loc_masked, axis=0)
+            lead_local = loc_masked[lead_zi, rows]
+            has_leader = comp_mask.any(axis=0)
+            any_ck = (zst == CHECKPOINTING).any(axis=0)
+            wait_mask = zst == WAITING
+            waiting_any = wait_mask.any(axis=0)
+            running_cnt = (zst >= QUEUING).sum(axis=0)
+            join_due = (
+                waiting_any & (running_cnt < 2) & has_leader
+                & (lead_local >= committed + tc)
+            )
+            start_ck = alive & has_leader & ~any_ck
+            elig = start_ck & ~join_due  # checkpoint_due evaluated here
             if kind == "periodic":
-                left = np.maximum((hour_start + 3600.0) - t, 0.0)
-                due = computing & (left <= tc + 1e-6)
-                due &= latched != hour_start  # NaN compares unequal
-                due &= local > committed + 1e-9
-                latched[due] = hour_start[due]
+                lhour = hourst[lead_zi, rows]
+                left = np.maximum((lhour + 3600.0) - t, 0.0)
+                due = elig & (left <= tc + 1e-6)
+                due &= latch[lead_zi, rows] != lhour  # NaN: never latched
+                due &= lead_local > committed + 1e-9
+                di = np.flatnonzero(due)
+                latch[lead_zi[di], di] = lhour[di]
             elif kind == "edge":
-                due = computing & (local > committed + 1e-9) & rising[i_now]
+                rising_any = np.zeros(n, dtype=bool)
+                for zi in range(Z):
+                    rising_any |= (zst[zi] == COMPUTING) & zrising[zi][
+                        znow_i[zi]
+                    ]
+                due = elig & (lead_local > committed + 1e-9) & rising_any
+            elif kind == "markov-daly":
+                timed = elig & (t + 1e-6 >= md_next)
+                noprog = timed & (lead_local <= committed + 1e-9)
+                for i in np.flatnonzero(noprog):
+                    md_schedule(i)  # push instead of a no-progress commit
+                due = timed & ~noprog
+            elif kind == "threshold":
+                due = np.zeros(n, dtype=bool)
+                for i in np.flatnonzero(
+                    elig & (lead_local > committed + 1e-9)
+                ):
+                    now = float(t[i])
+                    bid_i = float(bid_arr[i])
+                    for zi in range(Z):
+                        if zst[zi, i] != COMPUTING:
+                            continue
+                        s_min, time_thresh = oracle.threshold_stats(
+                            zorder[zi], now, bid_i
+                        )
+                        iz = int(znow_i[zi][i])
+                        if zrising[zi][iz] and float(
+                            zprices[zi][iz]
+                        ) >= 0.5 * (s_min + bid_i):
+                            due[i] = True
+                            break
+                        cs = csince[zi, i]
+                        exec_time = (
+                            max(now - float(cs), 0.0)
+                            if not math.isnan(cs) else 0.0
+                        )
+                        if time_thresh > 0 and exec_time > time_thresh:
+                            due[i] = True
+                            break
             else:  # "never"
                 due = np.zeros(n, dtype=bool)
-            if due.any():
-                di = np.flatnonzero(due)
-                pend_ckpt[di] = local[di]
-                state[di] = CHECKPOINTING
-                phase[di] = tc
+            fire = (start_ck & join_due) | due
+            if fire.any():
+                fi = np.flatnonzero(fire)
+                lz = lead_zi[fi]
+                pendc[lz, fi] = lead_local[fi]
+                zst[lz, fi] = CHECKPOINTING
+                phase[lz, fi] = tc
                 if events is not None:
-                    emit(di, t[di], "checkpoint-started", zone,
-                         [f"P={float(p):.0f}s" for p in pend_ckpt[di]])
-            restart = alive & (state == WAITING)
-            for i in np.flatnonzero(restart):
-                delay = self.queue_model.sample(rngs[i])
-                draws[i] += 1
-                state[i] = QUEUING
-                phase[i] = delay
-                pend_restart[i] = tr if committed[i] > 0 else 0.0
-                base[i] = committed[i]
-                comp[i] = 0.0
-                hour_start[i] = t[i]
-                rate[i] = p_now[i]
-                n_restarts[i] += 1
-                if events is not None:
-                    source = "recent" if ckpt_flag[i] else "previous"
-                    events[i].append(Event(
-                        time=float(t[i]), kind="restarted", zone=zone,
-                        detail=f"from-{source}-ckpt P={committed[i]:.0f}s",
-                    ))
+                    for j, i in enumerate(fi):
+                        events[i].append(Event(
+                            time=float(t[i]), kind="checkpoint-started",
+                            zone=zorder[lz[j]],
+                            detail=f"P={lead_local[i]:.0f}s",
+                        ))
+
+            # waiting-zone restarts: every waiting zone of a run starts
+            # when nothing is running or a checkpoint just committed,
+            # drawing queue delays zone by zone in block order
+            any_running = (zst >= QUEUING).any(axis=0)
+            go = alive & waiting_any & (~any_running | ckpt_flag)
+            for i in np.flatnonzero(go):
+                source = "recent" if ckpt_flag[i] else "previous"
+                com = float(committed[i])
+                for zi in range(Z):
+                    if zst[zi, i] != WAITING:
+                        continue
+                    delay = self.queue_model.sample(rngs[i])
+                    draws[i] += 1
+                    zst[zi, i] = QUEUING
+                    phase[zi, i] = delay
+                    pendr[zi, i] = tr if com > 0 else 0.0
+                    zbase[zi, i] = com
+                    zcomp[zi, i] = 0.0
+                    csince[zi, i] = np.nan
+                    hourst[zi, i] = t[i]
+                    zrate[zi, i] = znow_p[zi][i]
+                    zrest[zi, i] += 1
+                    if events is not None:
+                        events[i].append(Event(
+                            time=float(t[i]), kind="restarted",
+                            zone=zorder[zi],
+                            detail=f"from-{source}-ckpt P={com:.0f}s",
+                        ))
+                if kind == "markov-daly":
+                    md_schedule(i)  # one reschedule after the restarts
             ckpt_flag &= ~alive  # cleared every tick by _policy_actions
 
-            # advance one tick.  The scalar while-loop only ever moves a
-            # zone forward through QUEUING -> RESTARTING -> CHECKPOINTING
-            # -> COMPUTING within a tick, so one sweep in that order
-            # replays every intra-tick cascade.
-            running = alive & (state >= QUEUING)
-            remaining = np.where(running, dt, 0.0)
-            commit_evt = np.full(n, -1.0)
-            completion = np.full(n, np.nan)
+            # advance every running zone by dt (instance.advance): one
+            # masked sweep per state in QUEUING -> RESTARTING ->
+            # CHECKPOINTING -> COMPUTING order replays each intra-tick
+            # cascade of the scalar while loop
+            fin_off = np.full((Z, n), np.nan)
+            commit_val = np.full(n, -1.0)
+            commit_zi = np.zeros(n, dtype=np.int64)
+            has_commit = np.zeros(n, dtype=bool)
+            for zi in range(Z):
+                st = zst[zi]
+                run_z = alive & (st >= QUEUING)
+                remaining = np.where(run_z, dt, 0.0)
 
-            m = running & (state == QUEUING) & (remaining > 1e-9)
-            if m.any():
-                qi = np.flatnonzero(m)
-                used = np.minimum(phase[qi], remaining[qi])
-                phase[qi] = phase[qi] - used
-                remaining[qi] = remaining[qi] - used
-                fin_q = qi[phase[qi] <= 1e-9]
-                state[fin_q] = RESTARTING
-                phase[fin_q] = pend_restart[fin_q]
-                direct = fin_q[phase[fin_q] <= 1e-9]
-                state[direct] = COMPUTING
-            m = running & (state == RESTARTING) & (remaining > 1e-9)
-            if m.any():
-                ri = np.flatnonzero(m)
-                used = np.minimum(phase[ri], remaining[ri])
-                phase[ri] = phase[ri] - used
-                remaining[ri] = remaining[ri] - used
-                fin_r = ri[phase[ri] <= 1e-9]
-                state[fin_r] = COMPUTING
-            m = running & (state == CHECKPOINTING) & (remaining > 1e-9)
-            if m.any():
-                ci = np.flatnonzero(m)
-                used = np.minimum(phase[ci], remaining[ci])
-                phase[ci] = phase[ci] - used
-                remaining[ci] = remaining[ci] - used
-                fin_c = ci[phase[ci] <= 1e-9]
-                commit_evt[fin_c] = pend_ckpt[fin_c]
-                state[fin_c] = COMPUTING
-            m = running & (state == COMPUTING) & (remaining > 1e-9)
-            if m.any():
-                gi = np.flatnonzero(m)
-                need = C - (base[gi] + comp[gi])
-                done = need <= 1e-9
-                completion[gi[done]] = dt - remaining[gi[done]]
-                gi = gi[~done]
-                used = np.minimum(need[~done], remaining[gi])
-                comp[gi] = comp[gi] + used
-                remaining[gi] = remaining[gi] - used
-                done2 = C - (base[gi] + comp[gi]) <= 1e-9
-                completion[gi[done2]] = dt - remaining[gi[done2]]
+                m = run_z & (st == QUEUING)
+                if m.any():
+                    used = np.minimum(phase[zi], remaining)
+                    phase[zi][m] -= used[m]
+                    remaining[m] -= used[m]
+                    done = m & (phase[zi] <= 1e-9)
+                    st[done] = RESTARTING
+                    phase[zi][done] = pendr[zi][done]
+                    straight = done & (phase[zi] <= 1e-9)
+                    st[straight] = COMPUTING  # fresh start: no restore
+                    csince[zi][straight] = t[straight] + (
+                        dt - remaining[straight]
+                    )
 
-            cm = commit_evt >= 0.0
-            if cm.any():
-                ci = np.flatnonzero(cm)
-                committed[ci] = commit_evt[ci]
-                n_commits[ci] += 1
+                m = run_z & (st == RESTARTING) & (remaining > 1e-9)
+                if m.any():
+                    used = np.minimum(phase[zi], remaining)
+                    phase[zi][m] -= used[m]
+                    remaining[m] -= used[m]
+                    done = m & (phase[zi] <= 1e-9)
+                    st[done] = COMPUTING
+                    csince[zi][done] = t[done] + (dt - remaining[done])
+
+                m = run_z & (st == CHECKPOINTING) & (remaining > 1e-9)
+                if m.any():
+                    used = np.minimum(phase[zi], remaining)
+                    phase[zi][m] -= used[m]
+                    remaining[m] -= used[m]
+                    done = m & (phase[zi] <= 1e-9)
+                    di = np.flatnonzero(done)
+                    commit_val[di] = pendc[zi][di]
+                    commit_zi[di] = zi
+                    has_commit[di] = True
+                    st[done] = COMPUTING
+                    csince[zi][done] = t[done] + (dt - remaining[done])
+
+                m = run_z & (st == COMPUTING) & (remaining > 1e-9)
+                if m.any():
+                    need = C - (zbase[zi] + zcomp[zi])
+                    done_pre = m & (need <= 1e-9)
+                    fin_off[zi][done_pre] = dt - remaining[done_pre]
+                    mm = m & ~done_pre
+                    used = np.minimum(need, remaining)
+                    zcomp[zi][mm] += used[mm]
+                    remaining[mm] -= used[mm]
+                    need = C - (zbase[zi] + zcomp[zi])
+                    done_post = mm & (need <= 1e-9)
+                    fin_off[zi][done_post] = dt - remaining[done_post]
+
+            ci = np.flatnonzero(has_commit)  # at most one ckpt per run
+            if ci.size:
+                committed[ci] = commit_val[ci]
+                ncomm[ci] += 1
                 ckpt_flag[ci] = True
                 if events is not None:
-                    emit(ci, t[ci] + dt, "checkpoint-committed", zone,
-                         [f"P={float(p):.0f}s" for p in committed[ci]])
-            done = alive & ~np.isnan(completion)
-            if done.any():
-                di = np.flatnonzero(done)
-                fin = t + completion
-                user_close(done, fin)  # reason="complete": same billing
+                    for i in ci:
+                        events[i].append(Event(
+                            time=float(t[i] + dt),
+                            kind="checkpoint-committed",
+                            zone=zorder[commit_zi[i]],
+                            detail=f"P={commit_val[i]:.0f}s",
+                        ))
+
+            fin = np.fmin.reduce(t[None, :] + fin_off, axis=0)
+            done_r = alive & ~np.isnan(fin)
+            if done_r.any():
+                di = np.flatnonzero(done_r)
+                for zi in range(Z):  # user_close at finish, "complete"
+                    close = done_r & (zst[zi] >= QUEUING)
+                    idx = np.flatnonzero(close)
+                    if idx.size == 0:
+                        continue
+                    used = fin[idx] - hourst[zi][idx]
+                    if np.any(used > 3600.0 + 1e-6):  # pragma: no cover
+                        raise EngineError(
+                            "open billing hour overran its boundary"
+                        )
+                    charge = idx[used >= 1.0]  # < 1 s of a fresh hour free
+                    zspot[zi][charge] += zrate[zi][charge]
+                    zhours[zi][charge] += 1
+                    hourst[zi][idx] = np.nan
+                    zrate[zi][idx] = 0.0
+                zst[:, di] = DOWN
                 if events is not None:
                     emit(di, fin[di], "completed", None,
                          ["on spot"] * di.size)
                 finish[di] = fin[di]
                 completed_on[di] = 1
-                state[di] = DOWN
-                alive &= ~done
-
+                alive &= ~done_r
             t[alive] += dt
 
-            # -- vectorized quiescence + bulk skip ------------------------
-            if not alive.any():
-                break
-            computing = state == COMPUTING
-            transient = (state == QUEUING) | (state == RESTARTING)
-            waitingq = state == WAITING
-            runningq = computing | transient
-            zero = (state == CHECKPOINTING) | waitingq
-            dropc = ckpt_flag & ~waitingq  # reschedule is a no-op
+            # -- vectorized _quiescent_ticks + bulk skip ------------------
+            comp_mask = zst == COMPUTING
+            trans_mask = (zst == QUEUING) | (zst == RESTARTING)
+            wait_mask = zst == WAITING
+            ck_any = (zst == CHECKPOINTING).any(axis=0)
+            computing_any = comp_mask.any(axis=0)
+            waiting_any = wait_mask.any(axis=0)
+            running_cnt = (comp_mask | trans_mask).sum(axis=0)
 
-            i2 = np.clip(((t - z0) // dt).astype(np.int64), 0, L - 1)
-            p2 = prices[i2]
-            zero |= runningq & (p2 > bid)
-            zero |= ~runningq & ((p2 <= bid) != waitingq)
-            k = (cross_ext[np.searchsorted(cross, i2, side="right")] - i2
-                 ).astype(np.float64)
+            zero = ck_any.copy()  # a checkpoint commits next tick
+            if kind == "markov-daly":  # rescheduling is not a no-op
+                zero |= ckpt_flag
+                dropc = np.zeros(n, dtype=bool)
+            else:
+                zero |= ckpt_flag & waiting_any
+                dropc = ckpt_flag & ~waiting_any
+            zero |= (running_cnt == 0) & waiting_any  # restarts fire now
 
-            nstep = np.floor_divide(phase - 1e-6, dt)
-            zero |= transient & (nstep < 1)
-            k = np.where(transient, np.minimum(k, nstep), k)
-
-            margin = ((((deadline - t) - np.maximum(C - committed, 0.0))
-                       - tc) - tr)
-            k = np.minimum(k, np.floor(((margin - tc) - 3.0 * dt) / dt) - 1)
-
-            if computing.any():
-                local = base + comp
-                k = np.where(
-                    computing,
-                    np.minimum(k, np.floor((C - local) / dt) - 2),
-                    k,
-                )
-                if kind == "periodic":
-                    due_at = (hour_start + 3600.0) - tc
-                    due_at = np.where(
-                        latched == hour_start, due_at + 3600.0, due_at
+            # market transitions: next availability crossing, using the
+            # first given zone's shared grid index like the scalar scan
+            i2 = np.clip(
+                ((t - ref_z0) // dt).astype(np.int64), 0, ref_len - 1
+            )
+            kq = np.full(n, float(1 << 30))
+            loc = zbase + zcomp
+            for zi in range(Z):
+                pz = zprices[zi][np.minimum(i2, zlen[zi] - 1)]
+                run_z = comp_mask[zi] | trans_mask[zi]
+                zero |= run_z & (pz > bid_arr)  # termination due
+                off = alive & ~run_z & (zst[zi] != CHECKPOINTING)
+                zero |= off & ((pz <= bid_arr) != wait_mask[zi])
+                for bi, rows_b in enumerate(class_rows):
+                    nc = zcross_ext[zi][bi][
+                        np.searchsorted(
+                            zcross[zi][bi], i2[rows_b], side="right"
+                        )
+                    ]
+                    kq[rows_b] = np.minimum(
+                        kq[rows_b], (nc - i2[rows_b]).astype(np.float64)
                     )
-                    hb = np.ceil(((due_at - t) - 1e-6) / dt)
-                    k = np.where(computing, np.minimum(k, hb), k)
-                elif kind == "edge":
-                    j = edges_ext[np.searchsorted(edges, i2, side="right")]
-                    hb = np.ceil(((z0 + j * dt - t) - 1e-6) / dt)
-                    hb = np.where(rising[i2], 0.0, hb)  # edge in force now
-                    k = np.where(computing, np.minimum(k, hb), k)
-                # "never": fast_forward_until is +inf — no bound
+                # queue / restore countdowns: stop before one runs out
+                nstep = np.floor_divide(phase[zi] - 1e-6, dt)
+                zero |= trans_mask[zi] & (nstep < 1.0)
+                kq = np.where(trans_mask[zi], np.minimum(kq, nstep), kq)
 
-            kq = np.where(alive & ~zero, k, 0.0)
-            kq = np.maximum(kq, 0.0).astype(np.int64)
-            ckpt_flag &= ~(dropc & (kq > 0))  # dropped on the way out
+            # deadline guard: margin shrinks at most one tick per tick
+            marginq = (
+                (((deadline - t) - np.maximum(C - committed, 0.0)) - tc)
+                - tr
+            )
+            kq = np.minimum(
+                kq, np.floor(((marginq - tc) - 3.0 * dt) / dt) - 1.0
+            )
 
-            skip = alive & (kq > 0)
+            # completion / join-commit progress thresholds
+            max_local = np.where(comp_mask, loc, -np.inf).max(axis=0)
+            kq = np.where(
+                computing_any,
+                np.minimum(kq, np.floor((C - max_local) / dt) - 2.0),
+                kq,
+            )
+            kq = np.where(
+                computing_any & waiting_any & (running_cnt < 2),
+                np.minimum(
+                    kq,
+                    np.floor(((committed + tc) - max_local) / dt) - 1.0,
+                ),
+                kq,
+            )
+
+            # the policy's own schedule (fast_forward_until), evaluated
+            # only where something is computing, like the scalar path
+            horizon = np.full(n, np.inf)
+            if kind == "periodic":
+                due_at = np.where(
+                    comp_mask & ~np.isnan(hourst),
+                    np.where(
+                        latch == hourst,
+                        ((hourst + 3600.0) - tc) + 3600.0,
+                        (hourst + 3600.0) - tc,
+                    ),
+                    np.inf,
+                )
+                horizon = due_at.min(axis=0)
+            elif kind == "edge":
+                now_edge = np.zeros(n, dtype=bool)
+                for zi in range(Z):
+                    cm = comp_mask[zi]
+                    iz = np.clip(
+                        ((t - zz0[zi]) // dt).astype(np.int64),
+                        0, zlen[zi] - 1,
+                    )
+                    now_edge |= cm & zrising[zi][iz]
+                    nxt = zedges_ext[zi][
+                        np.searchsorted(zedges[zi], iz, side="right")
+                    ]
+                    cand = zz0[zi] + nxt * dt
+                    horizon = np.where(
+                        cm, np.minimum(horizon, cand), horizon
+                    )
+                horizon = np.where(now_edge, t, horizon)
+            elif kind == "markov-daly":
+                horizon = md_next - 1e-6
+            elif kind == "threshold":
+                for i in np.flatnonzero(
+                    alive & ~zero & computing_any & (kq > 0.0)
+                ):
+                    now = float(t[i])
+                    if max_local[i] <= committed[i] + 1e-9:
+                        horizon[i] = now  # no uncommitted progress
+                        continue
+                    bid_i = float(bid_arr[i])
+                    bound = math.inf
+                    hit = False
+                    for zi in range(Z):
+                        if zst[zi, i] != COMPUTING:
+                            continue
+                        zname = zorder[zi]
+                        s_min, time_thresh = oracle.threshold_stats(
+                            zname, now, bid_i
+                        )
+                        iz = int((now - zz0[zi]) // dt)
+                        if zrising[zi][iz] and float(
+                            zprices[zi][iz]
+                        ) >= 0.5 * (s_min + bid_i):
+                            hit = True
+                            break
+                        cs = csince[zi, i]
+                        exec_time = (
+                            max(now - float(cs), 0.0)
+                            if not math.isnan(cs) else 0.0
+                        )
+                        if time_thresh > 0 and exec_time > time_thresh:
+                            hit = True
+                            break
+                        j = int(zedges_ext[zi][np.searchsorted(
+                            zedges[zi], iz, side="right"
+                        )])
+                        edge_t = zz0[zi] + j * dt
+                        zone_bound = edge_t
+                        if not math.isnan(cs):
+                            # walk hourly buckets: the exec-time test
+                            # can fire between rising edges once the
+                            # bucket's mean up-run elapses
+                            cs_f = float(cs)
+                            bucket_start = (
+                                math.floor(now / 3600.0) * 3600.0
+                            )
+                            thresh = time_thresh
+                            while True:
+                                bucket_end = bucket_start + 3600.0
+                                if thresh > 0 and cs_f + thresh < min(
+                                    bucket_end, edge_t
+                                ):
+                                    zone_bound = max(
+                                        cs_f + thresh, bucket_start
+                                    )
+                                    break
+                                if bucket_end >= edge_t:
+                                    break
+                                bucket_start = bucket_end
+                                thresh = oracle.mean_up_run(
+                                    zname, bucket_start, bid_i
+                                )
+                        bound = min(bound, zone_bound)
+                    horizon[i] = now if hit else bound
+            kq = np.where(
+                computing_any & np.isfinite(horizon),
+                np.minimum(kq, np.ceil(((horizon - t) - 1e-6) / dt)),
+                kq,
+            )
+
+            ks = np.where(alive & ~zero, kq, 0.0)
+            ki = np.maximum(ks, 0.0).astype(np.int64)
+            # the post-commit tick's only remaining effect would be
+            # dropping the flag: do it on the way into the skip
+            ckpt_flag &= ~(dropc & (ki > 0))
+            skip = alive & (ki > 0)
             if not skip.any():
                 continue
-            kf = kq.astype(np.float64)
-            accr = skip & (computing | transient)
-            plain = skip & ~accr
-            t[plain] += kf[plain] * dt  # integral clock: closed form exact
-            if accr.any():
-                last = t + (kf - 1.0) * dt
-                roll_billing(accr, np.where(accr, last, -np.inf))
-                cm2 = skip & computing
-                if cm2.any():
-                    whole = cm2 & (comp == np.floor(comp))
-                    comp[whole] += kf[whole] * dt
-                    for i in np.flatnonzero(cm2 & ~whole):
-                        cs = comp[i]  # fractional: replay the float ops
-                        for _ in range(kq[i]):
-                            cs += dt
-                        comp[i] = cs
-                tm2 = skip & transient
-                if tm2.any():
-                    whole = tm2 & (phase == np.floor(phase))
-                    phase[whole] -= kf[whole] * dt
-                    for i in np.flatnonzero(tm2 & ~whole):
-                        ph = phase[i]
-                        for _ in range(kq[i]):
-                            ph -= dt
-                        phase[i] = ph
-                t[accr] += kf[accr] * dt
-        else:  # pragma: no cover - defensive round budget
+
+            # bulk-apply the skipped ticks: billing rolls at their exact
+            # boundaries, progress/countdowns accrue in closed form when
+            # the accumulator is integral (repeated addition otherwise)
+            kf = ki.astype(np.float64)
+            accr_z = comp_mask | trans_mask
+            accr_any = accr_z.any(axis=0)
+            plain = skip & ~accr_any
+            t[plain] += kf[plain] * dt
+            accr = skip & accr_any
+            if not accr.any():
+                continue
+            last = t + (kf - 1.0) * dt
+            entries_by_run: dict[int, list] = {}
+            for zi in range(Z):
+                m = accr & accr_z[zi]
+                while True:
+                    roll = m & (hourst[zi] + 3600.0 <= last + 1e-6)
+                    if not roll.any():
+                        break
+                    idx = np.flatnonzero(roll)
+                    boundary = hourst[zi][idx] + 3600.0
+                    zspot[zi][idx] += zrate[zi][idx]
+                    zhours[zi][idx] += 1
+                    new_rate = zprices[zi][
+                        ((boundary - zz0[zi]) // dt).astype(np.int64)
+                    ]
+                    zrate[zi][idx] = new_rate
+                    hourst[zi][idx] = boundary
+                    if events is not None:
+                        for j, i in enumerate(idx):
+                            tick = int(math.ceil(
+                                (float(boundary[j]) - float(t[i]) - 1e-6)
+                                / dt
+                            ))
+                            entries_by_run.setdefault(int(i), []).append((
+                                max(tick, 0), zi, float(boundary[j]),
+                                zorder[zi],
+                                f"rate={float(new_rate[j]):.3f}",
+                            ))
+                cm = accr & comp_mask[zi]
+                if cm.any():
+                    whole = cm & (zcomp[zi] == np.floor(zcomp[zi]))
+                    zcomp[zi][whole] += kf[whole] * dt
+                    for i in np.flatnonzero(cm & ~whole):
+                        cs_acc = float(zcomp[zi][i])
+                        for _ in range(int(ki[i])):
+                            cs_acc += dt
+                        zcomp[zi][i] = cs_acc
+                tm = accr & trans_mask[zi]
+                if tm.any():
+                    whole = tm & (phase[zi] == np.floor(phase[zi]))
+                    phase[zi][whole] -= kf[whole] * dt
+                    for i in np.flatnonzero(tm & ~whole):
+                        ph_acc = float(phase[zi][i])
+                        for _ in range(int(ki[i])):
+                            ph_acc -= dt
+                        phase[zi][i] = ph_acc
+            if events is not None:
+                for i, ent in entries_by_run.items():
+                    # re-merge into the reference loop's (tick, zone
+                    # block) emission order
+                    ent.sort(key=lambda e: (e[0], e[1]))
+                    for _, _, boundary_f, zname, detail in ent:
+                        events[i].append(Event(
+                            time=boundary_f, kind="hour-rolled",
+                            zone=zname, detail=detail,
+                        ))
+            t[accr] += kf[accr] * dt
+        else:  # pragma: no cover - loop guard
             raise EngineError(
                 f"vector engine exceeded {max_rounds} rounds; "
                 f"{int(alive.sum())} runs still live"
             )
 
-        results = []
+        # -- finalize: per-run RunResults in scalar summation order ------
+        spot_tot = np.zeros(n)
+        for zi in range(Z):
+            spot_tot = spot_tot + zspot[zi]
+        hours_tot = zhours.sum(axis=0)
+        rest_tot = zrest.sum(axis=0)
+        term_tot = zterm.sum(axis=0)
+        results: list[RunResult] = []
         for j in range(n):
-            if completed_on[j] == 0:  # pragma: no cover - loop invariant
-                raise EngineError(f"run at start {starts[j]} never finished")
             results.append(RunResult(
                 policy_name=probe.name,
-                bid=bid,
-                zones=(zone,),
+                bid=float(bids[j]),
+                zones=zones_t,
                 start_time=float(start_arr[j]),
                 finish_time=float(finish[j]),
                 deadline=float(deadline[j]),
                 completed_on="spot" if completed_on[j] == 1 else "ondemand",
-                spot_cost=float(spot_cost[j]),
+                spot_cost=float(spot_tot[j]),
                 ondemand_cost=float(od_cost[j]),
-                num_checkpoints=int(n_commits[j]),
-                num_restarts=int(n_restarts[j]),
-                num_provider_terminations=int(n_terms[j]),
+                num_checkpoints=int(ncomm[j]),
+                num_restarts=int(rest_tot[j]),
+                num_provider_terminations=int(term_tot[j]),
                 ondemand_switch_time=(
-                    float(switch_t[j]) if not math.isnan(switch_t[j]) else None
+                    None if math.isnan(switch_t[j]) else float(switch_t[j])
                 ),
-                spot_hours_charged=int(hours_charged[j]),
+                spot_hours_charged=int(hours_tot[j]),
                 events=tuple(events[j]) if events is not None else (),
             ))
         return results, draws

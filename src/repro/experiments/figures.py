@@ -29,7 +29,7 @@ import numpy as np
 from repro.app.workload import paper_experiment
 from repro.core.ondemand import on_demand_cost
 from repro.experiments.metrics import RunRecord, box, deadline_violations
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import RETAINED_POLICIES, ExperimentRunner
 from repro.market.constants import CKPT_COST_HIGH_S, CKPT_COST_LOW_S, SLACK_HIGH, SLACK_LOW
 from repro.market.queuing import QueueDelayModel
 from repro.stats.availability import availability_report
@@ -155,15 +155,23 @@ def fig4_quadrant(
 
     Single-zone policies merge all three zones into one box per bid
     (the paper's protocol); the redundancy box is the per-experiment
-    best case over the four redundancy-based policies.
+    best case over the four redundancy-based policies.  Each policy's
+    whole bid axis runs as one cell — under ``engine_mode="vector"``
+    one fused (bid x start) lockstep tile — with per-bid records
+    identical to ``run_single_zone`` called once per bid.  Audited
+    runners take the per-bid per-run path so the auditor observes
+    every run.
     """
     config = paper_experiment(slack_fraction=slack_fraction, ckpt_cost_s=ckpt_cost_s)
+    per_policy = {
+        label: runner.run_bid_axis(label, config, bids,
+                                   batched=not runner.audit)
+        for label in policies
+    }
     cells: list[PolicyCell] = []
     for bid in bids:
         for label in policies:
-            cells.append(
-                _cell(label, bid, runner.run_single_zone(label, config, bid))
-            )
+            cells.append(_cell(label, bid, per_policy[label][bid]))
         cells.append(
             _cell("redundant-best", bid, runner.run_best_redundant(config, bid))
         )
@@ -209,11 +217,17 @@ def optimal_policy_table(
                               engine_mode=engine_mode,
                               cache_dir=cache_dir) as runner:
             config = paper_experiment(slack_fraction=slack, ckpt_cost_s=ckpt_cost_s)
+            # one bid-axis cell per candidate policy (a fused lockstep
+            # tile under --engine vector); per-bid records match
+            # run_single_zone exactly
+            single = {
+                label: runner.run_bid_axis(label, config, bids)
+                for label in RETAINED_POLICIES
+            }
             candidates: dict[str, BoxplotStats] = {}
             for bid in bids:
-                for label in ("periodic", "markov-daly"):
-                    records = runner.run_single_zone(label, config, bid)
-                    candidates[f"{label}@{bid:.2f}"] = box(records)
+                for label in RETAINED_POLICIES:
+                    candidates[f"{label}@{bid:.2f}"] = box(single[label][bid])
                 if include_redundant:
                     records = runner.run_best_redundant(config, bid)
                     candidates[f"redundant@{bid:.2f}"] = box(records)
@@ -353,9 +367,13 @@ def headline_claims(
                 adaptive = box(runner.run_adaptive(config))
                 best_ratio = max(best_ratio, od / adaptive.median)
                 worst_ratio = max(worst_ratio, adaptive.maximum / od)
+                per_label = {
+                    label: runner.run_bid_axis(label, config, FIGURE_BIDS)
+                    for label in RETAINED_POLICIES
+                }
                 singles = [
-                    box(runner.run_single_zone(label, config, bid)).median
-                    for label in ("periodic", "markov-daly")
+                    box(per_label[label][bid]).median
+                    for label in RETAINED_POLICIES
                     for bid in FIGURE_BIDS
                 ]
                 best_single = min(singles)

@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.audit.auditor import AuditReport
+from repro.core.vector_engine import BatchStats
 from repro.experiments.cache import CacheStats
 from repro.experiments.metrics import RunRecord
 from repro.experiments.runner import CellTask, ExperimentRunner
@@ -260,26 +261,28 @@ def _init_worker(
         _WORKER_RUNNER.oracle.seed_stationary(warm)
 
 
-def _worker_extras() -> tuple[AuditReport | None, CacheStats | None]:
-    """Drained per-call side channels: audit report and cache counters."""
+def _worker_extras() -> tuple[
+    AuditReport | None, CacheStats | None, BatchStats | None
+]:
+    """Drained per-call side channels: audit report, cache counters and
+    the vector engine's native/fallback tallies."""
     report = _WORKER_RUNNER.drain_audit() if _WORKER_RUNNER.audit else None
     stats = (
         _WORKER_RUNNER.drain_cache_stats()
         if _WORKER_RUNNER.cache is not None
         else None
     )
-    return report, stats
+    return report, stats, _WORKER_RUNNER.drain_vector_stats()
 
 
-def _run_cell(
-    task: CellTask, start: float
-) -> tuple[list[RunRecord], AuditReport | None, CacheStats | None]:
+def _run_cell(task: CellTask, start: float) -> tuple:
     """Worker entry point: one (task, start) unit on the shared runner.
 
-    Returns the records plus the drained audit report and run-cache
-    counters (``None`` when the respective feature is off), so
-    violations and hit/miss tallies observed inside the worker travel
-    back to the parent with the results they describe.
+    Returns the records plus the drained audit report, run-cache
+    counters and vector-batch counters (``None`` when the respective
+    feature is off), so violations and hit/miss/native tallies observed
+    inside the worker travel back to the parent with the results they
+    describe.
     """
     if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool used before initialization")
@@ -287,9 +290,7 @@ def _run_cell(
     return (records, *_worker_extras())
 
 
-def _run_bid_axis_cell(
-    task: CellTask, bids: tuple, start: float
-) -> tuple[list, AuditReport | None, CacheStats | None]:
+def _run_bid_axis_cell(task: CellTask, bids: tuple, start: float) -> tuple:
     """Worker entry point for one start of a batched bid axis."""
     if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool used before initialization")
@@ -297,9 +298,7 @@ def _run_bid_axis_cell(
     return (pairs, *_worker_extras())
 
 
-def _run_start_axis_chunk(
-    task: CellTask, starts: tuple
-) -> tuple[list[RunRecord], AuditReport | None, CacheStats | None]:
+def _run_start_axis_chunk(task: CellTask, starts: tuple) -> tuple:
     """Worker entry point for one contiguous chunk of a batched start
     axis: the whole chunk goes through the vector engine in one batch
     (:meth:`~repro.experiments.runner.ExperimentRunner.run_start_axis_cells`),
@@ -308,6 +307,16 @@ def _run_start_axis_chunk(
         raise RuntimeError("worker pool used before initialization")
     records = _WORKER_RUNNER.run_start_axis_cells(task, list(starts))
     return (records, *_worker_extras())
+
+
+def _run_grid_chunk(task: CellTask, bids: tuple, starts: tuple) -> tuple:
+    """Worker entry point for one start-chunk of a fused (bid x start)
+    tile: the chunk's whole bid axis advances in one lockstep pass
+    (:meth:`~repro.experiments.runner.ExperimentRunner.run_grid_cell`)."""
+    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool used before initialization")
+    pairs = _WORKER_RUNNER.run_grid_cell(task, list(bids), list(starts))
+    return (pairs, *_worker_extras())
 
 
 @dataclass
@@ -339,6 +348,7 @@ class SweepExecutor:
     _arena: "TraceArena | None" = field(default=None, repr=False)
     _audit_report: AuditReport = field(default_factory=AuditReport, repr=False)
     _cache_stats: CacheStats = field(default_factory=CacheStats, repr=False)
+    _vector_stats: BatchStats = field(default_factory=BatchStats, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -388,11 +398,13 @@ class SweepExecutor:
             )
         return self._pool
 
-    def _absorb_extras(self, report, stats) -> None:
+    def _absorb_extras(self, report, stats, vstats=None) -> None:
         if report is not None:
             self._audit_report.merge(report)
         if stats is not None:
             self._cache_stats.merge(stats)
+        if vstats is not None:
+            self._vector_stats.merge(vstats)
 
     def map_cells(
         self, task: CellTask, starts: Sequence[float]
@@ -407,9 +419,9 @@ class SweepExecutor:
         futures = [pool.submit(_run_cell, task, float(s)) for s in starts]
         records: list[RunRecord] = []
         for future in futures:
-            cell_records, report, stats = future.result()
+            cell_records, *extras = future.result()
             records.extend(cell_records)
-            self._absorb_extras(report, stats)
+            self._absorb_extras(*extras)
         return records
 
     def map_bid_axis(
@@ -432,10 +444,43 @@ class SweepExecutor:
         ]
         out: dict[float, list[RunRecord]] = {bid: [] for bid in bids}
         for future in futures:
-            pairs, report, stats = future.result()
+            pairs, *extras = future.result()
             for bid, records in pairs:
                 out[bid].extend(records)
-            self._absorb_extras(report, stats)
+            self._absorb_extras(*extras)
+        return out
+
+    def map_grid(
+        self, task: CellTask, bids: Sequence[float], starts: Sequence[float]
+    ) -> dict[float, list[RunRecord]]:
+        """Run a fused (bid x start) tile over the pool.
+
+        The start grid splits into one contiguous chunk per worker
+        (start order preserved); each chunk advances the whole bid axis
+        in one lockstep pass
+        (:meth:`~repro.experiments.runner.ExperimentRunner.run_grid_cell`).
+        The ordered merge reproduces the serial fused tile — and
+        therefore per-bid scalar runs — record for record.
+        """
+        pool = self._ensure_pool()
+        bids = tuple(float(b) for b in bids)
+        chunks = [
+            tuple(float(s) for s in chunk)
+            for chunk in np.array_split(
+                np.asarray([float(s) for s in starts]), self.workers
+            )
+            if len(chunk)
+        ]
+        futures = [
+            pool.submit(_run_grid_chunk, task, bids, chunk)
+            for chunk in chunks
+        ]
+        out: dict[float, list[RunRecord]] = {bid: [] for bid in bids}
+        for future in futures:
+            pairs, *extras = future.result()
+            for bid, records in pairs:
+                out[bid].extend(records)
+            self._absorb_extras(*extras)
         return out
 
     def map_start_axis(
@@ -462,9 +507,9 @@ class SweepExecutor:
         ]
         records: list[RunRecord] = []
         for future in futures:
-            chunk_records, report, stats = future.result()
+            chunk_records, *extras = future.result()
             records.extend(chunk_records)
-            self._absorb_extras(report, stats)
+            self._absorb_extras(*extras)
         return records
 
     def drain_audit(self) -> AuditReport:
@@ -478,6 +523,14 @@ class SweepExecutor:
         back with their results."""
         stats = self._cache_stats
         self._cache_stats = CacheStats()
+        return stats
+
+    def drain_vector_stats(self) -> BatchStats:
+        """Hand off (and clear) the vector-batch counters workers
+        shipped back with their results (all-zero when no worker ran a
+        vector batch)."""
+        stats = self._vector_stats
+        self._vector_stats = BatchStats()
         return stats
 
     def close(self) -> None:

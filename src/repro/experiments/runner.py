@@ -174,6 +174,7 @@ class ExperimentRunner:
         self.oracle = PriceOracle(self.trace)
         self._executor = None
         self._auditor = None
+        self._vector = None
 
     @property
     def auditor(self):
@@ -217,6 +218,35 @@ class ExperimentRunner:
         if self._executor is not None:
             stats.merge(self._executor.drain_cache_stats())
         return stats
+
+    @property
+    def vector(self):
+        """The lazily created batch engine.  All vector-served cells
+        share one simulator so its native/cloned/fallback counters
+        accumulate across the whole sweep for :meth:`drain_vector_stats`."""
+        if self._vector is None:
+            from repro.core.vector_engine import VectorSimulator
+
+            self._vector = VectorSimulator(
+                oracle=self.oracle, queue_model=self.queue_model,
+                run_cache=self.cache,
+            )
+        return self._vector
+
+    def drain_vector_stats(self):
+        """Collect (and clear) the batch engine's native/cloned/fallback
+        counters — the in-process simulator's own plus whatever the
+        sweep workers shipped back with their results.  ``None`` when
+        no batch ran at all, so the CLI only prints the vector summary
+        line on commands that actually exercised the engine."""
+        from repro.core.vector_engine import BatchStats
+
+        stats = BatchStats()
+        if self._vector is not None:
+            stats.merge(self._vector.drain_stats())
+        if self._executor is not None:
+            stats.merge(self._executor.drain_vector_stats())
+        return stats if stats.total else None
 
     # -- parallel execution ------------------------------------------------
 
@@ -389,18 +419,17 @@ class ExperimentRunner:
     def run_start_axis_cells(
         self, task: CellTask, starts: Sequence[float]
     ) -> list[RunRecord]:
-        """Batch one single-zone cell's ``starts`` through the
-        struct-of-arrays engine; the parallel chunk entry point.
+        """Batch one cell's ``starts`` through the struct-of-arrays
+        engine; the parallel chunk entry point.
 
         One RNG per start (the same :meth:`_start_rng` stream the
         per-run path uses) shared across the cell's zone waves, so a
         merged three-zone cell draws queue delays in exactly the order
-        the serial ``run_cell`` loop would.  Records come back
-        start-major, zone-minor — the serial order.
+        the serial ``run_cell`` loop would.  Single-zone records come
+        back start-major, zone-minor — the serial order; redundant
+        cells run all their zones as one multi-zone batch.
         """
-        from repro.core.vector_engine import VectorSimulator
-
-        if task.kind != "single-zone":
+        if task.kind not in ("single-zone", "redundant"):
             raise ValueError(
                 f"start-axis batching is undefined for cell kind {task.kind!r}"
             )
@@ -408,22 +437,28 @@ class ExperimentRunner:
         config = task.config
         starts = [float(s) for s in starts]
         rngs = [self._start_rng(s) for s in starts]
-        vec = VectorSimulator(
-            oracle=self.oracle, queue_model=self.queue_model,
-            run_cache=self.cache,
-        )
-        per_zone = [
-            vec.run_batch(config, factory, task.bid, (zone,), starts, rngs)
-            for zone in task.zones
+        vec = self.vector
+        if task.kind == "single-zone":
+            per_zone = [
+                vec.run_batch(config, factory, task.bid, (zone,), starts, rngs)
+                for zone in task.zones
+            ]
+            records = []
+            for i, start in enumerate(starts):
+                for results in per_zone:
+                    records.append(
+                        self._record(task.policy_label, config, task.bid,
+                                     start, results[i])
+                    )
+            return records
+        zones = tuple(self.trace.zone_names[: task.num_zones])
+        label = f"{task.policy_label}-r{task.num_zones}"
+        results = vec.run_batch(config, factory, task.bid, zones,
+                                starts, rngs)
+        return [
+            self._record(label, config, task.bid, start, results[i])
+            for i, start in enumerate(starts)
         ]
-        records = []
-        for i, start in enumerate(starts):
-            for results in per_zone:
-                records.append(
-                    self._record(task.policy_label, config, task.bid,
-                                 start, results[i])
-                )
-        return records
 
     def run_start_axis(
         self,
@@ -455,15 +490,15 @@ class ExperimentRunner:
 
         The parallel path merges worker results in start order, so the
         returned records are identical (values and order) to a serial
-        run.  Under ``engine_mode="vector"`` single-zone cells route
-        through the start-axis batch engine instead of the per-start
-        loop (audited runners excepted — the vector path has no audit
-        hooks, so those runs stay per-run on the fast engine).
+        run.  Under ``engine_mode="vector"`` single-zone and redundant
+        cells route through the start-axis batch engine instead of the
+        per-start loop (audited runners excepted — the vector path has
+        no audit hooks, so those runs stay per-run on the fast engine).
         """
         starts = [float(s) for s in self.starts(task.config)]
         if (
             self.engine_mode == "vector"
-            and task.kind == "single-zone"
+            and task.kind in ("single-zone", "redundant")
             and not self.audit
         ):
             if self.workers > 1 and len(starts) > 1:
@@ -542,6 +577,11 @@ class ExperimentRunner:
         baseline).  Returns ``{bid: records}`` over the unique bids.
         """
         bids = [float(b) for b in dict.fromkeys(float(b) for b in bids)]
+        if batched and self.engine_mode == "vector" and not self.audit:
+            # one fused (bid x start) lockstep tile per cell; identical
+            # records, bid-equivalence clones included
+            return self.run_grid(policy_label, config, bids, zones=zones,
+                                 redundant=redundant, num_zones=num_zones)
         if redundant:
             task = CellTask(kind="redundant", config=config,
                             policy_label=policy_label, num_zones=num_zones)
@@ -560,6 +600,116 @@ class ExperimentRunner:
         for start in starts:
             for bid, records in self.run_bid_axis_cell(task, bids, start):
                 out[bid].extend(records)
+        return out
+
+    # -- fused (bid x start) grid ------------------------------------------
+
+    def run_grid_cell(
+        self, task: CellTask, bids: Sequence[float], starts: Sequence[float]
+    ) -> list[tuple[float, list[RunRecord]]]:
+        """One contiguous start-chunk of a fused (bid x start) tile;
+        the parallel grid-chunk entry point.
+
+        The whole tile advances through the vector engine in lockstep:
+        rows are laid out start-major over the bid grid, each row gets
+        the fresh per-start RNG a per-(bid, start) ``run_cell`` would
+        build, and — for bid-invariant policies — the availability
+        equivalence classes of :mod:`repro.core.bid_batch` collapse to
+        one simulated representative per (class, start) with the other
+        rows cloned inside the engine, exactly as
+        :meth:`run_bid_axis_cell` clones records.  Returns ``(bid,
+        records)`` pairs over the given bids; per bid the records are
+        start-major (and zone-minor for merged single-zone cells) —
+        bit-identical, values and order, to per-bid scalar runs.
+        """
+        if task.kind == "single-zone":
+            cell_zones = task.zones
+            waves = [(task.policy_label, (zone,)) for zone in task.zones]
+        elif task.kind == "redundant":
+            cell_zones = tuple(self.trace.zone_names[: task.num_zones])
+            waves = [(f"{task.policy_label}-r{task.num_zones}", cell_zones)]
+        else:
+            raise ValueError(
+                f"grid batching is undefined for cell kind {task.kind!r}"
+            )
+        factory = POLICY_FACTORIES[task.policy_label]
+        config = task.config
+        bids = [float(b) for b in bids]
+        starts = [float(s) for s in starts]
+        nb = len(bids)
+        bcol = {bid: j for j, bid in enumerate(bids)}
+        row_bids = [bid for _ in starts for bid in bids]
+        row_starts = [start for start in starts for _ in bids]
+        rngs = [self._start_rng(start) for start in row_starts]
+        clone_of = None
+        if nb > 1 and factory().bid_invariant:
+            clone_of = [None] * (nb * len(starts))
+            for si, start in enumerate(starts):
+                classes = bid_equivalence_classes(
+                    self.trace, cell_zones, bids, start, config.deadline_s
+                )
+                for cls in classes:
+                    rep_row = si * nb + bcol[cls.representative]
+                    for bid in cls.members:
+                        if bid != cls.representative:
+                            clone_of[si * nb + bcol[bid]] = rep_row
+        vec = self.vector
+        per_wave = [
+            vec.run_grid(config, factory, wave_zones, row_bids, row_starts,
+                         rngs, clone_of=clone_of)
+            for _, wave_zones in waves
+        ]
+        pairs: list[tuple[float, list[RunRecord]]] = []
+        for bj, bid in enumerate(bids):
+            records = []
+            for si, start in enumerate(starts):
+                for (label, _), results in zip(waves, per_wave):
+                    records.append(
+                        self._record(label, config, bid, start,
+                                     results[si * nb + bj])
+                    )
+            pairs.append((bid, records))
+        return pairs
+
+    def run_grid(
+        self,
+        policy_label: str,
+        config: ExperimentConfig,
+        bids: Sequence[float],
+        zones: Sequence[str] | None = None,
+        redundant: bool = False,
+        num_zones: int = 3,
+    ) -> dict[float, list[RunRecord]]:
+        """One (policy, zone-set) cell over the full (bid x start) grid,
+        fused through the vector engine.
+
+        Same per-bid record lists — values *and* order — as
+        :meth:`run_single_zone` / :meth:`run_redundant` called once per
+        bid, regardless of ``engine_mode``; the whole grid advances in
+        lockstep instead (with per-run scalar fallback inside the
+        engine wherever the native path doesn't apply).  Audited
+        runners fall back to per-run simulation so the auditor
+        observes every run.  Returns ``{bid: records}`` over the
+        unique bids.
+        """
+        bids = [float(b) for b in dict.fromkeys(float(b) for b in bids)]
+        if redundant:
+            task = CellTask(kind="redundant", config=config,
+                            policy_label=policy_label, num_zones=num_zones)
+        else:
+            cell_zones = tuple(zones) if zones is not None else self.trace.zone_names
+            task = CellTask(kind="single-zone", config=config,
+                            policy_label=policy_label, zones=cell_zones)
+        if self.audit:
+            return {
+                bid: self._run_grid(replace(task, bid=bid)) for bid in bids
+            }
+        starts = [float(s) for s in self.starts(config)]
+        if self.workers > 1 and len(starts) > 1:
+            return self.executor.map_grid(task, bids, starts)
+        out: dict[float, list[RunRecord]] = {bid: [] for bid in bids}
+        for bid, records in self.run_grid_cell(task, bids, starts):
+            out[bid].extend(records)
         return out
 
     # -- grid cells -------------------------------------------------------

@@ -1,22 +1,28 @@
 """Vector-vs-fast differential: the acceptance gate for the batch engine.
 
-One start axis runs through the struct-of-arrays engine and through
-per-run *audited* fast simulations; everything is diffed — RunResult
-fields (event logs ride along) and the vector log against the audited
-stream the invariant checker certified.  All five paper policies are
-covered on both volatility windows: Periodic and Edge exercise the
-native lockstep paths, Markov-Daly, Threshold and Large-bid/Naive the
-per-run fallback.
+One start axis — or a fused (bid x start) grid — runs through the
+struct-of-arrays engine and through per-run *audited* fast
+simulations; everything is diffed — RunResult fields (event logs ride
+along) and the vector log against the audited stream the invariant
+checker certified.  All five paper policies are covered on both
+volatility windows: Periodic, Edge, Markov-Daly and Threshold exercise
+the native lockstep columns (single- and multi-zone), Large-bid/Naive
+the per-run fallback.  The hypothesis half replays the same contract
+over random piecewise traces so the native shapes are not merely
+calibrated-window-correct.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.app.workload import paper_experiment
 from repro.audit.differential import (
     VectorDifferentialReport,
     diff_log_vs_audit_stream,
+    vector_differential_grid,
     vector_differential_run,
 )
 from repro.core.edge import RisingEdgePolicy
@@ -24,7 +30,12 @@ from repro.core.large_bid import naive_policy
 from repro.core.markov_daly import MarkovDalyPolicy
 from repro.core.periodic import PeriodicPolicy
 from repro.core.threshold import ThresholdPolicy
+from repro.experiments.runner import POLICY_FACTORIES
 from repro.market.constants import LARGE_BID
+from repro.market.queuing import FixedQueueDelay
+
+from tests.audit.test_properties import price_traces
+from tests.conftest import small_config
 
 #: The paper's five policy schemes with representative bids.
 PAPER_POLICIES = [
@@ -71,6 +82,109 @@ def test_vector_differential_over_bid_grid(low_window, config):
                 trace, config, factory, bid, (zone,), starts
             )
             assert report.ok, "\n".join(report.summary_lines())
+
+
+@pytest.mark.parametrize("window_name", ["low", "high"])
+@pytest.mark.parametrize("label", sorted(POLICY_FACTORIES))
+def test_vector_differential_multi_zone(
+    window_name, label, config, low_window, high_window
+):
+    """Merged multi-zone cells: per-zone column blocks, all four
+    native kinds, both calibrated windows."""
+    trace, eval_start = low_window if window_name == "low" else high_window
+    zones = trace.zone_names[:3]
+    starts = [eval_start, eval_start + 10800.0]
+    report = vector_differential_run(
+        trace, config, POLICY_FACTORIES[label], 0.40, zones, starts
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+    assert all(r.zones == tuple(zones) for r in report.vector_results)
+
+
+@pytest.mark.parametrize("window_name", ["low", "high"])
+@pytest.mark.parametrize(
+    "label,factory",
+    [("periodic", PeriodicPolicy), ("markov-daly", MarkovDalyPolicy),
+     ("threshold", ThresholdPolicy)],
+    ids=["periodic", "markov-daly", "threshold"],
+)
+def test_vector_differential_fused_grid(
+    window_name, label, factory, config, low_window, high_window
+):
+    """Fused (bid x start) tiles — clone rows (Periodic) and per-row
+    native bid columns (Markov-Daly, Threshold) alike are bit-identical
+    to independent audited runs at their own bid."""
+    trace, eval_start = low_window if window_name == "low" else high_window
+    zone = trace.zone_names[0]
+    bids = [0.27, 0.35, 0.81]
+    starts = [eval_start, eval_start + 14400.0]
+    report = vector_differential_grid(
+        trace, config, factory, bids, (zone,), starts
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+    assert len(report.vector_results) == len(bids) * len(starts)
+
+
+def test_vector_differential_grid_multi_zone(low_window, config):
+    """A fused tile over a merged two-zone cell."""
+    trace, eval_start = low_window
+    zones = trace.zone_names[:2]
+    report = vector_differential_grid(
+        trace, config, PeriodicPolicy, [0.27, 0.81], zones,
+        [eval_start, eval_start + 7200.0],
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+def test_vector_differential_grid_fractional_starts(low_window, config):
+    """Rows with non-integral starts fall back per run inside a fused
+    tile and still match the audited scalar runs bit for bit."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    report = vector_differential_grid(
+        trace, config, MarkovDalyPolicy, [0.40, 0.81], (zone,),
+        [eval_start, eval_start + 150.5],
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    trace=price_traces(),
+    bid=st.floats(min_value=0.15, max_value=2.5),
+    policy_label=st.sampled_from(sorted(POLICY_FACTORIES)),
+    num_zones=st.integers(1, 2),
+)
+def test_native_shapes_hold_on_random_traces(trace, bid, policy_label,
+                                             num_zones):
+    """Hypothesis: every native shape (all four vector kinds, single-
+    and two-zone cells) matches audited per-run fast simulation on
+    random piecewise traces."""
+    report = vector_differential_run(
+        trace, small_config(), POLICY_FACTORIES[policy_label], bid,
+        ("za", "zb")[:num_zones], [0.0, 7200.0],
+        queue_model=FixedQueueDelay(300.0),
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    trace=price_traces(),
+    policy_label=st.sampled_from(sorted(POLICY_FACTORIES)),
+    num_zones=st.integers(1, 2),
+)
+def test_fused_grid_holds_on_random_traces(trace, policy_label, num_zones):
+    """Hypothesis: fused (bid x start) tiles — clone plans included —
+    match independent audited runs on random piecewise traces."""
+    report = vector_differential_grid(
+        trace, small_config(), POLICY_FACTORIES[policy_label],
+        [0.27, 0.5, 0.81], ("za", "zb")[:num_zones], [0.0, 3600.0],
+        queue_model=FixedQueueDelay(300.0),
+    )
+    assert report.ok, "\n".join(report.summary_lines())
 
 
 def test_report_flags_divergence(low_window, config):

@@ -115,26 +115,27 @@ def test_rng_streams_advance_identically(low_window, config):
         assert a.bit_generator.state == b.bit_generator.state
 
 
-def test_fallback_policy_matches_fast_engine(low_window, config):
-    """A policy without a vector kind falls back per run, bit-exactly."""
+def test_markov_daly_native_matches_fast_engine(low_window, config):
+    """Markov-Daly's re-arm clock rides as a batch column, bit-exactly."""
     trace, eval_start = low_window
     zone = trace.zone_names[0]
     starts = [eval_start + k * 7200.0 for k in range(4)]
-    assert native_batch_kind(MarkovDalyPolicy(), (zone,)) is None
+    assert native_batch_kind(MarkovDalyPolicy(), (zone,)) == "markov-daly"
     fast = _fast_results(trace, config, MarkovDalyPolicy, 0.40, (zone,), starts)
     vec = _vector_results(trace, config, MarkovDalyPolicy, 0.40, (zone,), starts)
     assert vec == fast
 
 
-def test_multi_zone_falls_back(low_window, config):
-    """len(zones) > 1 is outside the native scope → scalar fallback."""
+def test_multi_zone_native_matches_fast_engine(low_window, config):
+    """Merged multi-zone cells run natively as per-zone column blocks."""
     trace, eval_start = low_window
     zones = trace.zone_names[:2]
-    assert native_batch_kind(PeriodicPolicy(), zones) is None
+    assert native_batch_kind(PeriodicPolicy(), zones) == "periodic"
     starts = [eval_start, eval_start + 7200.0]
     fast = _fast_results(trace, config, PeriodicPolicy, 0.81, zones, starts)
     vec = _vector_results(trace, config, PeriodicPolicy, 0.81, zones, starts)
     assert vec == fast
+    assert any(r.events for r in vec)
 
 
 def test_fractional_start_falls_back(low_window, config):

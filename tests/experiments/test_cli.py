@@ -80,6 +80,21 @@ class TestSweepCommand:
         assert "zones" in out
 
 
+class TestVectorEngineLine:
+    def test_vector_engine_prints_stats_to_stderr(self, capsys):
+        """--engine vector reports native/cloned/fallback counts once."""
+        assert main(["sweep", "--axis", "zones", "--window", "low",
+                     "--experiments", "2", "--engine", "vector"]) == 0
+        captured = capsys.readouterr()
+        assert "vector-engine: native=" in captured.err
+        assert "vector-engine" not in captured.out
+
+    def test_fast_engine_prints_no_vector_line(self, capsys):
+        assert main(["sweep", "--axis", "zones", "--window", "low",
+                     "--experiments", "2"]) == 0
+        assert "vector-engine" not in capsys.readouterr().err
+
+
 class TestFig1Command:
     def test_fig1_renders_timeline(self, capsys):
         assert main(["fig1", "--window", "low", "--slack", "0.5"]) == 0

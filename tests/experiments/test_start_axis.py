@@ -40,8 +40,8 @@ def test_vector_runner_matches_fast_native(fast_runner, vector_runner, config):
     assert a == b
 
 
-def test_vector_runner_matches_fast_fallback(fast_runner, vector_runner, config):
-    """Non-native policy: the batch degrades to per-run fast simulation."""
+def test_vector_runner_matches_fast_markov_daly(fast_runner, vector_runner, config):
+    """Markov-Daly rides the native path with its re-arm clock as a column."""
     a = fast_runner.run_single_zone("markov-daly", config, 0.40)
     b = vector_runner.run_single_zone("markov-daly", config, 0.40)
     assert a == b
@@ -62,11 +62,21 @@ def test_run_start_axis_subset_of_zones(fast_runner, config):
     assert all(r.result.zones == tuple(zones) for r in b)
 
 
-def test_start_axis_cells_rejects_non_single_zone(fast_runner, config):
-    task = CellTask(kind="redundant", config=config,
-                    policy_label="periodic", bid=0.27)
+def test_start_axis_cells_rejects_unbatchable_kind(fast_runner, config):
+    task = CellTask(kind="adaptive", config=config)
     with pytest.raises(ValueError, match="start-axis batching"):
         fast_runner.run_start_axis_cells(task, [fast_runner.eval_start])
+
+
+def test_start_axis_cells_serves_redundant(fast_runner, config):
+    """Merged multi-zone cells run natively as one batch."""
+    task = CellTask(kind="redundant", config=config,
+                    policy_label="periodic", bid=0.27, num_zones=2)
+    starts = [float(s) for s in fast_runner.starts(config)[:3]]
+    batched = fast_runner.run_start_axis_cells(task, starts)
+    serial = [r for s in starts for r in fast_runner.run_cell(task, s)]
+    assert batched == serial
+    assert all(r.label == "periodic-r2" for r in batched)
 
 
 def test_vector_runner_parallel_matches_serial(fast_runner, config):

@@ -55,6 +55,29 @@ class TestCompareFile:
         assert len(lines) == 2
         assert len(errors) == 1 and "speedup_b" in errors[0]
 
+    def test_absolute_floor_clamps_to_parity(self):
+        """A committed speedup >= 1.0 may not dip below 1.0 even when
+        the proportional tolerance floor would allow it."""
+        _, errors = compare_file(
+            "BENCH_x.json", {"speedup": 0.97}, {"speedup": 1.15}, 0.2
+        )
+        assert errors and "speedup" in errors[0]
+
+    def test_absolute_floor_reports_clamped_value(self):
+        lines, errors = compare_file(
+            "BENCH_x.json", {"speedup": 1.02}, {"speedup": 1.15}, 0.2
+        )
+        assert errors == []
+        assert any("floor 1.00x" in line for line in lines)
+
+    def test_sub_parity_baseline_keeps_proportional_floor(self):
+        """Committed speedups below 1.0 (a benchmark that documents a
+        slowdown) keep the plain tolerance floor."""
+        _, errors = compare_file(
+            "BENCH_x.json", {"speedup": 0.70}, {"speedup": 0.80}, 0.2
+        )
+        assert errors == []
+
     def test_missing_baseline_skips(self):
         lines, errors = compare_file("BENCH_x.json", {"speedup": 2.0}, None, 0.2)
         assert errors == []
