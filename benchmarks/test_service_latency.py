@@ -1,0 +1,105 @@
+"""Advisor service latency: warm table lookups vs a cold surface build.
+
+One paper-shaped job is asked of a fresh :class:`AdvisorService` over
+an empty store — the cold path builds the surface through the cached
+vector engine — and then asked again many times warm.  The warm
+answers must be identical to the cold one (same policy, bid, zones and
+expected cost), after which the test records warm p50/p99 latency and
+sequential QPS plus the warm-vs-cold speedup into
+``BENCH_service.json`` at the repo root, which ``check_regression.py``
+compares against the committed baseline.
+
+The written ``speedup_warm_vs_cold`` is capped at ``SPEEDUP_CAP`` so
+the committed baseline's tolerance band is stable across machines: the
+raw ratio (a one-off simulation against a microsecond dict lookup) is
+in the thousands and noisy, while the acceptance floor the test
+enforces is only 100x.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import AdvisorService, JobSpec, SurfaceSpec, SurfaceStore
+
+#: Warm queries timed for the latency distribution.
+N_WARM = 300
+
+#: Ceiling on the recorded speedup (see module docstring).
+SPEEDUP_CAP = 250.0
+
+
+def _write_bench(**fields) -> None:
+    """Merge ``fields`` into ``BENCH_service.json`` (read-modify-write)."""
+    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    payload: dict = {}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(fields)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_warm_advise_latency(bench_experiments, tmp_path):
+    n = min(bench_experiments, 4)
+    store = SurfaceStore(tmp_path / "surfaces")
+    template = SurfaceSpec(
+        window="low",
+        compute_s=2 * 3600.0,
+        deadline_s=3 * 3600.0,
+        ckpt_cost_s=300.0,
+        restart_cost_s=300.0,
+        num_experiments=n,
+    )
+    service = AdvisorService(store, cold_spec=template)
+    job = JobSpec(
+        compute_s=template.compute_s,
+        deadline_s=template.deadline_s,
+        ckpt_cost_s=template.ckpt_cost_s,
+    )
+
+    t0 = time.perf_counter()
+    cold = asyncio.run(service.advise(job))
+    cold_s = time.perf_counter() - t0
+    assert cold.source == "cold"
+
+    latencies: list[float] = []
+
+    async def warm_loop() -> None:
+        for _ in range(N_WARM):
+            t = time.perf_counter()
+            advice = await service.advise(job)
+            latencies.append(time.perf_counter() - t)
+            assert advice.source == "surface"
+            assert (advice.policy, advice.bid, advice.zones) == (
+                cold.policy, cold.bid, cold.zones
+            )
+            assert advice.expected_cost == cold.expected_cost
+
+    asyncio.run(warm_loop())
+    assert service.stats.cold_builds == 1  # only the first query built
+
+    p50_s = float(np.percentile(latencies, 50))
+    p99_s = float(np.percentile(latencies, 99))
+    qps = N_WARM / sum(latencies)
+    raw_speedup = cold_s / p50_s
+    _write_bench(
+        window="low",
+        num_experiments=n,
+        warm_queries=N_WARM,
+        cold_build_seconds=cold_s,
+        warm_p50_ms=p50_s * 1e3,
+        warm_p99_ms=p99_s * 1e3,
+        warm_qps=qps,
+        speedup_warm_vs_cold=min(raw_speedup, SPEEDUP_CAP),
+    )
+    assert raw_speedup >= 100.0, (
+        f"warm advise only {raw_speedup:.0f}x faster than the cold build"
+    )

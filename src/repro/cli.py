@@ -12,6 +12,10 @@
     repro-spotsim headline
     repro-spotsim run --policy markov-daly --bid 0.81 --zones 3
     repro-spotsim export-trace out.csv   # dump the canonical archive
+    repro-spotsim surface build --store surfaces/ --slack 0.15 --slack 0.5
+    repro-spotsim surface ls --store surfaces/
+    repro-spotsim advise --store surfaces/ --slack 0.5 --budget 25
+    repro-spotsim serve --store surfaces/ < queries.jsonl
 
 All commands accept ``--experiments N`` (default 20 here; the paper
 and the benchmark suite use 80), ``--seed``, and ``--workers N`` to
@@ -234,7 +238,194 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true",
                    help="remove every cached entry instead of summarizing")
 
+    p = sub.add_parser(
+        "surface",
+        help="precompute (build) or list advisor policy surfaces",
+    )
+    p.add_argument("action", choices=("build", "ls"))
+    p.add_argument("--store", metavar="DIR", required=True,
+                   help="surface artifact directory (created if missing)")
+    p.add_argument("--window", choices=("low", "high"), default="low")
+    p.add_argument("--compute-hours", type=float, default=20.0,
+                   help="C, uninterrupted compute time (paper: 20h)")
+    p.add_argument("--slack", type=float, action="append", default=None,
+                   help="slack fraction(s); repeat to build one surface per "
+                        "value (default: 0.5)")
+    p.add_argument("--tc", type=float, default=300.0,
+                   help="checkpoint (= restart) cost in seconds")
+    p.add_argument("--policies", default=None,
+                   help="comma-separated policy labels "
+                        "(default: the retained periodic,markov-daly)")
+    p.add_argument("--bids", default=None,
+                   help="comma-separated bid levels (default: 0.27,0.81,2.40)")
+    p.add_argument("--zone-counts", default=None,
+                   help="comma-separated redundancy degrees (default: 1,3)")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "advise",
+        help="recommend (policy, bid, zones) for a job spec from built "
+             "surfaces (cold-builds the surface if none covers the job)",
+    )
+    p.add_argument("--store", metavar="DIR", required=True)
+    p.add_argument("--window", choices=("low", "high"), default="low")
+    p.add_argument("--compute-hours", type=float, default=20.0)
+    p.add_argument("--deadline-hours", type=float, default=None,
+                   help="D in hours (alternative to --slack)")
+    p.add_argument("--slack", type=float, default=None,
+                   help="slack fraction; D = C * (1 + slack) (default: 0.5)")
+    p.add_argument("--tc", type=float, default=300.0)
+    p.add_argument("--budget", type=float, default=None,
+                   help="maximum acceptable expected cost in $")
+    _add_common(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer JSON-lines advisory queries from stdin (one JSON "
+             "object per line; responses on stdout, stats on stderr)",
+    )
+    p.add_argument("--store", metavar="DIR", required=True)
+    p.add_argument("--batch", type=_positive_int, default=64,
+                   help="queries gathered per concurrent batch (identical "
+                        "queries within a batch coalesce)")
+    _add_common(p)
+
     return parser
+
+
+def _csv_floats(text: str) -> tuple[float, ...]:
+    return tuple(float(x) for x in text.split(",") if x.strip())
+
+
+def _surface_spec_kwargs(args: argparse.Namespace) -> dict:
+    """Grid-axis overrides shared by ``surface build`` and ``advise``."""
+    kwargs: dict = {"num_experiments": args.experiments, "seed": args.seed}
+    if getattr(args, "policies", None):
+        kwargs["policies"] = tuple(
+            label.strip() for label in args.policies.split(",") if label.strip()
+        )
+    if getattr(args, "bids", None):
+        kwargs["bids"] = _csv_floats(args.bids)
+    if getattr(args, "zone_counts", None):
+        kwargs["zone_counts"] = tuple(
+            int(z) for z in args.zone_counts.split(",") if z.strip()
+        )
+    return kwargs
+
+
+def _job_from_args(args: argparse.Namespace):
+    from repro.service import JobSpec
+
+    compute_s = args.compute_hours * 3600.0
+    if args.deadline_hours is not None:
+        deadline_s = args.deadline_hours * 3600.0
+    else:
+        slack = args.slack if args.slack is not None else 0.5
+        deadline_s = compute_s * (1.0 + slack)
+    return JobSpec(
+        compute_s=compute_s,
+        deadline_s=deadline_s,
+        ckpt_cost_s=args.tc,
+        budget=args.budget,
+        window=args.window,
+    )
+
+
+def _advisor(args: argparse.Namespace):
+    """An AdvisorService over ``--store`` (cold builds honor --workers,
+    --experiments, --seed and --cache-dir)."""
+    from repro.service import AdvisorService, SurfaceBuilder, SurfaceSpec, SurfaceStore
+
+    store = SurfaceStore(args.store)
+    builder = SurfaceBuilder(
+        store=store, cache_dir=args.cache_dir, workers=args.workers
+    )
+    cold_spec = SurfaceSpec(
+        window="low", compute_s=3600.0, deadline_s=7200.0, ckpt_cost_s=300.0,
+        restart_cost_s=300.0, **_surface_spec_kwargs(args),
+    )
+    return AdvisorService(store, builder=builder, cold_spec=cold_spec)
+
+
+def _cmd_surface(args: argparse.Namespace) -> int:
+    from repro.app.workload import ExperimentConfig
+    from repro.service import SurfaceBuilder, SurfaceSpec, SurfaceStore
+
+    store = SurfaceStore(args.store)
+    if args.action == "ls":
+        count = 0
+        for surface in store.surfaces():
+            spec = surface.spec
+            print(
+                f"{surface.key[:12]}  window={spec.window} "
+                f"C={spec.compute_s / 3600:.1f}h "
+                f"D={spec.deadline_s / 3600:.1f}h t_c={spec.ckpt_cost_s:.0f}s "
+                f"policies={','.join(spec.policies)} "
+                f"bids={len(spec.bids)} zones={','.join(map(str, spec.zone_counts))} "
+                f"runs/cell={spec.num_experiments} "
+                f"built in {surface.build_seconds:.1f}s"
+            )
+            count += 1
+        print(f"{args.store}: {count} surface(s)")
+        return 0
+    builder = SurfaceBuilder(
+        store=store, cache_dir=args.cache_dir, workers=args.workers,
+    )
+    compute_s = args.compute_hours * 3600.0
+    for slack in args.slack if args.slack else [0.5]:
+        config = ExperimentConfig(
+            compute_s=compute_s,
+            deadline_s=compute_s * (1.0 + slack),
+            ckpt_cost_s=args.tc,
+            restart_cost_s=args.tc,
+        )
+        spec = SurfaceSpec.for_config(
+            args.window, config, **_surface_spec_kwargs(args)
+        )
+        surface = builder.build(spec)
+        print(
+            f"built surface {surface.key[:12]} "
+            f"(window={args.window} slack={slack:.0%} t_c={args.tc:.0f}s, "
+            f"{len(surface.cells)} cells) in {surface.build_seconds:.1f}s "
+            f"-> {store.path(surface.key)}"
+        )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    import asyncio
+
+    service = _advisor(args)
+    advice = asyncio.run(service.advise(_job_from_args(args)))
+    print(
+        f"recommendation: policy={advice.policy} bid=${advice.bid:.2f} "
+        f"zones={advice.zones}"
+    )
+    print(
+        f"expected cost ${advice.expected_cost:.2f} "
+        f"(worst observed ${advice.worst_cost:.2f}); "
+        f"deadline-miss risk {advice.miss_risk:.1%}; "
+        f"mean makespan {advice.mean_makespan_s / 3600:.1f}h"
+    )
+    print(f"source: {advice.source} (surface {advice.surface_key[:12]})")
+    if not advice.within_budget:
+        print("warning: no guaranteed plan fits the budget; "
+              "showing the cheapest guaranteed plan instead")
+    print(service.stats.line(), file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import serve_lines
+
+    service = _advisor(args)
+    answered = asyncio.run(
+        serve_lines(service, sys.stdin, sys.stdout, batch_size=args.batch)
+    )
+    print(service.stats.line(), file=sys.stderr)
+    return 0 if answered == service.stats.queries else 1
 
 
 def _reference_lines() -> dict:
@@ -418,6 +609,12 @@ def main(argv: list[str] | None = None) -> int:
         else:
             count, size = cache.disk_usage()
             print(f"{args.dir}: {count} cached runs, {size / 1e6:.2f} MB")
+    elif args.command == "surface":
+        status = _cmd_surface(args)
+    elif args.command == "advise":
+        status = _cmd_advise(args)
+    elif args.command == "serve":
+        status = _cmd_serve(args)
     return status
 
 

@@ -40,6 +40,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator, Mapping
@@ -53,6 +54,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: part of every key, so stale on-disk caches miss instead of
 #: deserializing garbage.
 CACHE_SCHEMA_VERSION = 1
+
+#: Age (seconds since last modification) past which an orphaned
+#: ``*.tmp`` file — left by a worker that died between ``mkstemp`` and
+#: ``os.replace`` — is considered abandoned and swept.  Any live
+#: writer finishes its rename in milliseconds; an hour of margin means
+#: the sweep can never race a concurrent worker's in-flight entry.
+STALE_TMP_AGE_S = 3600.0
 
 
 def canonical_value(obj):
@@ -166,6 +174,7 @@ class RunCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self.sweep_stale_tmp()
         self._memory: dict[str, CachedRun] = {}
         self.stats = CacheStats()
 
@@ -244,9 +253,37 @@ class RunCache:
             count += 1
         return count, size
 
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        """Remove abandoned ``*.tmp`` files older than ``max_age_s``.
+
+        :meth:`put` writes entries as ``mkstemp`` temp file +
+        ``os.replace``; a worker killed between the two leaks the temp
+        file forever.  Runs on every open (and, with ``max_age_s=0``,
+        from :meth:`clear`), so shared cache directories cannot
+        accumulate orphans across sweeps.  Returns the number removed.
+        """
+        if self.cache_dir is None:
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age_s
+        for pattern in ("*.tmp", "??/*.tmp"):
+            for path in self.cache_dir.glob(pattern):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    continue
+        return removed
+
     def clear(self) -> int:
-        """Drop both layers; returns the number of disk entries removed."""
+        """Drop both layers; returns the number of disk entries removed.
+
+        Also sweeps every ``*.tmp`` orphan regardless of age — an
+        explicit clear means no writer is expected to be live.
+        """
         self._memory.clear()
+        self.sweep_stale_tmp(max_age_s=0.0)
         removed = 0
         for path in list(self.disk_entries()):
             try:

@@ -227,7 +227,12 @@ def _init_worker(
 
     An audited pool gives each worker its own ``<audit_out>.w<pid>``
     JSONL file — concurrent appends to one shared file would interleave
-    partial lines, and per-process files need no locking.
+    partial lines, and per-process files need no locking.  The sidecar
+    is truncated at worker start-up: the OS recycles pids, so a
+    leftover file from an earlier pool must not silently receive this
+    worker's appended stream on top of stale events.  Sidecars are
+    merged into the main ``audit_out`` file (and removed) when the
+    executor closes.
 
     A ``cache_dir`` gives every worker a run cache over the *same*
     on-disk layer (entry writes are atomic, so concurrent workers are
@@ -238,6 +243,10 @@ def _init_worker(
     global _WORKER_RUNNER, _WORKER_SHM
     if audit_out is not None:
         audit_out = f"{audit_out}.w{os.getpid()}"
+        try:
+            os.unlink(audit_out)  # pid reuse: never append to stale events
+        except OSError:
+            pass
     trace = eval_start = warm = None
     if arena is not None:
         try:
@@ -518,9 +527,18 @@ class SweepExecutor:
         self._audit_report = AuditReport()
         return report
 
-    def drain_cache_stats(self) -> CacheStats:
+    def drain_cache_stats(self) -> CacheStats | None:
         """Hand off (and clear) the run-cache counters workers shipped
-        back with their results."""
+        back with their results.
+
+        ``None`` when no ``cache_dir`` is configured — the workers
+        cannot have counted anything, and the contract matches
+        :meth:`ExperimentRunner.drain_cache_stats` so direct executor
+        callers can distinguish "cache off" from "cache cold" instead
+        of printing a zero-hit stats line for uncached commands.
+        """
+        if self.cache_dir is None:
+            return None
         stats = self._cache_stats
         self._cache_stats = CacheStats()
         return stats
@@ -533,11 +551,39 @@ class SweepExecutor:
         self._vector_stats = BatchStats()
         return stats
 
+    def _merge_audit_sidecars(self) -> None:
+        """Fold the workers' ``.w<pid>`` JSONL sidecars into the main
+        ``audit_out`` stream and remove them.
+
+        Runs after the pool has shut down, so every sidecar is complete
+        (worker streams flush at run-end boundaries and on process
+        exit).  Merge order is sorted by filename for determinism; the
+        main file may already hold the parent's own in-process events —
+        the sidecars are appended after them.
+        """
+        if self.audit_out is None:
+            return
+        from pathlib import Path
+
+        main = Path(self.audit_out)
+        sidecars = sorted(main.parent.glob(main.name + ".w*"))
+        if not sidecars:
+            return
+        with main.open("a") as out:
+            for sidecar in sidecars:
+                try:
+                    out.write(sidecar.read_text())
+                    sidecar.unlink()
+                except OSError:  # pragma: no cover - concurrent removal
+                    continue
+
     def close(self) -> None:
-        """Shut the pool down and release the arena (idempotent)."""
+        """Shut the pool down, merge audit sidecars, release the arena
+        (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+            self._merge_audit_sidecars()
         if self._arena is not None:
             self._arena.destroy()
             self._arena = None

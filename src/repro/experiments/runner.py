@@ -216,7 +216,11 @@ class ExperimentRunner:
         stats = CacheStats()
         stats.merge(self.cache.drain_stats())
         if self._executor is not None:
-            stats.merge(self._executor.drain_cache_stats())
+            # the executor reports None when it was built without a
+            # cache_dir (e.g. this runner's cache is in-memory only)
+            worker_stats = self._executor.drain_cache_stats()
+            if worker_stats is not None:
+                stats.merge(worker_stats)
         return stats
 
     @property

@@ -61,22 +61,46 @@ class TestParallelAudit:
         assert report.ok
         assert report.counters.runs == 4
 
-    def test_workers_write_per_process_jsonl(self, tmp_path):
+    def test_workers_merge_per_process_jsonl(self, tmp_path):
+        """Per-worker sidecars exist while the pool lives and are merged
+        into the main stream (and removed) when the runner closes, so
+        repeated sweeps cannot accumulate orphaned ``.w<pid>`` files."""
         path = str(tmp_path / "sweep.jsonl")
         with ExperimentRunner("low", num_experiments=4, workers=2,
                               audit_out=path) as runner:
             _records(runner, small_config())
             report = runner.drain_audit()
+            assert sorted(tmp_path.glob("sweep.jsonl.w*"))
         assert report.counters.runs == 4
-        worker_files = sorted(tmp_path.glob("sweep.jsonl.w*"))
-        assert worker_files
+        assert not list(tmp_path.glob("sweep.jsonl.w*"))
         run_ends = 0
-        for wf in worker_files:
-            for line in wf.read_text().splitlines():
-                event = json.loads(line)
-                if event["kind"] == "run-end":
-                    run_ends += 1
+        for line in (tmp_path / "sweep.jsonl").read_text().splitlines():
+            event = json.loads(line)
+            if event["kind"] == "run-end":
+                run_ends += 1
         assert run_ends == 4
+
+    def test_worker_init_truncates_recycled_sidecar(self, tmp_path):
+        """A reused pid must never append to a stale sidecar: worker
+        initialization removes any leftover ``.w<pid>`` file."""
+        import os
+
+        from repro.experiments import parallel
+
+        path = str(tmp_path / "sweep.jsonl")
+        stale = tmp_path / f"sweep.jsonl.w{os.getpid()}"
+        stale.write_text('{"kind": "stale-event"}\n')
+        saved_runner, saved_shm = parallel._WORKER_RUNNER, parallel._WORKER_SHM
+        try:
+            from repro.market.queuing import QueueDelayModel
+
+            parallel._init_worker(
+                "low", 2, 0, QueueDelayModel(), audit=True, audit_out=path,
+            )
+            assert not stale.exists()
+        finally:
+            parallel._WORKER_RUNNER = saved_runner
+            parallel._WORKER_SHM = saved_shm
 
     def test_with_workers_propagates_audit_flags(self, tmp_path):
         path = str(tmp_path / "a.jsonl")

@@ -140,6 +140,36 @@ class TestDiskLayer:
         assert cache.disk_usage() == (0, 0)
         assert len(cache) == 0
 
+    def test_stale_tmp_swept_on_open(self, window, tmp_path):
+        """A temp file orphaned by a dead worker (mkstemp happened,
+        os.replace never did) is removed the next time the cache
+        directory is opened — once it is old enough to be abandoned."""
+        import os
+        import time as _time
+
+        cache = RunCache(tmp_path)
+        _run(_sim(window, cache), window)
+        bucket = next(cache.disk_entries()).parent
+        stale = bucket / "deadbeef.tmp"
+        stale.write_bytes(b"partial pickle")
+        old = _time.time() - 7200.0
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "fresh.tmp"
+        fresh.write_bytes(b"in-flight write")
+
+        reopened = RunCache(tmp_path)
+        assert not stale.exists()  # abandoned orphan swept
+        assert fresh.exists()  # a live writer's file survives the sweep
+        assert reopened.disk_usage()[0] == 1  # the real entry is intact
+
+    def test_clear_sweeps_all_tmp(self, window, tmp_path):
+        cache = RunCache(tmp_path)
+        _run(_sim(window, cache), window)
+        tmp = tmp_path / "orphan.tmp"
+        tmp.write_bytes(b"partial")
+        assert cache.clear() == 1
+        assert not tmp.exists()
+
     def test_corrupt_entry_is_a_miss(self, window, tmp_path):
         _run(_sim(window, RunCache(tmp_path)), window)
         fresh = RunCache(tmp_path)

@@ -85,3 +85,44 @@ class TestExecutor:
         records = runner.run_redundant("periodic", config, 0.81)
         assert records
         runner.close()
+
+
+class TestDrainCacheStatsContract:
+    """Both drain paths agree: ``None`` when no cache is configured, so
+    no caller can print a zero-hit stats line for an uncached command."""
+
+    def test_executor_none_without_cache_dir(self, serial, config):
+        starts = [float(serial.starts(config)[0])]
+        with SweepExecutor("low", num_experiments=3, workers=2) as ex:
+            task = CellTask(kind="redundant", config=config,
+                            policy_label="periodic", bid=0.81)
+            ex.map_cells(task, starts)
+            assert ex.drain_cache_stats() is None
+
+    def test_executor_stats_with_cache_dir(self, serial, config, tmp_path):
+        starts = [float(serial.starts(config)[0])]
+        with SweepExecutor("low", num_experiments=3, workers=2,
+                           cache_dir=str(tmp_path)) as ex:
+            task = CellTask(kind="redundant", config=config,
+                            policy_label="periodic", bid=0.81)
+            ex.map_cells(task, starts)
+            stats = ex.drain_cache_stats()
+            assert stats is not None
+            assert stats.lookups > 0
+
+    def test_runner_and_executor_agree(self, config):
+        with ExperimentRunner("low", num_experiments=3, workers=2) as runner:
+            runner.run_redundant("periodic", config, 0.81)
+            assert runner.drain_cache_stats() is None
+            assert runner.executor.drain_cache_stats() is None
+
+    def test_runner_memory_cache_with_uncached_workers(self, config):
+        """An injected in-memory cache (no cache_dir) must not crash the
+        merge with the executor's None."""
+        from repro.experiments.cache import RunCache
+
+        with ExperimentRunner("low", num_experiments=3, workers=2,
+                              cache=RunCache()) as runner:
+            runner.run_redundant("periodic", config, 0.81)
+            stats = runner.drain_cache_stats()
+            assert stats is not None

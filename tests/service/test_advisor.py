@@ -1,0 +1,245 @@
+"""Online half of the advisor: paths, coalescing, LRU, serve loop.
+
+The acceptance anchor lives here too: a warm ``advise`` answer must be
+*identical* — policy, bid, zones and expected cost — to the argmin a
+caller would compute from a direct :meth:`ExperimentRunner.run_grid`
+sweep over the same grid, because a surface is nothing but that sweep
+cached to disk.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.service import (
+    AdvisorService,
+    JobSpec,
+    SurfaceBuilder,
+    SurfaceSpec,
+    SurfaceStore,
+    serve_lines,
+)
+
+BASE = dict(
+    window="low",
+    compute_s=2 * 3600.0,
+    ckpt_cost_s=300.0,
+    restart_cost_s=300.0,
+    policies=("periodic", "markov-daly"),
+    bids=(0.27, 0.81),
+    zone_counts=(1, 3),
+    num_experiments=2,
+)
+DEADLINE = 3 * 3600.0
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A store holding one surface for the BASE job shape."""
+    store = SurfaceStore(tmp_path_factory.mktemp("adv-surfaces"))
+    SurfaceBuilder(store=store).build(SurfaceSpec(deadline_s=DEADLINE, **BASE))
+    return store
+
+
+def job(deadline_s=DEADLINE, **kwargs) -> JobSpec:
+    return JobSpec(
+        compute_s=BASE["compute_s"],
+        deadline_s=deadline_s,
+        ckpt_cost_s=BASE["ckpt_cost_s"],
+        **kwargs,
+    )
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(compute_s=0.0, deadline_s=3600.0, ckpt_cost_s=300.0)
+        with pytest.raises(ValueError):
+            JobSpec(compute_s=7200.0, deadline_s=3600.0, ckpt_cost_s=300.0)
+        with pytest.raises(ValueError):
+            JobSpec(compute_s=3600.0, deadline_s=7200.0, ckpt_cost_s=0.0)
+
+    def test_from_payload(self):
+        spec = JobSpec.from_payload(
+            {"compute_s": 7200, "deadline_s": 10800, "ckpt_cost_s": 300,
+             "budget": 25, "window": "high"}
+        )
+        assert spec.budget == 25.0
+        assert spec.window == "high"
+
+
+class TestWarmPath:
+    def test_exact_match_is_surface_sourced(self, store):
+        service = AdvisorService(store)
+        advice = run(service.advise(job()))
+        assert advice.source == "surface"
+        assert advice.miss_risk == 0.0
+        assert service.stats.disk_loads == 1
+        assert service.stats.cold_builds == 0
+
+    def test_warm_advice_equals_run_grid_argmin(self, store):
+        """Acceptance: the advisor's answer is the direct sweep's argmin."""
+        advice = run(AdvisorService(store).advise(job()))
+
+        spec = SurfaceSpec(deadline_s=DEADLINE, **BASE)
+        config = spec.config()
+        candidates = []
+        with ExperimentRunner(
+            "low", num_experiments=spec.num_experiments, seed=spec.seed
+        ) as runner:
+            for policy in spec.policies:
+                for n in spec.zone_counts:
+                    per_bid = runner.run_grid(
+                        policy, config, spec.bids,
+                        redundant=n > 1, num_zones=n,
+                    )
+                    for bid in spec.bids:
+                        records = per_bid[float(bid)]
+                        if not all(r.met_deadline for r in records):
+                            continue
+                        cost = float(
+                            np.mean([r.cost for r in records])
+                        )
+                        candidates.append((policy, n, float(bid), cost))
+        assert candidates, "direct sweep found no guaranteed cell"
+        policy, zones, bid, cost = min(candidates, key=lambda c: c[3])
+        assert (advice.policy, advice.zones, advice.bid) == (policy, zones, bid)
+        assert advice.expected_cost == pytest.approx(cost)
+
+    def test_budget_flag(self, store):
+        service = AdvisorService(store)
+        generous = run(service.advise(job(budget=1e9)))
+        assert generous.within_budget
+        broke = run(service.advise(job(budget=0.01)))
+        assert not broke.within_budget
+        # still the cheapest guaranteed plan, just flagged
+        assert broke.policy == generous.policy
+        assert broke.bid == generous.bid
+
+
+class TestCoalescingAndLRU:
+    def test_identical_queries_coalesce(self, store):
+        service = AdvisorService(store)
+
+        async def burst():
+            return await asyncio.gather(*(service.advise(job()) for _ in range(4)))
+
+        answers = run(burst())
+        assert len({(a.policy, a.bid, a.zones) for a in answers}) == 1
+        assert service.stats.queries == 4
+        assert service.stats.coalesced == 3
+        assert service.stats.disk_loads == 1  # one computation served all
+
+    def test_distinct_queries_do_not_coalesce(self, store):
+        service = AdvisorService(store)
+
+        async def burst():
+            return await asyncio.gather(
+                service.advise(job()), service.advise(job(budget=1e9))
+            )
+
+        run(burst())
+        assert service.stats.coalesced == 0
+
+    def test_lru_eviction_and_reheat(self, store, tmp_path):
+        # second surface in the same store, different deadline
+        SurfaceBuilder(store=store).build(
+            SurfaceSpec(deadline_s=4 * 3600.0, **BASE)
+        )
+        service = AdvisorService(store, max_hot=1)
+        run(service.advise(job()))                      # load A
+        run(service.advise(job(deadline_s=4 * 3600.0)))  # load B, evict A
+        run(service.advise(job()))                      # re-load A
+        assert service.stats.disk_loads == 3
+        assert service.stats.hot_hits == 0
+        run(service.advise(job()))                      # A is hot now
+        assert service.stats.hot_hits == 1
+        assert service.stats.disk_loads == 3
+
+
+class TestInterpolatedPath:
+    @pytest.fixture(scope="class")
+    def bracket_store(self, tmp_path_factory):
+        store = SurfaceStore(tmp_path_factory.mktemp("brackets"))
+        builder = SurfaceBuilder(store=store)
+        for deadline in (3 * 3600.0, 4 * 3600.0):
+            builder.build(SurfaceSpec(deadline_s=deadline, **BASE))
+        return store
+
+    def test_between_brackets_interpolates_cost(self, bracket_store):
+        service = AdvisorService(bracket_store)
+        advice = run(service.advise(job(deadline_s=3.5 * 3600.0)))
+        assert advice.source == "interpolated"
+        assert service.stats.interpolated == 1
+        assert service.stats.cold_builds == 0
+
+        lo = bracket_store.load(SurfaceSpec(deadline_s=3 * 3600.0, **BASE).key())
+        hi = bracket_store.load(SurfaceSpec(deadline_s=4 * 3600.0, **BASE).key())
+        lo_cell = lo.cell(advice.policy, advice.zones, advice.bid)
+        hi_cell = hi.cell(advice.policy, advice.zones, advice.bid)
+        expected = 0.5 * (lo_cell.expected_cost + hi_cell.expected_cost)
+        assert advice.expected_cost == pytest.approx(expected)
+
+    def test_outside_brackets_is_not_interpolated(self, bracket_store):
+        service = AdvisorService(bracket_store)
+        advice = run(service.advise(job(deadline_s=6 * 3600.0)))
+        assert advice.source == "cold"
+
+
+class TestColdPath:
+    def test_cold_build_then_warm(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        template = SurfaceSpec(deadline_s=DEADLINE, **BASE)
+        service = AdvisorService(store, cold_spec=template)
+        first = run(service.advise(job()))
+        assert first.source == "cold"
+        assert service.stats.cold_builds == 1
+        # write-through: the artifact exists and the next query is warm
+        assert store.path(first.surface_key).exists()
+        second = run(service.advise(job()))
+        assert second.source == "surface"
+        assert service.stats.cold_builds == 1
+        assert (second.policy, second.bid, second.zones) == (
+            first.policy, first.bid, first.zones
+        )
+        assert second.expected_cost == first.expected_cost
+
+
+class TestServeLines:
+    def test_batch_coalesces_and_keeps_order(self, store):
+        q = json.dumps(
+            {"compute_s": BASE["compute_s"], "deadline_s": DEADLINE,
+             "ckpt_cost_s": BASE["ckpt_cost_s"]}
+        )
+        lines = [
+            json.dumps({"id": 1, "compute_s": BASE["compute_s"],
+                        "deadline_s": DEADLINE,
+                        "ckpt_cost_s": BASE["ckpt_cost_s"]}),
+            q,
+            q,  # duplicate -> coalesces
+            "",  # blank lines are skipped
+            "{broken json",
+            json.dumps({"compute_s": -1, "deadline_s": 1,
+                        "ckpt_cost_s": 1}),  # invalid job
+        ]
+        service = AdvisorService(store)
+        out = io.StringIO()
+        answered = run(serve_lines(service, lines, out))
+        responses = [json.loads(x) for x in out.getvalue().splitlines()]
+        assert answered == 3
+        assert len(responses) == 5
+        assert responses[0]["id"] == 1
+        assert responses[1]["policy"] == responses[2]["policy"]
+        assert "error" in responses[3]
+        assert "error" in responses[4]
+        assert service.stats.coalesced >= 1

@@ -1,0 +1,80 @@
+"""CLI smoke tests for the advisor verbs: surface build/ls, advise, serve."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--experiments", "2", "--compute-hours", "2",
+         "--policies", "periodic", "--bids", "0.27,0.81", "--zone-counts", "1"]
+
+
+class TestParser:
+    def test_service_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["surface", "build", "--store", "/tmp/s"],
+            ["surface", "ls", "--store", "/tmp/s"],
+            ["advise", "--store", "/tmp/s", "--budget", "25"],
+            ["serve", "--store", "/tmp/s", "--batch", "8"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_store_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise"])
+
+
+class TestSurfaceCommand:
+    def test_build_then_ls(self, tmp_path, capsys):
+        store = str(tmp_path / "surfaces")
+        assert main(["surface", "build", "--store", store,
+                     "--slack", "0.5", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "built surface" in out
+        assert main(["surface", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 surface(s)" in out
+        assert "C=2.0h" in out
+
+    def test_empty_store_ls(self, tmp_path, capsys):
+        assert main(["surface", "ls", "--store", str(tmp_path)]) == 0
+        assert "0 surface(s)" in capsys.readouterr().out
+
+
+class TestAdviseCommand:
+    def test_warm_answer_from_built_surface(self, tmp_path, capsys):
+        store = str(tmp_path / "surfaces")
+        main(["surface", "build", "--store", store, "--slack", "0.5", *SMALL])
+        capsys.readouterr()
+        assert main(["advise", "--store", store, "--slack", "0.5",
+                     "--compute-hours", "2", "--experiments", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "recommendation: policy=periodic" in captured.out
+        assert "source: surface" in captured.out
+        assert "cold_builds=0" in captured.err
+
+
+class TestServeCommand:
+    def test_jsonl_loop(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        store = str(tmp_path / "surfaces")
+        main(["surface", "build", "--store", store, "--slack", "0.5", *SMALL])
+        capsys.readouterr()
+
+        query = json.dumps(
+            {"compute_s": 7200.0, "deadline_s": 10800.0, "ckpt_cost_s": 300.0}
+        )
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(query + "\n" + query + "\n")
+        )
+        assert main(["serve", "--store", store, "--experiments", "2"]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(x) for x in captured.out.splitlines()]
+        assert len(responses) == 2
+        assert responses[0]["policy"] == "periodic"
+        assert "coalesced=1" in captured.err

@@ -2,12 +2,14 @@
 
 The examples are the package's front door; each is executed as a
 subprocess (as a user would) and checked for its headline output.
-These are the slowest tests in the suite (~seconds each) but they
-guard everything README.md promises.
+Scripts are discovered from ``examples/`` so a newly added example is
+tested automatically — and a test fails if it lacks the per-script
+expectations that guard what README.md promises.
 """
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,48 +17,70 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
+
+# Extra CLI arguments per script (scripts run bare by default).
+ARGS: dict[str, tuple[str, ...]] = {
+    "weather_deadline.py": ("--window", "low"),
+}
+
+# Headline strings each script must print.  Every discovered script
+# needs an entry here; ``test_every_example_has_expectations`` guards
+# against silent drift when a new example lands without one.
+EXPECTED: dict[str, tuple[str, ...]] = {
+    "quickstart.py": (
+        "on-demand reference: $48.00",
+        "adaptive (self-configuring)",
+        "pure on-demand",
+    ),
+    "weather_deadline.py": ("before the newscast", "saved"),
+    "zone_arbitrage.py": ("combined", "VAR", "diminishing returns"),
+    "replay_custom_trace.py": ("loaded 3 zones", "met deadline: True"),
+    "bidding_strategies.py": (
+        "naive (no threshold)",
+        "183",  # the $183.x worst case
+    ),
+}
+
+# Scripts where "False" in stdout would mean a missed deadline.
+NO_FALSE = {"quickstart.py"}
 
 
-def run_example(name: str, *args: str) -> str:
+def discovered() -> list[str]:
+    return sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def run_example(name: str, cwd: Path, *args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        cwd=cwd,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr
     return proc.stdout
 
 
-def test_quickstart():
-    out = run_example("quickstart.py")
-    assert "on-demand reference: $48.00" in out
-    assert "adaptive (self-configuring)" in out
-    assert "pure on-demand" in out
-    # every configuration met its deadline
-    assert "False" not in out
+def test_every_example_has_expectations():
+    """Drift guard: a new example script must register its headline
+    output above so the smoke test actually checks something."""
+    missing = [name for name in discovered() if name not in EXPECTED]
+    assert not missing, f"examples without expectations: {missing}"
+    orphans = [name for name in EXPECTED if name not in discovered()]
+    assert not orphans, f"expectations for deleted examples: {orphans}"
 
 
-def test_weather_deadline():
-    out = run_example("weather_deadline.py", "--window", "low")
-    assert "before the newscast" in out
-    assert "saved" in out
-
-
-def test_zone_arbitrage():
-    out = run_example("zone_arbitrage.py")
-    assert "combined" in out
-    assert "VAR" in out
-    assert "diminishing returns" in out
-
-
-def test_replay_custom_trace():
-    out = run_example("replay_custom_trace.py")
-    assert "loaded 3 zones" in out
-    assert "met deadline: True" in out
-
-
-def test_bidding_strategies():
-    out = run_example("bidding_strategies.py")
-    assert "naive (no threshold)" in out
-    assert "183" in out  # the $183.x worst case
+@pytest.mark.parametrize("name", discovered())
+def test_example_runs(name, tmp_path):
+    out = run_example(name, tmp_path, *ARGS.get(name, ()))
+    for needle in EXPECTED.get(name, ()):
+        assert needle in out, f"{name}: missing {needle!r} in output"
+    if name in NO_FALSE:
+        # every configuration met its deadline
+        assert "False" not in out
