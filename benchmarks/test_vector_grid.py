@@ -1,18 +1,24 @@
 """Fused (bid x start) grid throughput — the full-grid vector engine.
 
-A Figure-4-style grid — all five paper policies over a 15-bid axis and
-``REPRO_BENCH_GRID_STARTS`` overlapping starts — runs once as a per-run
-fast loop (one simulator per (policy, bid, start)) and once through
+A Figure-4-style grid — all five paper policies over a 15-bid axis,
+plus the Naive and Adaptive cells, over ``REPRO_BENCH_GRID_STARTS``
+overlapping starts — runs once as a per-run fast loop (one simulator
+per (policy, bid, start)) and once through
 :meth:`ExperimentRunner.run_grid`, which advances each (policy,
 zone-set) cell's whole (bid x start) tile in lockstep: native columns
-for Periodic, Edge, Markov-Daly and Threshold, bid-equivalence clones
-for the bid-invariant ones, per-run fallback for Naive.  The records
-must match bit for bit; the measured speedup lands in
-``BENCH_vector_grid.json`` at the repo root and is gated at 4x by
-``check_regression.py``.
+for every policy kind (Naive/Large-bid included), bid-equivalence
+clones for the bid-invariant ones, and batched controller decisions
+for Adaptive.  The records must match bit for bit; the measured
+speedup lands in ``BENCH_vector_grid.json`` at the repo root and is
+gated at 4x by ``check_regression.py``.
 
 Set ``REPRO_BENCH_GRID_STARTS`` (default 256) to rescale; the paper
-acceptance bar is 256.
+acceptance bar is 256.  With the Adaptive cell in the mix the ratio
+is no longer scale-portable — batched decisions amortize their shared
+surfaces over the start axis — so below 96 starts the floor relaxes
+and the JSON is left untouched: the committed baseline always holds a
+full-scale measurement and ``check_regression.py`` never compares
+across scales.
 """
 
 from __future__ import annotations
@@ -34,8 +40,9 @@ GRID_BIDS = (
     0.62, 0.71, 0.81, 1.00, 1.30, 1.80, 2.40,
 )
 
-#: The four natively batched single-zone policies; Naive (the fifth
-#: paper scheme) rides along on the per-run fallback path below.
+#: The four bid-parameterized single-zone policies; Naive (the fifth
+#: paper scheme) and the Adaptive controller ride along below on their
+#: own native columns.
 GRID_POLICIES = tuple(sorted(POLICY_FACTORIES))
 
 
@@ -54,6 +61,7 @@ def _per_run_sweep(runner: ExperimentRunner, config) -> dict:
             )
     out[("naive", None)] = runner.run_large_bid(config, None,
                                                 zone=zones[0])
+    out[("adaptive", None)] = runner.run_adaptive(config)
     return out
 
 
@@ -67,6 +75,7 @@ def _grid_sweep(runner: ExperimentRunner, config) -> dict:
             out[(label, bid)] = cell[bid]
     out[("naive", None)] = runner.run_large_bid(config, None,
                                                 zone=zones[0])
+    out[("adaptive", None)] = runner.run_adaptive(config)
     return out
 
 
@@ -96,7 +105,7 @@ def test_vector_speedup_full_grid(benchmark):
         "window": "low",
         "bids": len(GRID_BIDS),
         "starts": len(starts),
-        "policies": len(GRID_POLICIES) + 1,  # + naive fallback cell
+        "policies": len(GRID_POLICIES) + 2,  # + naive and adaptive cells
         "runs_per_engine": sum(len(v) for v in fast_records.values()),
         "native_share": round(stats.native / stats.total, 4),
         "cloned_share": round(stats.cloned / stats.total, 4),
@@ -107,6 +116,15 @@ def test_vector_speedup_full_grid(benchmark):
         "vector_seconds_mean": vec_s,
         "speedup": speedup,
     }
-    out = Path(__file__).resolve().parent.parent / "BENCH_vector_grid.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    assert speedup >= 4.0, f"fused grid only {speedup:.1f}x over fast loop"
+    if len(starts) >= 96:
+        # sub-scale smokes keep the committed full-scale baseline: the
+        # Adaptive cell's sharing ratio is scale-dependent, so a
+        # 32-start measurement must never become the file
+        # check_regression.py compares
+        out = Path(__file__).resolve().parent.parent / "BENCH_vector_grid.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+    floor = 4.0 if len(starts) >= 96 else 2.5
+    assert speedup >= floor, (
+        f"fused grid only {speedup:.1f}x over fast loop "
+        f"(floor {floor}x at {len(starts)} starts)"
+    )

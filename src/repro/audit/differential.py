@@ -367,6 +367,90 @@ def vector_differential_run(
     return report
 
 
+def vector_differential_adaptive(
+    trace,
+    config,
+    controller_factory: Callable[[], object],
+    starts: Sequence[float],
+    *,
+    queue_model=None,
+    seed: int = 0,
+) -> VectorDifferentialReport:
+    """Replay an Adaptive-controller start axis under both engines.
+
+    The scalar side runs every start through an audited fast simulator
+    with a fresh controller, bootstrapped exactly like the experiment
+    runner's Adaptive cells (``PeriodicPolicy`` at ``bids[0]`` on the
+    trace's first zone); the vector side serves the whole axis through
+    :meth:`~repro.core.vector_engine.VectorSimulator.run_adaptive_batch`.
+    Beyond the usual field-by-field diffs, bit-identical event streams
+    here certify *winner-identical controller decisions*: every
+    ``config-switch`` event carries the chosen policy, bid and zone
+    count, so a single divergent decision anywhere shows up as an
+    event diff.
+    """
+    from repro.core.engine import SpotSimulator
+    from repro.core.periodic import PeriodicPolicy
+    from repro.core.vector_engine import VectorSimulator
+    from repro.market.queuing import QueueDelayModel
+    from repro.market.spot_market import PriceOracle
+
+    qm = queue_model or QueueDelayModel()
+    starts = [float(s) for s in starts]
+    zones = tuple(trace.zone_names[:1])
+
+    def start_rngs():
+        return [
+            np.random.default_rng(
+                np.random.SeedSequence(entropy=seed, spawn_key=(int(s),))
+            )
+            for s in starts
+        ]
+
+    fast_oracle = PriceOracle(trace)
+    sink = MemorySink()
+    auditor = RunAuditor(sink=sink, strict=False)
+    fast_results = []
+    audited_streams: list[list[AuditEvent]] = []
+    for s, rng in zip(starts, start_rngs()):
+        before = len(sink.events)
+        sim = SpotSimulator(
+            oracle=fast_oracle, queue_model=qm, rng=rng,
+            record_events=True, engine_mode="fast", auditor=auditor,
+        )
+        controller = controller_factory()
+        fast_results.append(sim.run(
+            config, PeriodicPolicy(), controller.bids[0], zones, s,
+            controller=controller,
+        ))
+        audited_streams.append(list(sink.events[before:]))
+    fast_audit = auditor.drain()
+
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=qm, record_events=True
+    )
+    vector_results = vec.run_adaptive_batch(
+        config, controller_factory, starts, start_rngs()
+    )
+
+    report = VectorDifferentialReport(
+        fast_audit=fast_audit,
+        vector_results=vector_results,
+        fast_results=fast_results,
+    )
+    for i, (v, f) in enumerate(zip(vector_results, fast_results)):
+        for d in diff_results(v, f):
+            report.result_diffs.append(
+                FieldDiff(f"start[{i}].{d.where}", d.field, d.fast, d.tick)
+            )
+        report.audit_stream_diffs.extend(
+            diff_log_vs_audit_stream(
+                v.events, audited_streams[i], where=f"start[{i}].event"
+            )
+        )
+    return report
+
+
 def vector_differential_grid(
     trace,
     config,

@@ -389,6 +389,9 @@ def _cmd_surface(args: argparse.Namespace) -> int:
             f"{len(surface.cells)} cells) in {surface.build_seconds:.1f}s "
             f"-> {store.path(surface.key)}"
         )
+        # Same stderr contract as the figure commands: operators see
+        # immediately when a build silently fell back to scalar runs.
+        _report_vector(args, builder.drain_vector_stats())
     return 0
 
 

@@ -32,9 +32,10 @@ remaining cost wins.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -85,6 +86,239 @@ def make_policy(kind: str) -> CheckpointPolicy:
     if kind == "markov-daly":
         return MarkovDalyPolicy()
     raise ValueError(f"unknown candidate policy kind {kind!r}")
+
+
+class _FrozenClock:
+    """A run view pinned to a recorded deadline clock.
+
+    Stands in for :class:`~repro.app.application.ApplicationRun` when a
+    deferred visit-one pruning pass is replayed at its original instant
+    (:meth:`SelectionMemo.replay_first_visit`): the cost estimators read
+    only these two quantities from the run.
+    """
+
+    __slots__ = ("_committed", "_remaining")
+
+    def __init__(self, committed: float, remaining: float) -> None:
+        self._committed = committed
+        self._remaining = remaining
+
+    def committed_progress_s(self) -> float:
+        return self._committed
+
+    def remaining_time_s(self, now: float) -> float:
+        return self._remaining
+
+
+class SelectionMemo:
+    """Cross-run decision sharing for a batch of Adaptive controllers.
+
+    Two layers, both exact:
+
+    **Shared dense surfaces.**  A bucket's fully-solved statistic
+    matrices are a pure function of (bucket, per-zone price levels at
+    the query instant): availability and charged rate are anchored at
+    the bucket boundary, and the expected-uptime solves condition only
+    on each zone's *current* price level.  The memo therefore builds
+    one dense surface per ``(bucket, levels)`` signature — with the
+    production :meth:`AdaptiveController._build_dense` code against
+    scratch caches — and serves every batch member's *first* visit to
+    that signature from it, instead of letting each run pay its own
+    pruned pass.  The pruned pass and the dense selection pick the same
+    winner by construction (the invariant the pruning differential
+    tests pin down), so the fan-out is winner-identical.
+
+    **Selection memo.**  :meth:`AdaptiveController._select_dense` is a
+    pure function of the matrices and the run's deadline clock
+    (committed progress P and remaining time T_r are the only per-run
+    inputs of :meth:`AdaptiveController._cost_from_rate`), so the
+    selection is paid once per (matrix fingerprint, P, T_r) signature
+    and the winning :class:`CandidateEstimate` (frozen, safely shared)
+    is fanned out to every run that shares it.
+
+    A scalar run's pruned pass has one per-controller side effect the
+    fast path must preserve: it fills the seed and surviving cells of
+    the controller's uptime rows at the *visit-one* price levels, and a
+    later :meth:`AdaptiveController._build_dense` in the same bucket
+    completes the remaining cells at the *then-current* levels — a
+    mixed matrix that depends on both instants.  The memo defers that
+    side effect: each served first visit records its clock, and the
+    fills are replayed bit-exactly (from the shared surface, at the
+    recorded clock) only when a second visit to the bucket actually
+    happens.  The fingerprint hashes the matrices' *content* plus the
+    candidate grid and cost-model constants, so controllers whose
+    oracle state diverged never collide.
+    """
+
+    __slots__ = ("hits", "misses", "dense_builds", "_table", "_surfaces",
+                 "_plans")
+
+    _MISS = object()
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.dense_builds = 0
+        self._table: dict = {}
+        self._surfaces: dict = {}
+        self._plans: dict = {}
+
+    def select(
+        self, controller: "AdaptiveController", ctx: PolicyContext, dense
+    ) -> CandidateEstimate | None:
+        key = (
+            dense[4],
+            ctx.run.committed_progress_s(),
+            ctx.run.remaining_time_s(ctx.now),
+        )
+        found = self._table.get(key, self._MISS)
+        if found is not self._MISS:
+            self.hits += 1
+            return found
+        est = controller._select_dense(ctx, dense)
+        self._table[key] = est
+        self.misses += 1
+        return est
+
+    # -- shared first-visit surfaces --------------------------------------
+
+    def first_visit(
+        self, controller: "AdaptiveController", ctx: PolicyContext, bucket
+    ) -> CandidateEstimate | None:
+        """Serve a bucket's first decision from the shared surface.
+
+        Winner-identical to the pruned pass the controller would have
+        run; the pass's uptime-row fills are deferred (see
+        :meth:`replay_first_visit`).
+        """
+        dense, zrows = self._surface(controller, ctx, bucket)
+        # The pruned pass would assemble these bucket-pure matrices
+        # first thing; hand the per-run cache the shared tuple.
+        controller._combined_cache[bucket] = (dense[0], dense[2])
+        controller._visit1_pending[bucket] = (
+            dense,
+            zrows,
+            ctx.run.committed_progress_s(),
+            ctx.run.remaining_time_s(ctx.now),
+        )
+        return self.select(controller, ctx, dense)
+
+    def _surface(
+        self, controller: "AdaptiveController", ctx: PolicyContext, bucket
+    ):
+        levels = tuple(
+            float(ctx.oracle.price(z, ctx.now)) for z in ctx.oracle.zone_names
+        )
+        key = (bucket, levels)
+        entry = self._surfaces.get(key)
+        if entry is None:
+            # Build with the production _build_dense code against
+            # scratch caches, so the shared matrices are bit-identical
+            # to what any controller would build from cold right now —
+            # and the builder's own incremental cache state is left
+            # untouched.
+            saved = (
+                controller._cheap_cache,
+                controller._uptime_cache,
+                controller._combined_cache,
+                controller._dense_cache,
+            )
+            controller._cheap_cache = {}
+            controller._uptime_cache = {}
+            controller._combined_cache = {}
+            controller._dense_cache = {}
+            try:
+                dense = controller._build_dense(ctx, bucket)
+                zrows = {
+                    z: controller._uptime_cache[(z, bucket)]
+                    for zones in controller._zone_sets
+                    for z in zones
+                }
+            finally:
+                (
+                    controller._cheap_cache,
+                    controller._uptime_cache,
+                    controller._combined_cache,
+                    controller._dense_cache,
+                ) = saved
+            entry = (dense, zrows)
+            self._surfaces[key] = entry
+            self.dense_builds += 1
+        return entry
+
+    def replay_first_visit(
+        self, controller: "AdaptiveController", ctx: PolicyContext, bucket
+    ) -> None:
+        """Apply a deferred visit-one pruning pass's uptime-row fills.
+
+        Re-derives the seed plan and the lower-bound survivors at the
+        recorded deadline clock (all inputs are pure: the shared
+        surface's matrices plus the clock) and copies exactly those
+        cells from the shared per-zone rows into the controller's own —
+        the state a scalar run would carry into its second-visit
+        :meth:`AdaptiveController._build_dense`.
+        """
+        pending = controller._visit1_pending.pop(bucket, None)
+        if pending is None:
+            return
+        dense, zrows, committed1, remaining1 = pending
+        avail, uptime, rate = dense[0], dense[1], dense[2]
+        sets = controller._zone_sets
+        nbids = len(controller.bids)
+        plan_key = (dense[4], committed1, remaining1)
+        plan = self._plans.get(plan_key)
+        if plan is None:
+            ctx1 = replace(ctx, run=_FrozenClock(committed1, remaining1))
+            bound = controller._cost_lower_bound(ctx1, avail, rate)
+            rep_cols = np.argmin(bound, axis=1)
+            best_row = int(np.argmin(bound)) // nbids
+            seed_plan = [
+                (si, np.arange(nbids) if si == best_row else rep_cols[si : si + 1])
+                for si in range(len(sets))
+            ]
+            seed_avail = np.concatenate([avail[si, c] for si, c in seed_plan])
+            seed_rate = np.concatenate([rate[si, c] for si, c in seed_plan])
+            seed_uptime = np.concatenate([uptime[si, c] for si, c in seed_plan])
+            incumbent = min(
+                float(
+                    controller._cost_grid(
+                        ctx1, kind, seed_avail, seed_uptime, seed_rate
+                    ).min()
+                )
+                for kind in controller.policy_kinds
+            )
+            cutoff = incumbent + PRUNE_MARGIN
+            plan = [
+                (si, np.union1d(cols, np.flatnonzero(bound[si] <= cutoff)))
+                for si, cols in seed_plan
+            ]
+            self._plans[plan_key] = plan
+        for si, cols in plan:
+            if cols.size == 0:
+                continue
+            for z in sets[si]:
+                row = controller._zone_uptime_row(ctx, z)
+                missing = cols[np.isnan(row[cols])]
+                if missing.size:
+                    row[missing] = zrows[z][missing]
+
+
+def batch_controllers(factory, n: int) -> list["AdaptiveController"]:
+    """``n`` per-run controllers sharing one :class:`SelectionMemo`.
+
+    The batched decision front end of the vector engine: each run keeps
+    a real controller (its statistic caches evolve exactly as a scalar
+    run's would, which is what the bit-exactness gate demands), while
+    the dense selection work is deduplicated across the batch through
+    the shared memo.  Non-adaptive controllers from ``factory`` are
+    returned unwired — the caller is expected to fall back.
+    """
+    controllers = [factory() for _ in range(n)]
+    memo = SelectionMemo()
+    for c in controllers:
+        if isinstance(c, AdaptiveController):
+            c.selection_memo = memo
+    return controllers
 
 
 @dataclass
@@ -139,6 +373,18 @@ class AdaptiveController(Controller):
     #: solve-sparing pruned pass.
     _dense_cache: dict = field(default_factory=dict, repr=False)
     _seen_buckets: set = field(default_factory=set, repr=False)
+    #: bucket -> (shared surface, per-zone rows, committed, remaining)
+    #: for first visits served off the batch memo's shared dense
+    #: surface: the visit's uptime-row fills are deferred and replayed
+    #: at this recorded clock if the bucket is ever visited again.
+    _visit1_pending: dict = field(default_factory=dict, repr=False)
+    #: Optional cross-run dense-selection memo (see
+    #: :class:`SelectionMemo`), installed by :func:`batch_controllers`
+    #: for vector batches.  Never part of the cache identity: it only
+    #: replays exact selection outcomes.
+    selection_memo: SelectionMemo | None = field(
+        default=None, repr=False, compare=False
+    )
 
     #: The display name used in figures.
     name: str = "adaptive"
@@ -154,6 +400,7 @@ class AdaptiveController(Controller):
         self._combined_cache.clear()
         self._dense_cache.clear()
         self._seen_buckets.clear()
+        self._visit1_pending.clear()
 
     # -- controller hook -----------------------------------------------------
 
@@ -188,6 +435,15 @@ class AdaptiveController(Controller):
         }
 
     def decide(self, ctx: PolicyContext) -> SwitchDecision | None:
+        if not self.decision_due(ctx):
+            return None
+        return self.decide_at_epoch(ctx)
+
+    def decision_due(self, ctx: PolicyContext) -> bool:
+        """Is ``ctx.now`` a decision epoch?  (Rules 1/2 plus the
+        periodic re-check timer.)  Pure query — mutates nothing, so the
+        vector engine can evaluate it column-wise and call
+        :meth:`decide_at_epoch` only for triggered rows."""
         running = [z for z in ctx.zones if ctx.instances[z].is_running]
         none_running = not running
         at_hour_boundary = any(
@@ -196,8 +452,22 @@ class AdaptiveController(Controller):
             for z in running
         )
         periodic_recheck = ctx.now - self._last_eval_at >= self.reevaluate_every_s
-        if not (none_running or at_hour_boundary or periodic_recheck):
-            return None
+        return none_running or at_hour_boundary or periodic_recheck
+
+    def decide_at_epoch(self, ctx: PolicyContext) -> SwitchDecision | None:
+        """The decision body, given that ``ctx.now`` is an epoch.
+
+        ``decide()`` is exactly ``decision_due() and decide_at_epoch()``;
+        the split lets the batched front end share the epoch trigger
+        across a column of runs.
+        """
+        running = [z for z in ctx.zones if ctx.instances[z].is_running]
+        none_running = not running
+        at_hour_boundary = any(
+            ctx.instances[z].billing.is_open
+            and abs(ctx.instances[z].billing.hour_start - ctx.now) < 1e-6
+            for z in running
+        )
         self._last_eval_at = ctx.now
 
         best = self.best_candidate(ctx)
@@ -663,10 +933,23 @@ class AdaptiveController(Controller):
             # and further decisions will keep landing here, so finish
             # the few solves pruning spared once and drop to the dense
             # path for the rest of the bucket.
+            if self.selection_memo is not None:
+                # A batched first visit deferred its uptime-row fills;
+                # replay them at the recorded clock first, so the mixed
+                # matrix below is the one a scalar run would build.
+                self.selection_memo.replay_first_visit(self, ctx, bucket)
             dense = self._build_dense(ctx, bucket)
         self._seen_buckets.add(bucket)
         if dense is not None:
+            if self.selection_memo is not None:
+                return self.selection_memo.select(self, ctx, dense)
             return self._select_dense(ctx, dense)
+        if self.selection_memo is not None:
+            # Batched first visit: winner-identical selection off the
+            # batch's shared pure surface for this (bucket, price
+            # levels) signature; the pruned pass's per-run cache fills
+            # are deferred until a second visit needs them.
+            return self.selection_memo.first_visit(self, ctx, bucket)
 
         avail, rate = self._combined_cheap(ctx, bucket)
         bound = self._cost_lower_bound(ctx, avail, rate)
@@ -802,32 +1085,73 @@ class AdaptiveController(Controller):
             kind: self._progress_grid(ctx.config, kind, avail, uptime)
             for kind in self.policy_kinds
         }
-        dense = (avail, uptime, rate, progress)
+        # Content fingerprint for the cross-run selection memo: the
+        # matrices plus every other input of the selection that is not
+        # part of the per-run deadline clock (candidate grid, iteration
+        # order, cost-model constants).
+        h = hashlib.sha1()
+        h.update(
+            repr(
+                (
+                    self.bids,
+                    self.policy_kinds,
+                    self._zone_sets,
+                    ctx.config.compute_s,
+                    ctx.config.ckpt_cost_s,
+                    ctx.config.restart_cost_s,
+                )
+            ).encode()
+        )
+        h.update(avail.tobytes())
+        h.update(uptime.tobytes())
+        h.update(rate.tobytes())
+        for kind in self.policy_kinds:
+            h.update(progress[kind].tobytes())
+        dense = (avail, uptime, rate, progress, h.hexdigest())
         self._dense_cache[bucket] = dense
         return dense
 
     def _select_dense(self, ctx: PolicyContext, dense) -> CandidateEstimate | None:
-        """:meth:`_best_candidate_full`'s selection over cached matrices."""
+        """:meth:`_best_candidate_full`'s selection over cached matrices.
+
+        The costs of every kind are priced in one stacked
+        :meth:`_cost_from_rate` call (element-wise arithmetic, so the
+        stacking changes no value), and the comparator loop visits only
+        cells within :data:`PRUNE_MARGIN` of the global minimum — the
+        comparator can accept a cell only when its cost is within
+        ``COST_EPS`` of the running best, and the running best never
+        drifts more than the accumulated tie-break bound (``2 * 210 *
+        COST_EPS``, far under the margin) above the minimum, so every
+        skipped cell is one the full loop would have rejected.  The
+        visited cells keep the full loop's (zone set, bid, kind) order
+        and its exact comparator.
+        """
         sets = self._zone_sets
-        avail, uptime, rate, progress = dense
-        costs = [
-            self._cost_from_rate(ctx, progress[kind], rate).tolist()
-            for kind in self.policy_kinds
-        ]
+        avail, uptime, rate, progress = dense[0], dense[1], dense[2], dense[3]
+        stacked = np.stack([progress[kind] for kind in self.policy_kinds])
+        costs = self._cost_from_rate(ctx, stacked, rate)
+        # (kind, set, bid) -> (set, bid, kind) so the flat index order
+        # matches the full loop's iteration order.
+        flat = costs.transpose(1, 2, 0).ravel()
+        if flat.size == 0:
+            return None
+        cand = np.flatnonzero(flat <= flat.min() + PRUNE_MARGIN)
+        nbids = len(self.bids)
+        nkinds = len(self.policy_kinds)
         best: tuple[float, int, float] | None = None  # (cost, |zones|, bid)
         winner: tuple[int, str, int] | None = None
-        for si, zones in enumerate(sets):
-            rows = [kind_costs[si] for kind_costs in costs]
-            nz = len(zones)
-            for i, bid in enumerate(self.bids):
-                for kind, row in zip(self.policy_kinds, rows):
-                    cost = row[i]
-                    if best is None or cost < best[0] - COST_EPS or (
-                        abs(cost - best[0]) <= COST_EPS
-                        and (nz, bid) < (best[1], best[2])
-                    ):
-                        best = (cost, nz, bid)
-                        winner = (si, kind, i)
+        for f in cand.tolist():
+            cost = float(flat[f])
+            si, rem = divmod(f, nbids * nkinds)
+            i, ki = divmod(rem, nkinds)
+            nz = len(sets[si])
+            bid = self.bids[i]
+            if best is None or cost < best[0] - COST_EPS or (
+                abs(cost - best[0]) <= COST_EPS
+                and (nz, bid) < (best[1], best[2])
+            ):
+                best = (cost, nz, bid)
+                winner = (si, self.policy_kinds[ki], i)
         if winner is None:
             return None
         si, kind, i = winner

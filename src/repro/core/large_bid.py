@@ -39,6 +39,7 @@ class LargeBidPolicy(CheckpointPolicy):
     # B = $100 cannot be outbid by the market (max observed $20.02),
     # so a running instance's progress is as safe as a checkpoint.
     trust_speculative = True
+    vector_kind = "large-bid"
 
     def __init__(self, threshold: float | None) -> None:
         """``threshold=None`` gives the Naive variant (no cost control)."""

@@ -80,10 +80,10 @@ class CheckpointPolicy(abc.ABC):
 
     #: Which native lockstep path of the struct-of-arrays engine
     #: (:mod:`repro.core.vector_engine`) can express this policy:
-    #: ``"periodic"``, ``"edge"``, ``"never"``, ``"markov-daly"`` or
-    #: ``"threshold"``, or ``None`` when the policy's decision state
-    #: cannot be held as batch columns (controller re-configuration,
-    #: speculative-progress guards, …) and vector batches must
+    #: ``"periodic"``, ``"edge"``, ``"never"``, ``"markov-daly"``,
+    #: ``"threshold"`` or ``"large-bid"``, or ``None`` when the
+    #: policy's decision state cannot be held as batch columns and
+    #: vector batches must
     #: fall back to per-run scalar simulation.  Setting a kind asserts
     #: that ``checkpoint_due``/``fast_forward_until`` follow the exact
     #: decision rule of that kind — the vector engine re-implements the

@@ -36,17 +36,27 @@ when recorded — matches entry for entry.  The differential suite
 (:func:`repro.audit.differential.vector_differential_run`) holds the
 engine to it.
 
-Scope: the native vectorized path covers runs at integral start times
-under policies that declare a ``vector_kind`` ("periodic", "edge",
-"never", "markov-daly", "threshold"), over any zone set, each run at
-its own bid.  Markov-Daly's re-arm clock and Periodic's per-(zone,
-hour) latch ride along as decision-state columns; Threshold's price
-and execution-time guards evaluate per run against the oracle's
-memoized statistics.  Anything else — controllers (Adaptive),
-Large-bid, run-time dynamics, fractional starts — automatically falls
-back to a per-run scalar fast engine sharing the same RNG stream and
-run cache, so callers never need to know which path served them; the
-:attr:`VectorSimulator.stats` counters say which one did.
+Scope: the native vectorized path covers runs at any start time
+(fractional starts replay the scalar engine's per-tick accrual loop
+inside the bulk skip) under policies that declare a ``vector_kind``
+("periodic", "edge", "never", "markov-daly", "threshold",
+"large-bid"), over any zone set, each run at its own bid.
+Markov-Daly's re-arm clock, Periodic's per-(zone, hour) latch and
+Large-bid's released-hour latch plus deferred manual termination ride
+along as decision-state columns; Threshold's price and execution-time
+guards evaluate per run against the oracle's memoized statistics.
+Adaptive-controller runs take their own native path
+(:meth:`VectorSimulator.run_adaptive_batch`): per-run controller state
+(bid, zone set, policy kind, re-plan clock) lives in columns, decision
+epochs are detected column-wise, and triggered rows share one
+:class:`~repro.core.adaptive.SelectionMemo` so the dense candidate
+selection is paid once per (bucket matrices, deadline clock) signature
+and fanned out.  Anything else — unknown policies, non-adaptive
+controllers, run-time dynamics — automatically falls back to a per-run
+scalar fast engine sharing the same RNG stream and run cache, so
+callers never need to know which path served them; the
+:attr:`VectorSimulator.stats` counters say which one did (fallback
+reasons come from the closed :data:`FALLBACK_REASONS` enum).
 """
 
 from __future__ import annotations
@@ -70,8 +80,24 @@ DOWN, WAITING, QUEUING, RESTARTING, COMPUTING, CHECKPOINTING = range(6)
 
 #: Policy ``vector_kind`` values the native path can express.
 NATIVE_KINDS = frozenset(
-    {"periodic", "edge", "never", "markov-daly", "threshold"}
+    {"periodic", "edge", "never", "markov-daly", "threshold", "large-bid"}
 )
+
+# -- fallback reasons ---------------------------------------------------
+#
+# The closed set of reason strings :class:`BatchStats` may count a
+# fallback under.  These labels are an external contract: the CLI's
+# stderr stats line prints them, tests pin them, and operators grep for
+# them — add a constant here (and to FALLBACK_REASONS) before inventing
+# a new string.
+
+#: The policy declares no ``vector_kind`` the native path understands.
+FALLBACK_POLICY = "policy"
+#: A controller other than :class:`~repro.core.adaptive.AdaptiveController`
+#: drives the run, so its decisions cannot be batched as columns.
+FALLBACK_CONTROLLER = "controller"
+#: Every reason string the vector engine may emit.
+FALLBACK_REASONS = frozenset({FALLBACK_POLICY, FALLBACK_CONTROLLER})
 
 
 def native_batch_kind(policy, zones: tuple[str, ...]) -> str | None:
@@ -81,6 +107,55 @@ def native_batch_kind(policy, zones: tuple[str, ...]) -> str | None:
     if kind in NATIVE_KINDS:
         return kind
     return None
+
+
+# -- column-backed context views ----------------------------------------
+#
+# The Adaptive controller's decision body is plain Python; at an epoch
+# the batched path hands it a real PolicyContext whose run/instance
+# objects are thin snapshots of one run's columns.  The controller only
+# reads the attributes below (committed/remaining clocks, running
+# flags, billing-hour anchors, local progress), so the views stay tiny.
+
+class _ColRun:
+    """Column snapshot standing in for
+    :class:`~repro.app.application.ApplicationRun`."""
+
+    __slots__ = ("_committed", "_deadline")
+
+    def __init__(self, committed: float, deadline: float) -> None:
+        self._committed = committed
+        self._deadline = deadline
+
+    def committed_progress_s(self) -> float:
+        return self._committed
+
+    def remaining_time_s(self, now: float) -> float:
+        return max(self._deadline - now, 0.0)
+
+
+class _ColBilling:
+    """Column snapshot of a zone instance's billing meter."""
+
+    __slots__ = ("is_open", "hour_start")
+
+    def __init__(self, is_open: bool, hour_start: float) -> None:
+        self.is_open = is_open
+        self.hour_start = hour_start
+
+
+class _ColInstance:
+    """Column snapshot of one zone's instance state."""
+
+    __slots__ = ("is_running", "local_progress_s", "billing")
+
+    def __init__(
+        self, is_running: bool, local_progress_s: float,
+        billing: _ColBilling,
+    ) -> None:
+        self.is_running = is_running
+        self.local_progress_s = local_progress_s
+        self.billing = billing
 
 
 @dataclass
@@ -191,8 +266,8 @@ class VectorSimulator:
         representative's result with only the bid rewritten — exactly
         what the scalar batched bid-axis path does — consuming no RNG
         draws and writing no cache entries.  Rows outside the native
-        scope (no ``vector_kind``, fractional starts) fall back to
-        per-run scalar fast simulation.
+        scope (no recognized ``vector_kind``) fall back to per-run
+        scalar fast simulation under :data:`FALLBACK_POLICY`.
         """
         zones = tuple(zones)
         starts = [float(s) for s in starts]
@@ -219,10 +294,7 @@ class VectorSimulator:
         kind = native_batch_kind(probe, zones)
         n = len(starts)
         results: list[RunResult | None] = [None] * n
-        is_native = [
-            kind is not None and float(starts[i]).is_integer()
-            for i in range(n)
-        ]
+        is_native = [kind is not None for _ in range(n)]
 
         # Bid-equivalence clone plan: honored only for bid-invariant
         # policies and only between rows the native path serves.
@@ -258,9 +330,7 @@ class VectorSimulator:
         self.stats.cloned += len(plan)
         for i in range(n):
             if results[i] is None:
-                self.stats.count_fallback(
-                    "policy" if kind is None else "fractional-start"
-                )
+                self.stats.count_fallback(FALLBACK_POLICY)
                 sim = SpotSimulator(
                     oracle=self.oracle, queue_model=self.queue_model,
                     rng=rngs[i], record_events=self.record_events,
@@ -269,6 +339,60 @@ class VectorSimulator:
                 results[i] = sim.run(
                     config, policy_factory(), bids[i], zones, starts[i]
                 )
+        return results
+
+    def run_adaptive_batch(
+        self,
+        config: ExperimentConfig,
+        controller_factory,
+        starts,
+        rngs,
+    ) -> list[RunResult]:
+        """Simulate one controller-driven run per (start, rng) pair.
+
+        Equivalent to ``SpotSimulator(engine_mode="fast").run(config,
+        PeriodicPolicy(), ctrl.bids[0], oracle.zone_names[:1], start,
+        controller=ctrl)`` once per start with a fresh controller from
+        ``controller_factory`` — the bootstrap configuration the
+        experiment runner uses for Adaptive cells — bit-identical
+        results, shared cache entries, identical RNG streams afterwards.
+        The native path batches :class:`~repro.core.adaptive.\
+AdaptiveController` exactly (a subclass may override decision rules the
+        columns hard-code, so it must match the class itself); any other
+        controller falls back to per-run scalar fast simulation under
+        :data:`FALLBACK_CONTROLLER`.
+        """
+        from repro.core.adaptive import AdaptiveController
+        from repro.core.periodic import PeriodicPolicy
+
+        starts = [float(s) for s in starts]
+        if len(rngs) != len(starts):
+            raise EngineError(
+                f"{len(starts)} starts but {len(rngs)} rng streams"
+            )
+        n = len(starts)
+        probe = controller_factory()
+        init_zones = tuple(self.oracle.zone_names[:1])
+        results: list[RunResult | None] = [None] * n
+        if type(probe) is not AdaptiveController:
+            for i in range(n):
+                self.stats.count_fallback(FALLBACK_CONTROLLER)
+                ctrl = controller_factory()
+                sim = SpotSimulator(
+                    oracle=self.oracle, queue_model=self.queue_model,
+                    rng=rngs[i], record_events=self.record_events,
+                    engine_mode="fast", run_cache=self.run_cache,
+                )
+                results[i] = sim.run(
+                    config, PeriodicPolicy(), ctrl.bids[0], init_zones,
+                    starts[i], controller=ctrl,
+                )
+            return results
+        self._run_adaptive_rows(
+            config, controller_factory, probe, starts, rngs,
+            list(range(n)), results,
+        )
+        self.stats.native += n
         return results
 
     # -- cache-aware native dispatch ---------------------------------------
@@ -338,6 +462,74 @@ class VectorSimulator:
                     CachedRun(result=batch[j], rng_draws=int(draws[j])),
                 )
 
+    def _run_adaptive_rows(
+        self, config, controller_factory, probe, starts, rngs, idxs, results
+    ) -> None:
+        """Serve ``idxs`` from the cache where possible, batch the rest."""
+        from repro.core.periodic import PeriodicPolicy
+
+        cache = self.run_cache
+        init_zones = tuple(self.oracle.zone_names[:1])
+        keys: dict[int, str] = {}
+        todo = idxs
+        controller_params = probe.canonical_params()
+        if cache is not None and controller_params is not None:
+            oracle = self.oracle
+            base = {
+                "trace": oracle.trace.fingerprint(),
+                "oracle": {
+                    "history_s": oracle.history_s,
+                    "bucket_s": oracle.bucket_s,
+                    "incremental": oracle.incremental,
+                },
+                # Adaptive vector results are bit-identical to scalar
+                # fast controller runs, so they share those addresses.
+                "engine_mode": "fast",
+                "record_events": self.record_events,
+                "record_timeline": False,
+                "config": config,
+                "policy": PeriodicPolicy().canonical_params(),
+                "bid": float(probe.bids[0]),
+                "zones": init_zones,
+                "controller": controller_params,
+                "queue_model": self.queue_model,
+            }
+            todo = []
+            for i in idxs:
+                try:
+                    key = cache.run_key({
+                        **base,
+                        "start_time": starts[i],
+                        "rng": rngs[i].bit_generator.state,
+                    })
+                except TypeError:
+                    todo.append(i)
+                    continue
+                entry = cache.get(key)
+                if entry is not None:
+                    for _ in range(entry.rng_draws):
+                        self.queue_model.sample(rngs[i])
+                    results[i] = entry.result
+                else:
+                    keys[i] = key
+                    todo.append(i)
+        if not todo:
+            return
+        batch, draws = self._simulate_adaptive_rows(
+            config, controller_factory, probe,
+            [starts[i] for i in todo],
+            [rngs[i] for i in todo],
+        )
+        if keys:
+            from repro.experiments.cache import CachedRun
+        for j, i in enumerate(todo):
+            results[i] = batch[j]
+            if i in keys:
+                cache.put(
+                    keys[i],
+                    CachedRun(result=batch[j], rng_draws=int(draws[j])),
+                )
+
     # -- the lockstep core -------------------------------------------------
 
     def _simulate_rows(
@@ -391,6 +583,30 @@ class VectorSimulator:
             [np.concatenate([cr, [zlen[zi]]]) for cr in zcross[zi]]
             for zi in range(Z)
         ]
+        # Large-bid: the control threshold L gates re-acquisition and
+        # the hour-end release checkpoint; non-running zones flip on
+        # crossings of min(bid, L) (start_price_threshold), and the
+        # fast-forward bound tracks crossings of L itself.
+        lb = kind == "large-bid"
+        L = float(probe.control_threshold) if lb else math.inf
+        if lb and math.isfinite(L):
+            zcross_s = [
+                [
+                    zt.threshold_crossings(float(min(float(ub), L)))
+                    for ub in ubids
+                ]
+                for zt in ztr
+            ]
+            zcross_s_ext = [
+                [np.concatenate([cr, [zlen[zi]]]) for cr in zcross_s[zi]]
+                for zi in range(Z)
+            ]
+            zcross_l = [zt.threshold_crossings(L) for zt in ztr]
+            zcross_l_ext = [
+                np.concatenate([zcross_l[zi], [zlen[zi]]]) for zi in range(Z)
+            ]
+        else:
+            zcross_s, zcross_s_ext = zcross, zcross_ext
         if kind in ("edge", "threshold"):
             zedges = [zt.rising_edges() for zt in ztr]
             zedges_ext = [
@@ -428,6 +644,11 @@ class VectorSimulator:
         completed_on = np.zeros(n, dtype=np.int8)  # 1 = spot, 2 = ondemand
         draws = np.zeros(n, dtype=np.int64)
         md_next = np.full(n, np.nan)  # markov-daly re-arm clocks
+        # large-bid deferred manual termination (release_on_commit):
+        # at most one checkpoint is in flight per run, so a pending
+        # release is one (flag, zone block) pair per run
+        rel_pending = np.zeros(n, dtype=bool)
+        rel_zi = np.zeros(n, dtype=np.int64)
         rows = np.arange(n)
         events: list[list[Event]] | None = (
             [[] for _ in range(n)] if self.record_events else None
@@ -523,18 +744,23 @@ class VectorSimulator:
                     csince[zi][ti] = np.nan
                     st[ti] = DOWN
                     zterm[zi][ti] += 1
+                    if lb:  # release_on_commit.discard(zone)
+                        rel_pending[ti] &= rel_zi[ti] != zi
                     if events is not None:
                         emit(ti, t[ti], "provider-terminated", zorder[zi],
                              [f"S={float(p):.3f}" for p in pz[ti]])
                 notrun = alive & ~run_z  # terminated zones wait a tick
-                to_wait = notrun & (pz <= bid_arr) & (st == DOWN)
+                start_ok = (
+                    (pz <= bid_arr) & (pz <= L) if lb else pz <= bid_arr
+                )  # eligible_to_start: Large-bid gates on L
+                to_wait = notrun & start_ok & (st == DOWN)
                 if to_wait.any():
                     wi = np.flatnonzero(to_wait)
                     st[wi] = WAITING
                     if events is not None:
                         emit(wi, t[wi], "waiting", zorder[zi],
                              [f"S={float(p):.3f}" for p in pz[wi]])
-                to_down = notrun & (pz > bid_arr) & (st == WAITING)
+                to_down = notrun & ~start_ok & (st == WAITING)
                 st[to_down] = DOWN
 
             # deadline guard (line 11) — exact scalar arithmetic.  The
@@ -549,7 +775,13 @@ class VectorSimulator:
             has_comp = comp_mask.any(axis=0)
             any_ck = (zst == CHECKPOINTING).any(axis=0)
 
-            trigger = (np.maximum(C - committed, 0.0) + tc) + tr
+            if lb:  # trust_speculative: count the leader's local work
+                guard_prog = np.where(
+                    has_comp, np.maximum(committed, lead_local), committed
+                )
+            else:
+                guard_prog = committed
+            trigger = (np.maximum(C - guard_prog, 0.0) + tc) + tr
             remaining_time = deadline - t
             margin = remaining_time - trigger
             safe = margin > dt + 1e-6
@@ -663,6 +895,20 @@ class VectorSimulator:
                 due &= lead_local > committed + 1e-9
                 di = np.flatnonzero(due)
                 latch[lead_zi[di], di] = lhour[di]
+            elif kind == "large-bid":
+                # checkpoint_due: uncommitted progress, S > L on the
+                # leader, <= t_c left in its open hour, hour not yet
+                # latched (the latch reuses the periodic column: one
+                # release checkpoint per (zone, hour))
+                lhour = hourst[lead_zi, rows]
+                left = np.maximum((lhour + 3600.0) - t, 0.0)
+                pz_lead = np.stack(znow_p, axis=0)[lead_zi, rows]
+                due = elig & (lead_local > committed + 1e-9)
+                due &= pz_lead > L
+                due &= left <= tc + 1e-6
+                due &= latch[lead_zi, rows] != lhour  # NaN: never latched
+                di = np.flatnonzero(due)
+                latch[lead_zi[di], di] = lhour[di]
             elif kind == "edge":
                 rising_any = np.zeros(n, dtype=bool)
                 for zi in range(Z):
@@ -712,6 +958,9 @@ class VectorSimulator:
                 pendc[lz, fi] = lead_local[fi]
                 zst[lz, fi] = CHECKPOINTING
                 phase[lz, fi] = tc
+                if lb:  # release_after_checkpoint is always True
+                    rel_pending[fi] = True
+                    rel_zi[fi] = lz
                 if events is not None:
                     for j, i in enumerate(fi):
                         events[i].append(Event(
@@ -827,6 +1076,37 @@ class VectorSimulator:
                             zone=zorder[commit_zi[i]],
                             detail=f"P={commit_val[i]:.0f}s",
                         ))
+                if lb and rel_pending[ci].any():
+                    # Large-bid's manual termination: user_release the
+                    # zone whose checkpoint just committed, at t + dt
+                    # (the zone computed the tick's remainder first,
+                    # exactly like the scalar advance loop)
+                    for i in ci[rel_pending[ci]]:
+                        zi_ = int(commit_zi[i])
+                        end = float(t[i] + dt)
+                        used = end - hourst[zi_, i]
+                        if used > 3600.0 + 1e-6:  # pragma: no cover
+                            raise EngineError(
+                                "open billing hour overran its boundary"
+                            )
+                        if used >= 1.0:  # < 1 s of a fresh hour free
+                            zspot[zi_, i] += zrate[zi_, i]
+                            zhours[zi_, i] += 1
+                        hourst[zi_, i] = np.nan
+                        zrate[zi_, i] = 0.0
+                        phase[zi_, i] = 0.0
+                        pendr[zi_, i] = 0.0
+                        zbase[zi_, i] = 0.0
+                        zcomp[zi_, i] = 0.0
+                        pendc[zi_, i] = 0.0
+                        csince[zi_, i] = np.nan
+                        zst[zi_, i] = DOWN
+                        rel_pending[i] = False
+                        if events is not None:
+                            events[i].append(Event(
+                                time=end, kind="user-released",
+                                zone=zorder[zi_], detail="cost-control",
+                            ))
 
             fin = np.fmin.reduce(t[None, :] + fin_off, axis=0)
             done_r = alive & ~np.isnan(fin)
@@ -881,18 +1161,28 @@ class VectorSimulator:
             )
             kq = np.full(n, float(1 << 30))
             loc = zbase + zcomp
+            theta_dn = np.minimum(bid_arr, L) if lb else bid_arr
             for zi in range(Z):
                 pz = zprices[zi][np.minimum(i2, zlen[zi] - 1)]
                 run_z = comp_mask[zi] | trans_mask[zi]
                 zero |= run_z & (pz > bid_arr)  # termination due
                 off = alive & ~run_z & (zst[zi] != CHECKPOINTING)
-                zero |= off & ((pz <= bid_arr) != wait_mask[zi])
+                # a non-running zone flips at min(bid, start threshold)
+                zero |= off & ((pz <= theta_dn) != wait_mask[zi])
+                nonrun = ~(zst[zi] >= QUEUING)
                 for bi, rows_b in enumerate(class_rows):
                     nc = zcross_ext[zi][bi][
                         np.searchsorted(
                             zcross[zi][bi], i2[rows_b], side="right"
                         )
                     ]
+                    if zcross_s is not zcross:
+                        nc_s = zcross_s_ext[zi][bi][
+                            np.searchsorted(
+                                zcross_s[zi][bi], i2[rows_b], side="right"
+                            )
+                        ]
+                        nc = np.where(nonrun[rows_b], nc_s, nc)
                     kq[rows_b] = np.minimum(
                         kq[rows_b], (nc - i2[rows_b]).astype(np.float64)
                     )
@@ -902,8 +1192,15 @@ class VectorSimulator:
                 kq = np.where(trans_mask[zi], np.minimum(kq, nstep), kq)
 
             # deadline guard: margin shrinks at most one tick per tick
+            max_local = np.where(comp_mask, loc, -np.inf).max(axis=0)
+            if lb:  # trust_speculative, as in the scalar quiescence scan
+                guard_q = np.where(
+                    computing_any, np.maximum(committed, max_local), committed
+                )
+            else:
+                guard_q = committed
             marginq = (
-                (((deadline - t) - np.maximum(C - committed, 0.0)) - tc)
+                (((deadline - t) - np.maximum(C - guard_q, 0.0)) - tc)
                 - tr
             )
             kq = np.minimum(
@@ -911,7 +1208,6 @@ class VectorSimulator:
             )
 
             # completion / join-commit progress thresholds
-            max_local = np.where(comp_mask, loc, -np.inf).max(axis=0)
             kq = np.where(
                 computing_any,
                 np.minimum(kq, np.floor((C - max_local) / dt) - 2.0),
@@ -940,6 +1236,35 @@ class VectorSimulator:
                     np.inf,
                 )
                 horizon = due_at.min(axis=0)
+            elif kind == "large-bid":
+                # fast_forward_until: per computing zone, the later of
+                # "S first exceeds L" and "<= t_c left in the hour";
+                # a latched hour cannot re-fire before it rolls.
+                # Naive (L = inf) never checkpoints: horizon stays inf.
+                if math.isfinite(L):
+                    for zi in range(Z):
+                        cm = comp_mask[zi] & ~np.isnan(hourst[zi])
+                        if not cm.any():
+                            continue
+                        hour_end = np.where(cm, hourst[zi] + 3600.0, np.inf)
+                        iz = np.clip(
+                            ((t - zz0[zi]) // dt).astype(np.int64),
+                            0, zlen[zi] - 1,
+                        )
+                        nxt = zcross_l_ext[zi][
+                            np.searchsorted(zcross_l[zi], iz, side="right")
+                        ]
+                        over_at = np.where(
+                            zprices[zi][iz] > L, t, zz0[zi] + nxt * dt
+                        )
+                        cand = np.where(
+                            latch[zi] == hourst[zi],
+                            hour_end,
+                            np.maximum(over_at, hour_end - tc),
+                        )
+                        horizon = np.where(
+                            cm, np.minimum(horizon, cand), horizon
+                        )
             elif kind == "edge":
                 now_edge = np.zeros(n, dtype=bool)
                 for zi in range(Z):
@@ -1043,9 +1368,46 @@ class VectorSimulator:
             kf = ki.astype(np.float64)
             accr_z = comp_mask | trans_mask
             accr_any = accr_z.any(axis=0)
+            # fractional clocks (fractional starts) replay the scalar
+            # bulk advance's non-integral branch: closed forms are not
+            # exact there, so every tick is a repeated float addition,
+            # hour rolls interleaved with accrual in zone block order
+            frac = t != np.floor(t)
             plain = skip & ~accr_any
-            t[plain] += kf[plain] * dt
-            accr = skip & accr_any
+            pint = plain & ~frac
+            t[pint] += kf[pint] * dt
+            for i in np.flatnonzero(plain & frac):
+                t_i = float(t[i])
+                for _ in range(int(ki[i])):
+                    t_i += dt
+                t[i] = t_i
+            for i in np.flatnonzero(skip & accr_any & frac):
+                zis = [zi for zi in range(Z) if accr_z[zi, i]]
+                t_i = float(t[i])
+                for _ in range(int(ki[i])):
+                    for zi in zis:
+                        while hourst[zi, i] + 3600.0 <= t_i + 1e-6:
+                            boundary = float(hourst[zi, i]) + 3600.0
+                            zspot[zi, i] += zrate[zi, i]
+                            zhours[zi, i] += 1
+                            new_rate = float(zprices[zi][
+                                int((boundary - zz0[zi]) // dt)
+                            ])
+                            zrate[zi, i] = new_rate
+                            hourst[zi, i] = boundary
+                            if events is not None:
+                                events[i].append(Event(
+                                    time=boundary, kind="hour-rolled",
+                                    zone=zorder[zi],
+                                    detail=f"rate={new_rate:.3f}",
+                                ))
+                        if comp_mask[zi, i]:
+                            zcomp[zi, i] += dt
+                        else:
+                            phase[zi, i] -= dt
+                    t_i += dt
+                t[i] = t_i
+            accr = skip & accr_any & ~frac
             if not accr.any():
                 continue
             last = t + (kf - 1.0) * dt
@@ -1124,6 +1486,854 @@ class VectorSimulator:
                 policy_name=probe.name,
                 bid=float(bids[j]),
                 zones=zones_t,
+                start_time=float(start_arr[j]),
+                finish_time=float(finish[j]),
+                deadline=float(deadline[j]),
+                completed_on="spot" if completed_on[j] == 1 else "ondemand",
+                spot_cost=float(spot_tot[j]),
+                ondemand_cost=float(od_cost[j]),
+                num_checkpoints=int(ncomm[j]),
+                num_restarts=int(rest_tot[j]),
+                num_provider_terminations=int(term_tot[j]),
+                ondemand_switch_time=(
+                    None if math.isnan(switch_t[j]) else float(switch_t[j])
+                ),
+                spot_hours_charged=int(hours_tot[j]),
+                events=tuple(events[j]) if events is not None else (),
+            ))
+        return results, draws
+
+    # -- the Adaptive lockstep core ----------------------------------------
+
+    def _simulate_adaptive_rows(
+        self, config, controller_factory, probe, starts, rngs
+    ) -> tuple[list[RunResult], np.ndarray]:
+        """Advance ``len(starts)`` Adaptive-controller runs in lockstep.
+
+        Controller state rides in columns: every run carries its own
+        bid, active-zone mask, policy kind ("periodic" or
+        "markov-daly"), decision latches and re-evaluation clock, so
+        one pass serves runs whose controllers have diverged onto
+        different plans.  Decision epochs (rules 1–3 of
+        :meth:`AdaptiveController.decision_due`) are detected
+        column-wise; only triggered rows pay a Python
+        :meth:`AdaptiveController.decide_at_epoch` call against a
+        column-snapshot context, and all the batch's controllers share
+        one :class:`~repro.core.adaptive.SelectionMemo` (via
+        :func:`~repro.core.adaptive.batch_controllers`) so the dense
+        candidate selection runs once per (bucket matrices, progress,
+        deadline clock) signature and fans out.
+        """
+        from repro.core.adaptive import batch_controllers
+        from repro.core.policy import PolicyContext
+
+        oracle = self.oracle
+        dt = float(SAMPLE_INTERVAL_S)
+        n = len(starts)
+
+        # Zone geometry: the scalar engine creates an instance for
+        # *every* oracle zone up front (the controller may switch onto
+        # any of them), so the block layout covers the full trace.
+        zorder = tuple(oracle.zone_names)
+        Z = len(zorder)
+        zidx = {z: zi for zi, z in enumerate(zorder)}
+        ztr = [oracle.trace.zone(z) for z in zorder]
+        zprices = [zt.prices for zt in ztr]
+        zz0 = [float(zt.start_time) for zt in ztr]
+        zlen = [len(zt.prices) for zt in ztr]
+        # all zone traces share one grid (the scalar quiescence scan
+        # indexes every zone with its first active zone's index)
+        ref_z0 = zz0[0]
+        ref_len = zlen[0]
+
+        start_arr = np.asarray(starts, dtype=np.float64)
+        deadline = start_arr + config.deadline_s
+        end_time = float(oracle.trace.end_time)
+        if np.any(deadline > end_time):
+            bad = float(deadline[deadline > end_time][0])
+            raise EngineError(
+                f"trace ends at {end_time}, before the deadline {bad}"
+            )
+        C = float(config.compute_s)
+        tc = float(config.ckpt_cost_s)
+        tr = float(config.restart_cost_s)
+
+        # struct-of-arrays run state (as in _simulate_rows) ...
+        t = start_arr.copy()
+        alive = np.ones(n, dtype=bool)
+        zst = np.full((Z, n), DOWN, dtype=np.int8)
+        phase = np.zeros((Z, n))
+        pendr = np.zeros((Z, n))
+        zbase = np.zeros((Z, n))
+        zcomp = np.zeros((Z, n))
+        pendc = np.zeros((Z, n))
+        csince = np.full((Z, n), np.nan)
+        hourst = np.full((Z, n), np.nan)
+        zrate = np.zeros((Z, n))
+        zspot = np.zeros((Z, n))
+        zhours = np.zeros((Z, n), dtype=np.int64)
+        zrest = np.zeros((Z, n), dtype=np.int64)
+        zterm = np.zeros((Z, n), dtype=np.int64)
+        latch = np.full((Z, n), np.nan)
+        committed = np.zeros(n)
+        ncomm = np.zeros(n, dtype=np.int64)
+        ckpt_flag = np.zeros(n, dtype=bool)
+        finish = np.full(n, np.nan)
+        od_cost = np.zeros(n)
+        switch_t = np.full(n, np.nan)
+        completed_on = np.zeros(n, dtype=np.int8)
+        draws = np.zeros(n, dtype=np.int64)
+        md_next = np.full(n, np.nan)
+        rows = np.arange(n)
+        events: list[list[Event]] | None = (
+            [[] for _ in range(n)] if self.record_events else None
+        )
+
+        # ... plus the controller's plan as columns: per-run bid, the
+        # active-zone mask, the installed policy kind and its name, the
+        # active zone tuple (for contexts / oracle queries / results)
+        # and the rule-3 re-evaluation clock
+        init_zones = tuple(zorder[:1])
+        init_bid = float(probe.bids[0])
+        bid_arr = np.full(n, init_bid)
+        zact = np.zeros((Z, n), dtype=bool)
+        zact[0, :] = True
+        kindcol = np.zeros(n, dtype=np.int8)  # 0 periodic, 1 markov-daly
+        pol_name = ["periodic"] * n
+        cur_zones: list[tuple[str, ...]] = [init_zones] * n
+        last_eval = np.full(n, -np.inf)
+        reeval = float(probe.reevaluate_every_s)
+
+        controllers = batch_controllers(controller_factory, n)
+        boot = PolicyContext(
+            now=0.0, bid=init_bid, zones=init_zones, oracle=oracle,
+            config=config, run=None, instances={},
+        )
+        for c in controllers:
+            c.reset(boot)  # reads only the oracle's zone list
+
+        def emit(idx_arr, times, ekind, ezone, details):
+            for j, i in enumerate(idx_arr):
+                events[i].append(Event(
+                    time=float(times[j]), kind=ekind, zone=ezone,
+                    detail=details[j],
+                ))
+
+        def make_ctx(i: int) -> PolicyContext:
+            insts = {}
+            for z in cur_zones[i]:
+                zi = zidx[z]
+                insts[z] = _ColInstance(
+                    is_running=bool(zst[zi, i] >= QUEUING),
+                    local_progress_s=float(zbase[zi, i] + zcomp[zi, i]),
+                    billing=_ColBilling(
+                        is_open=not math.isnan(hourst[zi, i]),
+                        hour_start=float(hourst[zi, i]),
+                    ),
+                )
+            return PolicyContext(
+                now=float(t[i]), bid=float(bid_arr[i]),
+                zones=cur_zones[i], oracle=oracle, config=config,
+                run=_ColRun(float(committed[i]), float(deadline[i])),
+                instances=insts,
+            )
+
+        # combined expected uptimes are memoized here: the oracle's
+        # level-conditioned models make the value a pure function of
+        # (zone set, stats bucket, per-zone price levels, bid), and
+        # staggered runs revisit the same key constantly
+        upt_cache: dict = {}
+
+        def md_schedule(i: int) -> None:
+            """MarkovDalyPolicy.schedule_next_checkpoint against run
+            ``i``'s *current* plan (its own zone set and bid)."""
+            now = float(t[i])
+            zones_i = cur_zones[i]
+            key = (
+                zones_i, float(bid_arr[i]), oracle.stats_bucket(now),
+                tuple(oracle.price(z, now) for z in zones_i),
+            )
+            uptime = upt_cache.get(key)
+            if uptime is None:
+                uptime = float(
+                    oracle.combined_uptimes(
+                        zones_i, now, (key[1],)
+                    )[0]
+                )
+                upt_cache[key] = uptime
+            interval = daly_interval(uptime, tc)
+            remaining_compute = max(C - float(committed[i]), 0.0)
+            margin = (
+                max(float(deadline[i]) - now, 0.0)
+                - remaining_compute
+                - tc
+                - tr
+            )
+            reserve = tc + 4.0 * 300.0
+            budget = margin - reserve
+            if budget > 0:
+                interval = max(interval, remaining_compute * tc / budget)
+                interval = min(interval, max(budget, tc))
+            else:
+                interval = max(margin, tc)
+            md_next[i] = now + interval
+
+        # crossing arrays are fetched lazily: the set of distinct bids
+        # grows as controllers re-plan (memoized on the ZoneTrace, so
+        # repeats are shared across batches too)
+        cross_cache: dict = {}
+
+        def crossings(zi: int, b: float):
+            got = cross_cache.get((zi, b))
+            if got is None:
+                cr = ztr[zi].threshold_crossings(b)
+                got = (cr, np.concatenate([cr, [zlen[zi]]]))
+                cross_cache[(zi, b)] = got
+            return got
+
+        max_rounds = int(config.deadline_s // dt) + 16
+        for _round in range(max_rounds):
+            if not alive.any():
+                break
+
+            # billing rolls, as in _simulate_rows
+            for zi in range(Z):
+                while True:
+                    m = alive & (hourst[zi] + 3600.0 <= t + 1e-6)
+                    if not m.any():
+                        break
+                    idx = np.flatnonzero(m)
+                    boundary = hourst[zi][idx] + 3600.0
+                    zspot[zi][idx] += zrate[zi][idx]
+                    zhours[zi][idx] += 1
+                    new_rate = zprices[zi][
+                        ((boundary - zz0[zi]) // dt).astype(np.int64)
+                    ]
+                    zrate[zi][idx] = new_rate
+                    hourst[zi][idx] = boundary
+                    if events is not None:
+                        emit(idx, boundary, "hour-rolled", zorder[zi],
+                             [f"rate={float(r):.3f}" for r in new_rate])
+
+            # market transitions walk each run's *own* active set; the
+            # controller only ever picks oracle-order zone subsequences
+            # (itertools.combinations over oracle.zone_names), so block
+            # order is every run's active order
+            znow_i = [
+                np.clip(((t - zz0[zi]) // dt).astype(np.int64),
+                        0, zlen[zi] - 1)
+                for zi in range(Z)
+            ]
+            znow_p = [zprices[zi][znow_i[zi]] for zi in range(Z)]
+            for zi in range(Z):
+                a = alive & zact[zi]
+                if not a.any():
+                    continue
+                pz = znow_p[zi]
+                st = zst[zi]
+                run_z = a & (st >= QUEUING)
+                term = run_z & (pz > bid_arr)
+                if term.any():
+                    ti = np.flatnonzero(term)
+                    hourst[zi][ti] = np.nan
+                    zrate[zi][ti] = 0.0
+                    phase[zi][ti] = 0.0
+                    pendr[zi][ti] = 0.0
+                    zbase[zi][ti] = 0.0
+                    zcomp[zi][ti] = 0.0
+                    pendc[zi][ti] = 0.0
+                    csince[zi][ti] = np.nan
+                    st[ti] = DOWN
+                    zterm[zi][ti] += 1
+                    if events is not None:
+                        emit(ti, t[ti], "provider-terminated", zorder[zi],
+                             [f"S={float(p):.3f}" for p in pz[ti]])
+                notrun = a & ~run_z
+                to_wait = notrun & (pz <= bid_arr) & (st == DOWN)
+                if to_wait.any():
+                    wi = np.flatnonzero(to_wait)
+                    st[wi] = WAITING
+                    if events is not None:
+                        emit(wi, t[wi], "waiting", zorder[zi],
+                             [f"S={float(p):.3f}" for p in pz[wi]])
+                to_down = notrun & (pz > bid_arr) & (st == WAITING)
+                st[to_down] = DOWN
+
+            # deadline guard — identical to _simulate_rows (neither
+            # installable policy trusts speculative progress)
+            loc = zbase + zcomp
+            comp_mask = zst == COMPUTING
+            loc_masked = np.where(comp_mask, loc, -np.inf)
+            lead_zi = np.argmax(loc_masked, axis=0)
+            lead_local = loc_masked[lead_zi, rows]
+            has_comp = comp_mask.any(axis=0)
+            any_ck = (zst == CHECKPOINTING).any(axis=0)
+
+            trigger = (np.maximum(C - committed, 0.0) + tc) + tr
+            remaining_time = deadline - t
+            margin = remaining_time - trigger
+            safe = margin > dt + 1e-6
+            force = (
+                alive & safe & (margin <= tc + 3.0 * dt)
+                & ~any_ck & has_comp & (lead_local > committed + 1e-9)
+            )
+            if force.any():
+                fi = np.flatnonzero(force)
+                lz = lead_zi[fi]
+                pendc[lz, fi] = lead_local[fi]
+                zst[lz, fi] = CHECKPOINTING
+                phase[lz, fi] = tc
+                if events is not None:
+                    for j, i in enumerate(fi):
+                        events[i].append(Event(
+                            time=float(t[i]), kind="checkpoint-started",
+                            zone=zorder[lz[j]],
+                            detail=f"forced P={lead_local[i]:.0f}s",
+                        ))
+            migrate = alive & ~safe
+            if migrate.any():
+                best_prog = committed.copy()
+                best_pre = np.zeros(n)
+                best_key = np.maximum(C - committed, 0.0) + np.where(
+                    committed > 0, tr, 0.0
+                )
+                for zi in range(Z):
+                    key2 = (np.maximum(C - loc[zi], 0.0) + tc) + np.where(
+                        loc[zi] > 0, tr, 0.0
+                    )
+                    use2 = migrate & (zst[zi] == COMPUTING) & (
+                        key2 < best_key
+                    )
+                    best_prog[use2] = loc[zi][use2]
+                    best_pre[use2] = tc
+                    best_key[use2] = key2[use2]
+                    key3 = (
+                        np.maximum(C - pendc[zi], 0.0) + phase[zi]
+                    ) + np.where(pendc[zi] > 0, tr, 0.0)
+                    use3 = migrate & (zst[zi] == CHECKPOINTING) & (
+                        key3 < best_key
+                    )
+                    best_prog[use3] = pendc[zi][use3]
+                    best_pre[use3] = phase[zi][use3]
+                    best_key[use3] = key3[use3]
+                restore = np.where(best_prog > 0, tr, 0.0)
+                overhead = best_pre + restore
+                rem_comp = np.maximum(C - best_prog, 0.0)
+                mi = np.flatnonzero(migrate)
+                if events is not None:
+                    emit(mi, t[mi], "ondemand-switch", None,
+                         [f"C_r={float(c):.0f}s T_r={float(r):.0f}s"
+                          for c, r in zip(rem_comp[mi], remaining_time[mi])])
+                for zi in range(Z):
+                    close = migrate & (zst[zi] >= QUEUING)
+                    idx = np.flatnonzero(close)
+                    if idx.size == 0:
+                        continue
+                    used = t[idx] - hourst[zi][idx]
+                    if np.any(used > 3600.0 + 1e-6):  # pragma: no cover
+                        raise EngineError(
+                            "open billing hour overran its boundary"
+                        )
+                    charge = idx[used >= 1.0]
+                    zspot[zi][charge] += zrate[zi][charge]
+                    zhours[zi][charge] += 1
+                    hourst[zi][idx] = np.nan
+                    zrate[zi][idx] = 0.0
+                zst[:, mi] = DOWN
+                finish[mi] = (t[mi] + overhead[mi]) + rem_comp[mi]
+                od_sec = restore + rem_comp
+                od_cost[mi] = np.where(
+                    od_sec[mi] > 0,
+                    np.ceil(od_sec[mi] / 3600.0) * ON_DEMAND_PRICE,
+                    0.0,
+                )
+                switch_t[mi] = t[mi]
+                completed_on[mi] = 2
+                alive &= ~migrate
+
+            # controller decisions (between the guard and policy
+            # actions, like the scalar tick).  Epoch triggers are the
+            # controller's rules 1-3, evaluated column-wise; only
+            # triggered rows pay a Python decide_at_epoch call.
+            run_act = zact & (zst >= QUEUING)
+            at_bound = (run_act & (np.abs(hourst - t) < 1e-6)).any(axis=0)
+            trig = alive & (
+                ~run_act.any(axis=0) | at_bound
+                | ((t - last_eval) >= reeval)
+            )
+            for i in np.flatnonzero(trig):
+                dec = controllers[i].decide_at_epoch(make_ctx(i))
+                last_eval[i] = t[i]
+                if dec is None:
+                    continue
+                # _apply_switch, on columns
+                new_zones = tuple(dec.zones)
+                for z in new_zones:
+                    if z not in zidx:
+                        raise EngineError(
+                            f"controller chose unknown zone {z!r}"
+                        )
+                for z in set(cur_zones[i]) - set(new_zones):
+                    zi_ = zidx[z]
+                    if zst[zi_, i] >= QUEUING:
+                        # user_release at t, reason="user"
+                        now = float(t[i])
+                        used = now - hourst[zi_, i]
+                        if used > 3600.0 + 1e-6:  # pragma: no cover
+                            raise EngineError(
+                                "open billing hour overran its boundary"
+                            )
+                        if used >= 1.0:  # < 1 s of a fresh hour free
+                            zspot[zi_, i] += zrate[zi_, i]
+                            zhours[zi_, i] += 1
+                        hourst[zi_, i] = np.nan
+                        zrate[zi_, i] = 0.0
+                        phase[zi_, i] = 0.0
+                        pendr[zi_, i] = 0.0
+                        zbase[zi_, i] = 0.0
+                        zcomp[zi_, i] = 0.0
+                        pendc[zi_, i] = 0.0
+                        csince[zi_, i] = np.nan
+                        zst[zi_, i] = DOWN
+                        if events is not None:
+                            events[i].append(Event(
+                                time=now, kind="user-released",
+                                zone=z, detail="config-switch",
+                            ))
+                    elif zst[zi_, i] == WAITING:
+                        zst[zi_, i] = DOWN
+                bid_arr[i] = float(dec.bid)
+                zact[:, i] = False
+                for z in new_zones:
+                    zact[zidx[z], i] = True
+                cur_zones[i] = new_zones
+                kname = dec.policy.name
+                pol_name[i] = kname
+                kindcol[i] = 1 if kname == "markov-daly" else 0
+                latch[:, i] = np.nan  # the fresh policy's reset()
+                if kindcol[i] == 1:
+                    md_schedule(i)  # schedule on the new plan
+                else:
+                    md_next[i] = np.nan
+                if events is not None:
+                    events[i].append(Event(
+                        time=float(t[i]), kind="config-switch", zone=None,
+                        detail=(
+                            f"policy={kname} B={dec.bid:.2f} "
+                            f"N={len(new_zones)}"
+                        ),
+                    ))
+
+            # policy actions, dispatched per run on the installed kind
+            md_m = kindcol == 1
+            per_m = ~md_m
+            for i in np.flatnonzero(alive & ckpt_flag & md_m):
+                md_schedule(i)  # line 23: re-arm after a commit
+
+            comp_mask = zst == COMPUTING
+            loc = zbase + zcomp
+            loc_masked = np.where(comp_mask, loc, -np.inf)
+            lead_zi = np.argmax(loc_masked, axis=0)
+            lead_local = loc_masked[lead_zi, rows]
+            has_leader = comp_mask.any(axis=0)
+            any_ck = (zst == CHECKPOINTING).any(axis=0)
+            wait_mask = zst == WAITING
+            waiting_any = wait_mask.any(axis=0)
+            running_cnt = (zst >= QUEUING).sum(axis=0)
+            join_due = (
+                waiting_any & (running_cnt < 2) & has_leader
+                & (lead_local >= committed + tc)
+            )
+            start_ck = alive & has_leader & ~any_ck
+            elig = start_ck & ~join_due
+            lhour = hourst[lead_zi, rows]
+            left = np.maximum((lhour + 3600.0) - t, 0.0)
+            due = per_m & elig & (left <= tc + 1e-6)
+            due &= latch[lead_zi, rows] != lhour  # NaN: never latched
+            due &= lead_local > committed + 1e-9
+            di = np.flatnonzero(due)
+            latch[lead_zi[di], di] = lhour[di]
+            timed = md_m & elig & (t + 1e-6 >= md_next)
+            noprog = timed & (lead_local <= committed + 1e-9)
+            for i in np.flatnonzero(noprog):
+                md_schedule(i)  # push instead of a no-progress commit
+            due |= timed & ~noprog
+            fire = (start_ck & join_due) | due
+            if fire.any():
+                fi = np.flatnonzero(fire)
+                lz = lead_zi[fi]
+                pendc[lz, fi] = lead_local[fi]
+                zst[lz, fi] = CHECKPOINTING
+                phase[lz, fi] = tc
+                if events is not None:
+                    for j, i in enumerate(fi):
+                        events[i].append(Event(
+                            time=float(t[i]), kind="checkpoint-started",
+                            zone=zorder[lz[j]],
+                            detail=f"P={lead_local[i]:.0f}s",
+                        ))
+
+            any_running = (zst >= QUEUING).any(axis=0)
+            go = alive & waiting_any & (~any_running | ckpt_flag)
+            for i in np.flatnonzero(go):
+                source = "recent" if ckpt_flag[i] else "previous"
+                com = float(committed[i])
+                for zi in range(Z):
+                    if zst[zi, i] != WAITING:
+                        continue
+                    delay = self.queue_model.sample(rngs[i])
+                    draws[i] += 1
+                    zst[zi, i] = QUEUING
+                    phase[zi, i] = delay
+                    pendr[zi, i] = tr if com > 0 else 0.0
+                    zbase[zi, i] = com
+                    zcomp[zi, i] = 0.0
+                    csince[zi, i] = np.nan
+                    hourst[zi, i] = t[i]
+                    zrate[zi, i] = znow_p[zi][i]
+                    zrest[zi, i] += 1
+                    if events is not None:
+                        events[i].append(Event(
+                            time=float(t[i]), kind="restarted",
+                            zone=zorder[zi],
+                            detail=f"from-{source}-ckpt P={com:.0f}s",
+                        ))
+                if kindcol[i] == 1:
+                    md_schedule(i)  # one reschedule after the restarts
+            ckpt_flag &= ~alive
+
+            # advance (identical sweep to _simulate_rows)
+            fin_off = np.full((Z, n), np.nan)
+            commit_val = np.full(n, -1.0)
+            commit_zi = np.zeros(n, dtype=np.int64)
+            has_commit = np.zeros(n, dtype=bool)
+            for zi in range(Z):
+                st = zst[zi]
+                run_z = alive & (st >= QUEUING)
+                remaining = np.where(run_z, dt, 0.0)
+
+                m = run_z & (st == QUEUING)
+                if m.any():
+                    used = np.minimum(phase[zi], remaining)
+                    phase[zi][m] -= used[m]
+                    remaining[m] -= used[m]
+                    done = m & (phase[zi] <= 1e-9)
+                    st[done] = RESTARTING
+                    phase[zi][done] = pendr[zi][done]
+                    straight = done & (phase[zi] <= 1e-9)
+                    st[straight] = COMPUTING
+                    csince[zi][straight] = t[straight] + (
+                        dt - remaining[straight]
+                    )
+
+                m = run_z & (st == RESTARTING) & (remaining > 1e-9)
+                if m.any():
+                    used = np.minimum(phase[zi], remaining)
+                    phase[zi][m] -= used[m]
+                    remaining[m] -= used[m]
+                    done = m & (phase[zi] <= 1e-9)
+                    st[done] = COMPUTING
+                    csince[zi][done] = t[done] + (dt - remaining[done])
+
+                m = run_z & (st == CHECKPOINTING) & (remaining > 1e-9)
+                if m.any():
+                    used = np.minimum(phase[zi], remaining)
+                    phase[zi][m] -= used[m]
+                    remaining[m] -= used[m]
+                    done = m & (phase[zi] <= 1e-9)
+                    di = np.flatnonzero(done)
+                    commit_val[di] = pendc[zi][di]
+                    commit_zi[di] = zi
+                    has_commit[di] = True
+                    st[done] = COMPUTING
+                    csince[zi][done] = t[done] + (dt - remaining[done])
+
+                m = run_z & (st == COMPUTING) & (remaining > 1e-9)
+                if m.any():
+                    need = C - (zbase[zi] + zcomp[zi])
+                    done_pre = m & (need <= 1e-9)
+                    fin_off[zi][done_pre] = dt - remaining[done_pre]
+                    mm = m & ~done_pre
+                    used = np.minimum(need, remaining)
+                    zcomp[zi][mm] += used[mm]
+                    remaining[mm] -= used[mm]
+                    need = C - (zbase[zi] + zcomp[zi])
+                    done_post = mm & (need <= 1e-9)
+                    fin_off[zi][done_post] = dt - remaining[done_post]
+
+            ci = np.flatnonzero(has_commit)
+            if ci.size:
+                committed[ci] = commit_val[ci]
+                ncomm[ci] += 1
+                ckpt_flag[ci] = True
+                if events is not None:
+                    for i in ci:
+                        events[i].append(Event(
+                            time=float(t[i] + dt),
+                            kind="checkpoint-committed",
+                            zone=zorder[commit_zi[i]],
+                            detail=f"P={commit_val[i]:.0f}s",
+                        ))
+
+            fin = np.fmin.reduce(t[None, :] + fin_off, axis=0)
+            done_r = alive & ~np.isnan(fin)
+            if done_r.any():
+                di = np.flatnonzero(done_r)
+                for zi in range(Z):
+                    close = done_r & (zst[zi] >= QUEUING)
+                    idx = np.flatnonzero(close)
+                    if idx.size == 0:
+                        continue
+                    used = fin[idx] - hourst[zi][idx]
+                    if np.any(used > 3600.0 + 1e-6):  # pragma: no cover
+                        raise EngineError(
+                            "open billing hour overran its boundary"
+                        )
+                    charge = idx[used >= 1.0]
+                    zspot[zi][charge] += zrate[zi][charge]
+                    zhours[zi][charge] += 1
+                    hourst[zi][idx] = np.nan
+                    zrate[zi][idx] = 0.0
+                zst[:, di] = DOWN
+                if events is not None:
+                    emit(di, fin[di], "completed", None,
+                         ["on spot"] * di.size)
+                finish[di] = fin[di]
+                completed_on[di] = 1
+                alive &= ~done_r
+            t[alive] += dt
+
+            # -- quiescence: _simulate_rows' bounds plus the controller
+            # hazards (rule-1 while down, rule-3 timer, rule-2 hour
+            # boundaries), per-run policy kind dispatch ----------------
+            comp_mask = zst == COMPUTING
+            trans_mask = (zst == QUEUING) | (zst == RESTARTING)
+            wait_mask = zst == WAITING
+            ck_any = (zst == CHECKPOINTING).any(axis=0)
+            computing_any = comp_mask.any(axis=0)
+            waiting_any = wait_mask.any(axis=0)
+            running_cnt = (comp_mask | trans_mask).sum(axis=0)
+
+            md_m = kindcol == 1
+            per_m = ~md_m
+            zero = ck_any.copy()
+            zero |= ckpt_flag & md_m  # rescheduling is not a no-op
+            zero |= ckpt_flag & per_m & waiting_any
+            dropc = ckpt_flag & per_m & ~waiting_any
+            # rule 1: with nothing running the controller evaluates
+            # every tick, whether or not a zone is waiting
+            zero |= running_cnt == 0
+
+            i2 = np.clip(
+                ((t - ref_z0) // dt).astype(np.int64), 0, ref_len - 1
+            )
+            kq = np.full(n, float(1 << 30))
+            loc = zbase + zcomp
+            ubids, bclass = np.unique(bid_arr, return_inverse=True)
+            for zi in range(Z):
+                a = zact[zi]
+                if not a.any():
+                    continue
+                pz = zprices[zi][np.minimum(i2, zlen[zi] - 1)]
+                run_z = comp_mask[zi] | trans_mask[zi]
+                zero |= run_z & (pz > bid_arr)
+                off = alive & a & ~run_z & (zst[zi] != CHECKPOINTING)
+                zero |= off & ((pz <= bid_arr) != wait_mask[zi])
+                for bi, ub in enumerate(ubids):
+                    rows_b = np.flatnonzero((bclass == bi) & a)
+                    if rows_b.size == 0:
+                        continue
+                    cr, cr_ext = crossings(zi, float(ub))
+                    nc = cr_ext[
+                        np.searchsorted(cr, i2[rows_b], side="right")
+                    ]
+                    kq[rows_b] = np.minimum(
+                        kq[rows_b], (nc - i2[rows_b]).astype(np.float64)
+                    )
+                nstep = np.floor_divide(phase[zi] - 1e-6, dt)
+                zero |= trans_mask[zi] & (nstep < 1.0)
+                kq = np.where(trans_mask[zi], np.minimum(kq, nstep), kq)
+
+            marginq = (
+                (((deadline - t) - np.maximum(C - committed, 0.0)) - tc)
+                - tr
+            )
+            kq = np.minimum(
+                kq, np.floor(((marginq - tc) - 3.0 * dt) / dt) - 1.0
+            )
+
+            max_local = np.where(comp_mask, loc, -np.inf).max(axis=0)
+            kq = np.where(
+                computing_any,
+                np.minimum(kq, np.floor((C - max_local) / dt) - 2.0),
+                kq,
+            )
+            kq = np.where(
+                computing_any & waiting_any & (running_cnt < 2),
+                np.minimum(
+                    kq,
+                    np.floor(((committed + tc) - max_local) / dt) - 1.0,
+                ),
+                kq,
+            )
+
+            # fast_forward_until of the *installed* policy per run
+            due_at = np.where(
+                comp_mask & ~np.isnan(hourst),
+                np.where(
+                    latch == hourst,
+                    ((hourst + 3600.0) - tc) + 3600.0,
+                    (hourst + 3600.0) - tc,
+                ),
+                np.inf,
+            )
+            horizon = due_at.min(axis=0)
+            horizon = np.where(md_m, md_next - 1e-6, horizon)
+            kq = np.where(
+                computing_any & np.isfinite(horizon),
+                np.minimum(kq, np.ceil(((horizon - t) - 1e-6) / dt)),
+                kq,
+            )
+
+            # controller hazards: before the first decision
+            # next_decision_time is None (no skip at all); afterwards
+            # the rule-3 timer bounds, and every computing/transient
+            # zone's hour boundary is a rule-2 decision point
+            zero |= np.isinf(last_eval)
+            kq = np.minimum(
+                kq, np.ceil((((last_eval + reeval) - t) - 1e-6) / dt)
+            )
+            for zi in range(Z):
+                m = comp_mask[zi] | trans_mask[zi]
+                if not m.any():
+                    continue
+                steps = np.round(((hourst[zi] + 3600.0) - t) / dt)
+                kq = np.where(m, np.minimum(kq, steps), kq)
+
+            ks = np.where(alive & ~zero, kq, 0.0)
+            ki = np.maximum(ks, 0.0).astype(np.int64)
+            ckpt_flag &= ~(dropc & (ki > 0))
+            skip = alive & (ki > 0)
+            if not skip.any():
+                continue
+
+            # bulk skip, identical to _simulate_rows (fractional
+            # clocks replay the scalar per-tick accrual)
+            kf = ki.astype(np.float64)
+            accr_z = comp_mask | trans_mask
+            accr_any = accr_z.any(axis=0)
+            frac = t != np.floor(t)
+            plain = skip & ~accr_any
+            pint = plain & ~frac
+            t[pint] += kf[pint] * dt
+            for i in np.flatnonzero(plain & frac):
+                t_i = float(t[i])
+                for _ in range(int(ki[i])):
+                    t_i += dt
+                t[i] = t_i
+            for i in np.flatnonzero(skip & accr_any & frac):
+                zis = [zi for zi in range(Z) if accr_z[zi, i]]
+                t_i = float(t[i])
+                for _ in range(int(ki[i])):
+                    for zi in zis:
+                        while hourst[zi, i] + 3600.0 <= t_i + 1e-6:
+                            boundary = float(hourst[zi, i]) + 3600.0
+                            zspot[zi, i] += zrate[zi, i]
+                            zhours[zi, i] += 1
+                            new_rate = float(zprices[zi][
+                                int((boundary - zz0[zi]) // dt)
+                            ])
+                            zrate[zi, i] = new_rate
+                            hourst[zi, i] = boundary
+                            if events is not None:
+                                events[i].append(Event(
+                                    time=boundary, kind="hour-rolled",
+                                    zone=zorder[zi],
+                                    detail=f"rate={new_rate:.3f}",
+                                ))
+                        if comp_mask[zi, i]:
+                            zcomp[zi, i] += dt
+                        else:
+                            phase[zi, i] -= dt
+                    t_i += dt
+                t[i] = t_i
+            accr = skip & accr_any & ~frac
+            if not accr.any():
+                continue
+            last = t + (kf - 1.0) * dt
+            entries_by_run: dict[int, list] = {}
+            for zi in range(Z):
+                m = accr & accr_z[zi]
+                while True:
+                    roll = m & (hourst[zi] + 3600.0 <= last + 1e-6)
+                    if not roll.any():
+                        break
+                    idx = np.flatnonzero(roll)
+                    boundary = hourst[zi][idx] + 3600.0
+                    zspot[zi][idx] += zrate[zi][idx]
+                    zhours[zi][idx] += 1
+                    new_rate = zprices[zi][
+                        ((boundary - zz0[zi]) // dt).astype(np.int64)
+                    ]
+                    zrate[zi][idx] = new_rate
+                    hourst[zi][idx] = boundary
+                    if events is not None:
+                        for j, i in enumerate(idx):
+                            tick = int(math.ceil(
+                                (float(boundary[j]) - float(t[i]) - 1e-6)
+                                / dt
+                            ))
+                            entries_by_run.setdefault(int(i), []).append((
+                                max(tick, 0), zi, float(boundary[j]),
+                                zorder[zi],
+                                f"rate={float(new_rate[j]):.3f}",
+                            ))
+                cm = accr & comp_mask[zi]
+                if cm.any():
+                    whole = cm & (zcomp[zi] == np.floor(zcomp[zi]))
+                    zcomp[zi][whole] += kf[whole] * dt
+                    for i in np.flatnonzero(cm & ~whole):
+                        cs_acc = float(zcomp[zi][i])
+                        for _ in range(int(ki[i])):
+                            cs_acc += dt
+                        zcomp[zi][i] = cs_acc
+                tm = accr & trans_mask[zi]
+                if tm.any():
+                    whole = tm & (phase[zi] == np.floor(phase[zi]))
+                    phase[zi][whole] -= kf[whole] * dt
+                    for i in np.flatnonzero(tm & ~whole):
+                        ph_acc = float(phase[zi][i])
+                        for _ in range(int(ki[i])):
+                            ph_acc -= dt
+                        phase[zi][i] = ph_acc
+            if events is not None:
+                for i, ent in entries_by_run.items():
+                    ent.sort(key=lambda e: (e[0], e[1]))
+                    for _, _, boundary_f, zname, detail in ent:
+                        events[i].append(Event(
+                            time=boundary_f, kind="hour-rolled",
+                            zone=zname, detail=detail,
+                        ))
+            t[accr] += kf[accr] * dt
+        else:  # pragma: no cover - loop guard
+            raise EngineError(
+                f"vector engine exceeded {max_rounds} rounds; "
+                f"{int(alive.sum())} runs still live"
+            )
+
+        # -- finalize: per-run plan state feeds the result ---------------
+        spot_tot = np.zeros(n)
+        for zi in range(Z):
+            spot_tot = spot_tot + zspot[zi]
+        hours_tot = zhours.sum(axis=0)
+        rest_tot = zrest.sum(axis=0)
+        term_tot = zterm.sum(axis=0)
+        results: list[RunResult] = []
+        for j in range(n):
+            results.append(RunResult(
+                policy_name=pol_name[j],
+                bid=float(bid_arr[j]),
+                zones=cur_zones[j],
                 start_time=float(start_arr[j]),
                 finish_time=float(finish[j]),
                 deadline=float(deadline[j]),

@@ -429,19 +429,51 @@ class ExperimentRunner:
         One RNG per start (the same :meth:`_start_rng` stream the
         per-run path uses) shared across the cell's zone waves, so a
         merged three-zone cell draws queue delays in exactly the order
-        the serial ``run_cell`` loop would.  Single-zone records come
-        back start-major, zone-minor — the serial order; redundant
-        cells run all their zones as one multi-zone batch.
+        the serial ``run_cell`` loop would.  Single-zone and Large-bid
+        records come back start-major, zone-minor — the serial order;
+        redundant cells run all their zones as one multi-zone batch;
+        Adaptive cells batch the whole axis through
+        :meth:`~repro.core.vector_engine.VectorSimulator.run_adaptive_batch`.
         """
-        if task.kind not in ("single-zone", "redundant"):
+        if task.kind not in ("single-zone", "redundant", "adaptive",
+                             "large-bid"):
             raise ValueError(
                 f"start-axis batching is undefined for cell kind {task.kind!r}"
             )
-        factory = POLICY_FACTORIES[task.policy_label]
         config = task.config
         starts = [float(s) for s in starts]
         rngs = [self._start_rng(s) for s in starts]
         vec = self.vector
+        if task.kind == "adaptive":
+            controller_factory = task.controller_factory or AdaptiveController
+            results = vec.run_adaptive_batch(
+                config, controller_factory, starts, rngs
+            )
+            return [
+                self._record("adaptive", config, results[i].bid, start,
+                             results[i])
+                for i, start in enumerate(starts)
+            ]
+        if task.kind == "large-bid":
+            if task.threshold is None:
+                policy_factory = naive_policy
+            else:
+                policy_factory = lambda: LargeBidPolicy(task.threshold)  # noqa: E731
+            label = policy_factory().name
+            per_zone = [
+                vec.run_batch(config, policy_factory, LARGE_BID, (zone,),
+                              starts, rngs)
+                for zone in task.zones
+            ]
+            records = []
+            for i, start in enumerate(starts):
+                for results in per_zone:
+                    records.append(
+                        self._record(label, config, LARGE_BID, start,
+                                     results[i])
+                    )
+            return records
+        factory = POLICY_FACTORIES[task.policy_label]
         if task.kind == "single-zone":
             per_zone = [
                 vec.run_batch(config, factory, task.bid, (zone,), starts, rngs)
@@ -494,15 +526,17 @@ class ExperimentRunner:
 
         The parallel path merges worker results in start order, so the
         returned records are identical (values and order) to a serial
-        run.  Under ``engine_mode="vector"`` single-zone and redundant
-        cells route through the start-axis batch engine instead of the
-        per-start loop (audited runners excepted — the vector path has
-        no audit hooks, so those runs stay per-run on the fast engine).
+        run.  Under ``engine_mode="vector"`` single-zone, redundant,
+        Adaptive and Large-bid cells route through the start-axis batch
+        engine instead of the per-start loop (audited runners excepted
+        — the vector path has no audit hooks, so those runs stay
+        per-run on the fast engine).
         """
         starts = [float(s) for s in self.starts(task.config)]
         if (
             self.engine_mode == "vector"
-            and task.kind in ("single-zone", "redundant")
+            and task.kind in ("single-zone", "redundant", "adaptive",
+                              "large-bid")
             and not self.audit
         ):
             if self.workers > 1 and len(starts) > 1:

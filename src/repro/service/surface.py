@@ -336,10 +336,34 @@ class SurfaceBuilder:
     workers: int = 1
     engine_mode: str = "vector"
 
+    def __post_init__(self) -> None:
+        self._vector_stats = None
+
     def _cache_dir(self) -> str | None:
         if self.cache_dir is not None:
             return self.cache_dir
         return self.store.run_cache_dir if self.store is not None else None
+
+    def drain_vector_stats(self):
+        """Vector-engine batch statistics accumulated by builds.
+
+        Returns the merged
+        :class:`~repro.core.vector_engine.BatchStats` of every
+        :meth:`build` since the last drain (or ``None`` when nothing
+        ran through a vector batch), so operators can see when a
+        surface build silently fell back to per-run scalar simulation.
+        """
+        stats = self._vector_stats
+        self._vector_stats = None
+        return stats
+
+    def _absorb_stats(self, stats) -> None:
+        if stats is None:
+            return
+        if self._vector_stats is None:
+            self._vector_stats = stats
+        else:
+            self._vector_stats.merge(stats)
 
     def build(self, spec: SurfaceSpec) -> PolicySurface:
         """Evaluate the whole decision grid and persist the artifact.
@@ -376,6 +400,9 @@ class SurfaceBuilder:
                                 policy, n, bid, per_bid[float(bid)]
                             )
                         )
+            # Capture before the runner context closes (closing shuts
+            # down the executor whose workers carry the merged stats).
+            self._absorb_stats(runner.drain_vector_stats())
         surface = PolicySurface(
             spec=spec,
             cells=tuple(cells),

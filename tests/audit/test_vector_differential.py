@@ -4,12 +4,12 @@ One start axis — or a fused (bid x start) grid — runs through the
 struct-of-arrays engine and through per-run *audited* fast
 simulations; everything is diffed — RunResult fields (event logs ride
 along) and the vector log against the audited stream the invariant
-checker certified.  All five paper policies are covered on both
-volatility windows: Periodic, Edge, Markov-Daly and Threshold exercise
-the native lockstep columns (single- and multi-zone), Large-bid/Naive
-the per-run fallback.  The hypothesis half replays the same contract
-over random piecewise traces so the native shapes are not merely
-calibrated-window-correct.
+checker certified.  All five paper policies plus the Adaptive
+controller are covered on both volatility windows, every one on the
+native lockstep columns (single- and multi-zone; Large-bid/Naive and
+fractional starts included).  The hypothesis half replays the same
+contract over random piecewise traces so the native shapes are not
+merely calibrated-window-correct.
 """
 
 from __future__ import annotations
@@ -22,11 +22,13 @@ from repro.app.workload import paper_experiment
 from repro.audit.differential import (
     VectorDifferentialReport,
     diff_log_vs_audit_stream,
+    vector_differential_adaptive,
     vector_differential_grid,
     vector_differential_run,
 )
+from repro.core.adaptive import AdaptiveController
 from repro.core.edge import RisingEdgePolicy
-from repro.core.large_bid import naive_policy
+from repro.core.large_bid import LargeBidPolicy, naive_policy
 from repro.core.markov_daly import MarkovDalyPolicy
 from repro.core.periodic import PeriodicPolicy
 from repro.core.threshold import ThresholdPolicy
@@ -137,13 +139,76 @@ def test_vector_differential_grid_multi_zone(low_window, config):
 
 
 def test_vector_differential_grid_fractional_starts(low_window, config):
-    """Rows with non-integral starts fall back per run inside a fused
-    tile and still match the audited scalar runs bit for bit."""
+    """Rows with non-integral starts stay on the native columns inside
+    a fused tile and still match the audited scalar runs bit for bit
+    (the lockstep accrual replays the per-tick loop for fractional
+    clocks)."""
     trace, eval_start = low_window
     zone = trace.zone_names[0]
     report = vector_differential_grid(
         trace, config, MarkovDalyPolicy, [0.40, 0.81], (zone,),
         [eval_start, eval_start + 150.5],
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+def test_vector_differential_fractional_start_axis(low_window, config):
+    """A plain start axis with fractional starts: native columns,
+    audited-stream identical."""
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    report = vector_differential_run(
+        trace, config, PeriodicPolicy, 0.27, (zone,),
+        [eval_start + 0.5, eval_start + 150.5, eval_start + 7200.0],
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+@pytest.mark.parametrize("window_name", ["low", "high"])
+@pytest.mark.parametrize("threshold", [None, 0.50], ids=["naive", "L=0.50"])
+def test_vector_differential_large_bid(
+    window_name, threshold, config, low_window, high_window
+):
+    """Large-bid's native columns (threshold releases included) are
+    bit-identical to audited per-run fast simulation."""
+    trace, eval_start = low_window if window_name == "low" else high_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 7200.0 for k in range(3)]
+    report = vector_differential_run(
+        trace, config,
+        lambda: LargeBidPolicy(threshold),
+        LARGE_BID, (zone,), starts,
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+@pytest.mark.parametrize("window_name", ["low", "high"])
+def test_vector_differential_adaptive(
+    window_name, config, low_window, high_window
+):
+    """Adaptive's batched decision columns on both calibrated windows:
+    RunResult fields, event logs and audited streams all identical —
+    config-switch events carry (policy, bid, zone count), so identical
+    streams certify winner-identical controller decisions."""
+    trace, eval_start = low_window if window_name == "low" else high_window
+    starts = [eval_start + k * 7200.0 for k in range(4)]
+    report = vector_differential_adaptive(
+        trace, config, AdaptiveController, starts
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+    assert len(report.vector_results) == len(starts)
+    assert any(r.events for r in report.fast_results)
+
+
+def test_vector_differential_adaptive_custom_bid_grid(low_window, config):
+    """A narrowed candidate bid grid exercises different survivor sets
+    in the batched pruned pass; the contract holds regardless."""
+    trace, eval_start = low_window
+    starts = [eval_start, eval_start + 10800.0]
+    report = vector_differential_adaptive(
+        trace, config,
+        lambda: AdaptiveController(bids=(0.27, 0.40, 0.81)),
+        starts,
     )
     assert report.ok, "\n".join(report.summary_lines())
 
@@ -182,6 +247,29 @@ def test_fused_grid_holds_on_random_traces(trace, policy_label, num_zones):
     report = vector_differential_grid(
         trace, small_config(), POLICY_FACTORIES[policy_label],
         [0.27, 0.5, 0.81], ("za", "zb")[:num_zones], [0.0, 3600.0],
+        queue_model=FixedQueueDelay(300.0),
+    )
+    assert report.ok, "\n".join(report.summary_lines())
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    trace=price_traces(),
+    bids=st.sampled_from([
+        (0.27, 0.40, 0.81),
+        (0.15, 0.35, 0.50, 1.20),
+        (0.30, 2.40),
+    ]),
+)
+def test_adaptive_columns_hold_on_random_traces(trace, bids):
+    """Hypothesis: the Adaptive native columns match audited per-run
+    fast simulation on random piecewise traces across candidate bid
+    grids — every field, every event, every controller decision."""
+    report = vector_differential_adaptive(
+        trace, small_config(),
+        lambda: AdaptiveController(bids=bids),
+        [0.0, 7200.0],
         queue_model=FixedQueueDelay(300.0),
     )
     assert report.ok, "\n".join(report.summary_lines())

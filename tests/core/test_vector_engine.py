@@ -3,8 +3,10 @@
 The struct-of-arrays engine promises results — RunResult fields, event
 logs, queue-delay draw sequences, cache entries — bit-identical to a
 per-run ``SpotSimulator(engine_mode="fast")`` loop.  These tests hold
-the native lockstep path (periodic / edge / never, single zone) and
-every fallback route to that promise on the real evaluation windows.
+the native lockstep paths (every shipped policy kind — Large-bid
+included — single- and multi-zone, fractional starts, plus the
+Adaptive controller's batched decision columns) and every fallback
+route to that promise on the real evaluation windows.
 """
 
 from __future__ import annotations
@@ -18,7 +20,14 @@ from repro.core.engine import EngineError, SpotSimulator
 from repro.core.markov_daly import MarkovDalyPolicy
 from repro.core.periodic import PeriodicPolicy
 from repro.core.policy import NeverCheckpoint
-from repro.core.vector_engine import VectorSimulator, native_batch_kind
+from repro.core.vector_engine import (
+    FALLBACK_CONTROLLER,
+    FALLBACK_POLICY,
+    FALLBACK_REASONS,
+    BatchStats,
+    VectorSimulator,
+    native_batch_kind,
+)
 from repro.experiments.cache import RunCache
 from repro.market.queuing import QueueDelayModel
 from repro.market.spot_market import PriceOracle
@@ -138,14 +147,24 @@ def test_multi_zone_native_matches_fast_engine(low_window, config):
     assert any(r.events for r in vec)
 
 
-def test_fractional_start_falls_back(low_window, config):
-    """Non-integral starts take the per-run path inside a native batch."""
+def test_fractional_start_native(low_window, config):
+    """Non-integral starts ride the lockstep columns too — the fused
+    accrual replays the scalar engine's per-tick loop for fractional
+    clocks, so no row leaves the native path."""
     trace, eval_start = low_window
     zone = trace.zone_names[0]
     starts = [eval_start, eval_start + 150.5, eval_start + 7200.0]
     fast = _fast_results(trace, config, PeriodicPolicy, 0.27, (zone,), starts)
-    vec = _vector_results(trace, config, PeriodicPolicy, 0.27, (zone,), starts)
-    assert vec == fast
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=True,
+    )
+    results = vec.run_batch(
+        config, PeriodicPolicy, 0.27, (zone,), starts, _start_rngs(starts)
+    )
+    assert results == fast
+    assert vec.stats.native == len(starts)
+    assert vec.stats.fallback == {}
 
 
 def test_batch_validation_errors(low_window, config):
@@ -229,3 +248,155 @@ def test_cache_hit_burns_rng_draws(low_window, config, tmp_path):
         ).run(config, PeriodicPolicy(), 0.27, (zone,), s)
     for a, b in zip(cold, warm):
         assert a.bit_generator.state == b.bit_generator.state
+
+
+# -- Adaptive and Large-bid native columns ------------------------------
+
+
+def test_adaptive_batch_native_matches_fast_engine(low_window, config):
+    """Controller-driven runs batch natively: per-run controllers with a
+    shared selection memo, bit-identical to scalar fast runs."""
+    from repro.core.adaptive import AdaptiveController
+
+    trace, eval_start = low_window
+    starts = [eval_start + k * 7200.0 for k in range(4)]
+    zones = tuple(trace.zone_names[:1])
+    oracle = PriceOracle(trace)
+    fast = []
+    for s, rng in zip(starts, _start_rngs(starts)):
+        sim = SpotSimulator(
+            oracle=oracle, queue_model=QueueDelayModel(), rng=rng,
+            record_events=True, engine_mode="fast",
+        )
+        ctrl = AdaptiveController()
+        fast.append(sim.run(
+            config, PeriodicPolicy(), ctrl.bids[0], zones, s,
+            controller=ctrl,
+        ))
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=True,
+    )
+    results = vec.run_adaptive_batch(
+        config, AdaptiveController, starts, _start_rngs(starts)
+    )
+    assert results == fast
+    assert vec.stats.native == len(starts)
+    assert vec.stats.fallback == {}
+
+
+def test_adaptive_subclass_falls_back_under_controller_reason(
+    low_window, config
+):
+    """A controller subclass may override decision rules the columns
+    hard-code, so only the exact class batches; the fallback is still
+    bit-identical and counted under the closed enum's reason."""
+    from repro.core.adaptive import AdaptiveController
+
+    class TweakedController(AdaptiveController):
+        pass
+
+    trace, eval_start = low_window
+    starts = [eval_start, eval_start + 7200.0]
+    zones = tuple(trace.zone_names[:1])
+    oracle = PriceOracle(trace)
+    fast = []
+    for s, rng in zip(starts, _start_rngs(starts)):
+        sim = SpotSimulator(
+            oracle=oracle, queue_model=QueueDelayModel(), rng=rng,
+            record_events=True, engine_mode="fast",
+        )
+        ctrl = TweakedController()
+        fast.append(sim.run(
+            config, PeriodicPolicy(), ctrl.bids[0], zones, s,
+            controller=ctrl,
+        ))
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=True,
+    )
+    results = vec.run_adaptive_batch(
+        config, TweakedController, starts, _start_rngs(starts)
+    )
+    assert results == fast
+    assert vec.stats.native == 0
+    assert vec.stats.fallback == {FALLBACK_CONTROLLER: len(starts)}
+
+
+@pytest.mark.parametrize("threshold", [None, 0.50])
+def test_large_bid_batch_native(low_window, config, threshold):
+    """Large-bid (and its Naive variant) rides the lockstep columns."""
+    from repro.core.large_bid import LargeBidPolicy
+    from repro.market.constants import LARGE_BID
+
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start + k * 3600.0 for k in range(4)]
+
+    def factory():
+        return LargeBidPolicy(threshold)
+
+    assert native_batch_kind(factory(), (zone,)) == "large-bid"
+    fast = _fast_results(trace, config, factory, LARGE_BID, (zone,), starts)
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=True,
+    )
+    results = vec.run_batch(
+        config, factory, LARGE_BID, (zone,), starts, _start_rngs(starts)
+    )
+    assert results == fast
+    assert vec.stats.native == len(starts)
+    assert vec.stats.fallback == {}
+
+
+# -- fallback-reason enum and stats plumbing ----------------------------
+
+
+def test_fallback_reasons_are_a_closed_enum():
+    """The reason strings are an external contract: the CLI prints
+    them, operators grep for them — the set is exactly these two."""
+    assert FALLBACK_REASONS == frozenset({"policy", "controller"})
+    assert FALLBACK_POLICY in FALLBACK_REASONS
+    assert FALLBACK_CONTROLLER in FALLBACK_REASONS
+
+
+def test_engine_only_emits_enum_reasons(low_window, config):
+    """Every fallback the engine counts uses a documented constant."""
+
+    class OffGridPolicy(PeriodicPolicy):
+        vector_kind = None
+
+    trace, eval_start = low_window
+    zone = trace.zone_names[0]
+    starts = [eval_start, eval_start + 3600.0]
+    fast = _fast_results(trace, config, OffGridPolicy, 0.27, (zone,), starts)
+    vec = VectorSimulator(
+        oracle=PriceOracle(trace), queue_model=QueueDelayModel(),
+        record_events=True,
+    )
+    results = vec.run_batch(
+        config, OffGridPolicy, 0.27, (zone,), starts, _start_rngs(starts)
+    )
+    assert results == fast  # the fallback is still bit-identical
+    assert vec.stats.fallback == {FALLBACK_POLICY: len(starts)}
+    assert set(vec.stats.fallback) <= FALLBACK_REASONS
+
+
+def test_batch_stats_merge_preserves_reasons():
+    """Merging (the executor's worker-extras path) keeps the per-reason
+    breakdown intact — no collapsing into an undifferentiated total."""
+    a = BatchStats(native=3, cloned=1)
+    a.count_fallback(FALLBACK_POLICY, 2)
+    b = BatchStats(native=2)
+    b.count_fallback(FALLBACK_POLICY)
+    b.count_fallback(FALLBACK_CONTROLLER, 4)
+    a.merge(b)
+    assert a.native == 5 and a.cloned == 1
+    assert a.fallback == {FALLBACK_POLICY: 3, FALLBACK_CONTROLLER: 4}
+    assert a.total == 13
+    line = a.line()
+    assert line.startswith("vector-engine: native=5 cloned=1 fallback=7")
+    for reason in a.fallback:
+        assert f"{reason}={a.fallback[reason]}" in line
+        assert reason in FALLBACK_REASONS

@@ -94,6 +94,38 @@ class TestVectorEngineLine:
                      "--experiments", "2"]) == 0
         assert "vector-engine" not in capsys.readouterr().err
 
+    def test_stderr_line_reasons_come_from_closed_enum(self, capsys):
+        """The stats line is an operator contract: counts plus an
+        optional per-reason breakdown drawn only from the documented
+        fallback enum."""
+        import re
+
+        from repro.core.vector_engine import FALLBACK_REASONS
+
+        assert main(["fig5", "--window", "low", "--slack", "0.5",
+                     "--experiments", "2", "--engine", "vector"]) == 0
+        err = capsys.readouterr().err
+        match = re.search(
+            r"vector-engine: native=(\d+) cloned=(\d+) fallback=(\d+)"
+            r"(?: \(([^)]*)\))?",
+            err,
+        )
+        assert match, err
+        if match.group(4):
+            for part in match.group(4).split():
+                reason, _, count = part.partition("=")
+                assert reason in FALLBACK_REASONS
+                assert count.isdigit()
+
+    def test_adaptive_figure_reports_native_no_fallback(self, capsys):
+        """Figure 5's Adaptive cells ride the batched decision columns:
+        the stats line must show zero fallbacks."""
+        assert main(["fig5", "--window", "low", "--slack", "0.5",
+                     "--experiments", "2", "--engine", "vector"]) == 0
+        err = capsys.readouterr().err
+        assert "vector-engine: native=" in err
+        assert "fallback=0" in err
+
 
 class TestFig1Command:
     def test_fig1_renders_timeline(self, capsys):

@@ -78,14 +78,15 @@ class TestRunGridEquivalence:
 
 
 class TestFallbacks:
-    def test_adaptive_falls_back_per_run(self, fast_runner, config):
-        """The controller shape has no native column; the vector runner
-        must hand it to per-run simulation and match the fast engine."""
+    def test_adaptive_runs_natively(self, fast_runner, config):
+        """The controller now has native columns; the vector runner
+        must serve it without fallback and match the fast engine."""
         vec = ExperimentRunner("low", num_experiments=3,
                                engine_mode="vector")
         assert vec.run_adaptive(config) == fast_runner.run_adaptive(config)
         stats = vec.drain_vector_stats()
-        assert stats is None or stats.native == 0
+        assert stats is not None and stats.native == 3
+        assert stats.fallback == {}
 
     def test_audited_runner_routes_per_run(self, config):
         audited = ExperimentRunner(

@@ -10,8 +10,15 @@ from __future__ import annotations
 import pytest
 
 from repro.app.workload import paper_experiment
+from repro.core.adaptive import AdaptiveController
+from repro.core.vector_engine import FALLBACK_CONTROLLER, FALLBACK_REASONS
 from repro.experiments.parallel import SweepExecutor
 from repro.experiments.runner import CellTask, ExperimentRunner
+
+
+class TweakedController(AdaptiveController):
+    """Module-level (picklable) controller subclass: exercises the
+    vector engine's controller fallback through worker processes."""
 
 
 @pytest.fixture(scope="module")
@@ -115,6 +122,29 @@ class TestDrainCacheStatsContract:
             runner.run_redundant("periodic", config, 0.81)
             assert runner.drain_cache_stats() is None
             assert runner.executor.drain_cache_stats() is None
+
+    def test_vector_stats_native_counts_survive_worker_merge(self, config):
+        """BatchStats ride the worker-extras channel; the ordered merge
+        must add up to the whole cell, all native for Adaptive."""
+        with ExperimentRunner("low", num_experiments=4, workers=2,
+                              engine_mode="vector") as runner:
+            records = runner.run_adaptive(config)
+            stats = runner.drain_vector_stats()
+        assert stats is not None
+        assert stats.native == len(records)
+        assert stats.cloned == 0 and stats.fallback == {}
+
+    def test_vector_stats_fallback_reasons_survive_worker_merge(self, config):
+        """The per-reason fallback breakdown is preserved end to end —
+        workers count under the closed enum, the merge keeps the keys."""
+        with ExperimentRunner("low", num_experiments=4, workers=2,
+                              engine_mode="vector") as runner:
+            records = runner.run_adaptive(config, TweakedController)
+            stats = runner.drain_vector_stats()
+        assert stats is not None
+        assert stats.native == 0
+        assert stats.fallback == {FALLBACK_CONTROLLER: len(records)}
+        assert set(stats.fallback) <= FALLBACK_REASONS
 
     def test_runner_memory_cache_with_uncached_workers(self, config):
         """An injected in-memory cache (no cache_dir) must not crash the

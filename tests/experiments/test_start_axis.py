@@ -47,6 +47,33 @@ def test_vector_runner_matches_fast_markov_daly(fast_runner, vector_runner, conf
     assert a == b
 
 
+def test_vector_runner_matches_fast_adaptive(fast_runner, vector_runner,
+                                             config):
+    """Adaptive cells go through the batched decision columns and must
+    be invisible: identical records, every run served native."""
+    a = fast_runner.run_adaptive(config)
+    vector_runner.drain_vector_stats()  # isolate this cell's tally
+    b = vector_runner.run_adaptive(config)
+    stats = vector_runner.drain_vector_stats()
+    assert a == b
+    assert stats is not None
+    assert stats.native == len(b)
+    assert stats.fallback == {}
+
+
+def test_vector_runner_matches_fast_large_bid(fast_runner, vector_runner,
+                                              config):
+    """Large-bid cells (threshold and Naive) ride the native columns."""
+    for threshold in (0.81, None):
+        a = fast_runner.run_large_bid(config, threshold)
+        vector_runner.drain_vector_stats()
+        b = vector_runner.run_large_bid(config, threshold)
+        stats = vector_runner.drain_vector_stats()
+        assert a == b
+        assert stats is not None and stats.native == len(b)
+        assert stats.fallback == {}
+
+
 def test_run_start_axis_equals_run_single_zone(fast_runner, config):
     """The explicit batched API matches the per-run grid on any runner."""
     a = fast_runner.run_single_zone("edge", config, 0.81)
@@ -62,10 +89,32 @@ def test_run_start_axis_subset_of_zones(fast_runner, config):
     assert all(r.result.zones == tuple(zones) for r in b)
 
 
-def test_start_axis_cells_rejects_unbatchable_kind(fast_runner, config):
-    task = CellTask(kind="adaptive", config=config)
+def test_start_axis_cells_rejects_unknown_kind(fast_runner, config):
+    task = CellTask(kind="mystery", config=config)
     with pytest.raises(ValueError, match="start-axis batching"):
         fast_runner.run_start_axis_cells(task, [fast_runner.eval_start])
+
+
+def test_start_axis_cells_serves_adaptive(fast_runner, config):
+    """Adaptive cells batch the whole axis: batched controller
+    decisions, same records as per-start serial cells."""
+    task = CellTask(kind="adaptive", config=config)
+    starts = [float(s) for s in fast_runner.starts(config)[:3]]
+    batched = fast_runner.run_start_axis_cells(task, starts)
+    serial = [r for s in starts for r in fast_runner.run_cell(task, s)]
+    assert batched == serial
+    assert all(r.label == "adaptive" for r in batched)
+
+
+def test_start_axis_cells_serves_large_bid(fast_runner, config):
+    """Large-bid cells ride the native columns, merged over zones in
+    the serial start-major, zone-minor order."""
+    task = CellTask(kind="large-bid", config=config, threshold=0.81,
+                    zones=fast_runner.trace.zone_names)
+    starts = [float(s) for s in fast_runner.starts(config)[:2]]
+    batched = fast_runner.run_start_axis_cells(task, starts)
+    serial = [r for s in starts for r in fast_runner.run_cell(task, s)]
+    assert batched == serial
 
 
 def test_start_axis_cells_serves_redundant(fast_runner, config):

@@ -44,6 +44,18 @@ class TestSurfaceCommand:
         assert main(["surface", "ls", "--store", str(tmp_path)]) == 0
         assert "0 surface(s)" in capsys.readouterr().out
 
+    def test_build_reports_vector_stats_to_stderr(self, tmp_path, capsys):
+        """surface build prints the vector-engine tally so operators
+        see when a build silently fell back to scalar runs; the line
+        follows the same closed-enum contract as the figure commands."""
+        store = str(tmp_path / "surfaces")
+        assert main(["surface", "build", "--store", store,
+                     "--slack", "0.5", *SMALL]) == 0
+        captured = capsys.readouterr()
+        assert "vector-engine: native=" in captured.err
+        assert "fallback=0" in captured.err
+        assert "vector-engine" not in captured.out
+
 
 class TestAdviseCommand:
     def test_warm_answer_from_built_surface(self, tmp_path, capsys):
