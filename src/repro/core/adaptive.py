@@ -209,7 +209,17 @@ class SelectionMemo:
         levels = tuple(
             float(ctx.oracle.price(z, ctx.now)) for z in ctx.oracle.zone_names
         )
-        key = (bucket, levels)
+        # The job shape participates in the key: _build_dense's cost
+        # model reads (compute, checkpoint, restart) off ctx.config, so
+        # a memo shared across a deadline ladder (run_cube's shape
+        # rows) must never serve one shape's surface to another.  The
+        # deadline itself enters through select()'s remaining-time key.
+        key = (
+            bucket, levels,
+            float(ctx.config.compute_s),
+            float(ctx.config.ckpt_cost_s),
+            float(ctx.config.restart_cost_s),
+        )
         entry = self._surfaces.get(key)
         if entry is None:
             # Build with the production _build_dense code against

@@ -1,4 +1,4 @@
-"""Struct-of-arrays batched engine — whole (bid × start) grids in lockstep.
+"""Struct-of-arrays batched engine — (shape × bid × start) cubes in lockstep.
 
 Every figure aggregates hundreds of (start, seed) runs per grid cell;
 after the segment-skipping fast path, the remaining cost is the
@@ -11,7 +11,15 @@ batch.  Multi-zone cells store per-zone state as per-zone column
 blocks (one ``(zones, runs)`` array per field), and the bid axis is
 folded into the same batch: every run carries its own bid column, so
 one lockstep pass serves an entire (bid × start) grid per (policy,
-zone-set) cell.  Bid-invariant policies compose with
+zone-set) cell.  The job-shape axis folds in the same way
+(:meth:`VectorSimulator.run_cube`): every run also carries its own
+(compute, checkpoint-cost, restart-cost, deadline) columns, so one
+pass advances a whole (shape × bid × start) cube — a deadline ladder
+shares the zone-dynamics column work (price lookups, crossing
+searches, the round loop itself) while each shape row keeps its own
+progress, billing, checkpoint and deadline state and its own RNG
+stream, preserving bit-exactness row by row.  Bid-invariant policies
+compose with
 :mod:`repro.core.bid_batch`'s equivalence classes — one representative
 row simulates per class and the engine clones the rest inside the
 batch, rewriting only the bid.
@@ -269,8 +277,53 @@ class VectorSimulator:
         scope (no recognized ``vector_kind``) fall back to per-run
         scalar fast simulation under :data:`FALLBACK_POLICY`.
         """
+        return self.run_cube(
+            [config], policy_factory, zones,
+            [0] * len(starts), bids, starts, rngs,
+            clone_of=clone_of,
+        )
+
+    def run_cube(
+        self,
+        configs,
+        policy_factory,
+        zones: tuple[str, ...],
+        shape_idx,
+        bids,
+        starts,
+        rngs,
+        clone_of=None,
+    ) -> list[RunResult]:
+        """Simulate one run per (shape, bid, start, rng) row; in order.
+
+        ``configs`` is the job-shape ladder (typically one compute /
+        checkpoint configuration at several deadlines) and
+        ``shape_idx[i]`` names row ``i``'s shape.  Every row is
+        bit-identical — RunResult, event log, RNG draw sequence, cache
+        address — to a scalar fast run at its own shape: shape rows
+        share the lockstep round loop and the per-(zone, bid) crossing
+        arrays, never each other's arithmetic.  ``clone_of`` rows are
+        honored only within a shape (a clone must share its
+        representative's deadline as well as its availability
+        signature).  Rows outside the native scope fall back to per-run
+        scalar fast simulation under :data:`FALLBACK_POLICY` at their
+        own shape.
+        """
         zones = tuple(zones)
         starts = [float(s) for s in starts]
+        configs = list(configs)
+        shape_idx = [int(s) for s in shape_idx]
+        if not configs:
+            raise EngineError("at least one job shape is required")
+        if len(shape_idx) != len(starts):
+            raise EngineError(
+                f"{len(starts)} starts but {len(shape_idx)} shape rows"
+            )
+        for s in shape_idx:
+            if not 0 <= s < len(configs):
+                raise EngineError(
+                    f"shape index {s} outside 0..{len(configs) - 1}"
+                )
         if len(rngs) != len(starts):
             raise EngineError(
                 f"{len(starts)} starts but {len(rngs)} rng streams"
@@ -297,7 +350,9 @@ class VectorSimulator:
         is_native = [kind is not None for _ in range(n)]
 
         # Bid-equivalence clone plan: honored only for bid-invariant
-        # policies and only between rows the native path serves.
+        # policies, only between rows the native path serves, and only
+        # within one job shape (the deadline guard makes trajectories
+        # shape-dependent even when availability matches).
         plan: dict[int, int] = {}
         if clone_of is not None and getattr(
             type(probe), "bid_invariant", False
@@ -307,6 +362,8 @@ class VectorSimulator:
                     continue
                 rep = int(rep)
                 if not (0 <= rep < n):
+                    continue
+                if shape_idx[i] != shape_idx[rep]:
                     continue
                 if is_native[i] and is_native[rep]:
                     plan[i] = rep
@@ -321,8 +378,8 @@ class VectorSimulator:
         sim_rows = [i for i in range(n) if is_native[i] and i not in plan]
         if sim_rows:
             self._run_native_rows(
-                config, probe, kind, zones, bids, starts, rngs,
-                sim_rows, results,
+                configs, probe, kind, zones, shape_idx, bids, starts,
+                rngs, sim_rows, results,
             )
             self.stats.native += len(sim_rows)
         for i, rep in sorted(plan.items()):
@@ -337,7 +394,8 @@ class VectorSimulator:
                     engine_mode="fast", run_cache=self.run_cache,
                 )
                 results[i] = sim.run(
-                    config, policy_factory(), bids[i], zones, starts[i]
+                    configs[shape_idx[i]], policy_factory(), bids[i],
+                    zones, starts[i],
                 )
         return results
 
@@ -362,10 +420,44 @@ AdaptiveController` exactly (a subclass may override decision rules the
         controller falls back to per-run scalar fast simulation under
         :data:`FALLBACK_CONTROLLER`.
         """
+        return self.run_adaptive_cube(
+            [config], controller_factory, [0] * len(starts), starts, rngs
+        )
+
+    def run_adaptive_cube(
+        self,
+        configs,
+        controller_factory,
+        shape_idx,
+        starts,
+        rngs,
+    ) -> list[RunResult]:
+        """Simulate one controller-driven run per (shape, start, rng) row.
+
+        The shape axis works exactly as in :meth:`run_cube`: row ``i``
+        runs at ``configs[shape_idx[i]]``, bit-identical to a scalar
+        fast controller run at that shape, while the deadline ladder
+        shares the round loop, the crossing caches and — through the
+        shared :class:`~repro.core.adaptive.SelectionMemo`, whose keys
+        carry the job shape — the dense candidate selections.
+        """
         from repro.core.adaptive import AdaptiveController
         from repro.core.periodic import PeriodicPolicy
 
         starts = [float(s) for s in starts]
+        configs = list(configs)
+        shape_idx = [int(s) for s in shape_idx]
+        if not configs:
+            raise EngineError("at least one job shape is required")
+        if len(shape_idx) != len(starts):
+            raise EngineError(
+                f"{len(starts)} starts but {len(shape_idx)} shape rows"
+            )
+        for s in shape_idx:
+            if not 0 <= s < len(configs):
+                raise EngineError(
+                    f"shape index {s} outside 0..{len(configs) - 1}"
+                )
         if len(rngs) != len(starts):
             raise EngineError(
                 f"{len(starts)} starts but {len(rngs)} rng streams"
@@ -384,12 +476,12 @@ AdaptiveController` exactly (a subclass may override decision rules the
                     engine_mode="fast", run_cache=self.run_cache,
                 )
                 results[i] = sim.run(
-                    config, PeriodicPolicy(), ctrl.bids[0], init_zones,
-                    starts[i], controller=ctrl,
+                    configs[shape_idx[i]], PeriodicPolicy(),
+                    ctrl.bids[0], init_zones, starts[i], controller=ctrl,
                 )
             return results
         self._run_adaptive_rows(
-            config, controller_factory, probe, starts, rngs,
+            configs, controller_factory, probe, shape_idx, starts, rngs,
             list(range(n)), results,
         )
         self.stats.native += n
@@ -398,7 +490,8 @@ AdaptiveController` exactly (a subclass may override decision rules the
     # -- cache-aware native dispatch ---------------------------------------
 
     def _run_native_rows(
-        self, config, probe, kind, zones, bids, starts, rngs, idxs, results
+        self, configs, probe, kind, zones, shape_idx, bids, starts, rngs,
+        idxs, results,
     ) -> None:
         """Serve ``idxs`` from the cache where possible, batch the rest."""
         cache = self.run_cache
@@ -406,7 +499,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
         todo = idxs
         if cache is not None:
             oracle = self.oracle
-            base = {
+            shared = {
                 "trace": oracle.trace.fingerprint(),
                 "oracle": {
                     "history_s": oracle.history_s,
@@ -418,17 +511,20 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 "engine_mode": "fast",
                 "record_events": self.record_events,
                 "record_timeline": False,
-                "config": config,
                 "policy": probe.canonical_params(),
                 "zones": zones,
                 "controller": None,
                 "queue_model": self.queue_model,
             }
+            # one base per job shape: ``config`` is part of the content
+            # address, so every cube row lands on exactly the entry its
+            # own-shape scalar fast run would read or write
+            bases = [{**shared, "config": cfg} for cfg in configs]
             todo = []
             for i in idxs:
                 try:
                     key = cache.run_key({
-                        **base,
+                        **bases[shape_idx[i]],
                         "bid": float(bids[i]),
                         "start_time": starts[i],
                         "rng": rngs[i].bit_generator.state,
@@ -447,7 +543,8 @@ AdaptiveController` exactly (a subclass may override decision rules the
         if not todo:
             return
         batch, draws = self._simulate_rows(
-            config, probe, kind, zones,
+            configs, probe, kind, zones,
+            [shape_idx[i] for i in todo],
             [float(bids[i]) for i in todo],
             [starts[i] for i in todo],
             [rngs[i] for i in todo],
@@ -463,7 +560,8 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 )
 
     def _run_adaptive_rows(
-        self, config, controller_factory, probe, starts, rngs, idxs, results
+        self, configs, controller_factory, probe, shape_idx, starts, rngs,
+        idxs, results,
     ) -> None:
         """Serve ``idxs`` from the cache where possible, batch the rest."""
         from repro.core.periodic import PeriodicPolicy
@@ -475,7 +573,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
         controller_params = probe.canonical_params()
         if cache is not None and controller_params is not None:
             oracle = self.oracle
-            base = {
+            shared = {
                 "trace": oracle.trace.fingerprint(),
                 "oracle": {
                     "history_s": oracle.history_s,
@@ -487,18 +585,18 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 "engine_mode": "fast",
                 "record_events": self.record_events,
                 "record_timeline": False,
-                "config": config,
                 "policy": PeriodicPolicy().canonical_params(),
                 "bid": float(probe.bids[0]),
                 "zones": init_zones,
                 "controller": controller_params,
                 "queue_model": self.queue_model,
             }
+            bases = [{**shared, "config": cfg} for cfg in configs]
             todo = []
             for i in idxs:
                 try:
                     key = cache.run_key({
-                        **base,
+                        **bases[shape_idx[i]],
                         "start_time": starts[i],
                         "rng": rngs[i].bit_generator.state,
                     })
@@ -516,7 +614,8 @@ AdaptiveController` exactly (a subclass may override decision rules the
         if not todo:
             return
         batch, draws = self._simulate_adaptive_rows(
-            config, controller_factory, probe,
+            configs, controller_factory, probe,
+            [shape_idx[i] for i in todo],
             [starts[i] for i in todo],
             [rngs[i] for i in todo],
         )
@@ -533,9 +632,17 @@ AdaptiveController` exactly (a subclass may override decision rules the
     # -- the lockstep core -------------------------------------------------
 
     def _simulate_rows(
-        self, config, probe, kind, zones, bids, starts, rngs
+        self, configs, probe, kind, zones, shape_idx, bids, starts, rngs
     ) -> tuple[list[RunResult], np.ndarray]:
-        """Advance ``len(starts)`` native rows to completion in lockstep."""
+        """Advance ``len(starts)`` native rows to completion in lockstep.
+
+        Row ``i`` runs at job shape ``configs[shape_idx[i]]``: the
+        shape scalars (compute, checkpoint cost, restart cost,
+        deadline) become per-row float64 columns, and every expression
+        that read them stays elementwise — identical IEEE arithmetic to
+        the scalar broadcast wherever rows share a shape, per-row exact
+        everywhere else.
+        """
         oracle = self.oracle
         dt = float(SAMPLE_INTERVAL_S)
         n = len(starts)
@@ -560,16 +667,27 @@ AdaptiveController` exactly (a subclass may override decision rules the
 
         start_arr = np.asarray(starts, dtype=np.float64)
         bid_arr = np.asarray(bids, dtype=np.float64)
-        deadline = start_arr + config.deadline_s
+        shape_arr = np.asarray(shape_idx, dtype=np.int64)
+        dls = np.asarray(
+            [cfg.deadline_s for cfg in configs], dtype=np.float64
+        )
+        deadline = start_arr + dls[shape_arr]
         end_time = float(oracle.trace.end_time)
         if np.any(deadline > end_time):
             bad = float(deadline[deadline > end_time][0])
             raise EngineError(
                 f"trace ends at {end_time}, before the deadline {bad}"
             )
-        C = float(config.compute_s)
-        tc = float(config.ckpt_cost_s)
-        tr = float(config.restart_cost_s)
+        # per-row shape columns (see the docstring)
+        C = np.asarray(
+            [cfg.compute_s for cfg in configs], dtype=np.float64
+        )[shape_arr]
+        tc = np.asarray(
+            [cfg.ckpt_cost_s for cfg in configs], dtype=np.float64
+        )[shape_arr]
+        tr = np.asarray(
+            [cfg.restart_cost_s for cfg in configs], dtype=np.float64
+        )[shape_arr]
 
         # shared per-trace indices (memoized on the ZoneTrace), one
         # crossing array per (zone, distinct bid) — the fused bid axis
@@ -665,33 +783,36 @@ AdaptiveController` exactly (a subclass may override decision rules the
 
         def md_schedule(i: int) -> None:
             """MarkovDalyPolicy.schedule_next_checkpoint in Python
-            floats — identical arithmetic, identical oracle queries."""
+            floats — identical arithmetic, identical oracle queries —
+            against row ``i``'s own job shape."""
             now = float(t[i])
+            tc_i = float(tc[i])
+            tr_i = float(tr[i])
             uptime = float(
                 oracle.combined_uptimes(zones_t, now, (float(bid_arr[i]),))[0]
             )
-            interval = daly_interval(uptime, tc)
-            remaining_compute = max(C - float(committed[i]), 0.0)
+            interval = daly_interval(uptime, tc_i)
+            remaining_compute = max(float(C[i]) - float(committed[i]), 0.0)
             margin = (
                 max(float(deadline[i]) - now, 0.0)
                 - remaining_compute
-                - tc
-                - tr
+                - tc_i
+                - tr_i
             )
-            reserve = tc + 4.0 * 300.0  # forced-commit window + ticks
+            reserve = tc_i + 4.0 * 300.0  # forced-commit window + ticks
             budget = margin - reserve
             if budget > 0:
-                interval = max(interval, remaining_compute * tc / budget)
-                interval = min(interval, max(budget, tc))
+                interval = max(interval, remaining_compute * tc_i / budget)
+                interval = min(interval, max(budget, tc_i))
             else:
-                interval = max(margin, tc)
+                interval = max(margin, tc_i)
             md_next[i] = now + interval
 
         if kind == "markov-daly":
             for i in range(n):  # policy reset + schedule at t = start
                 md_schedule(i)
 
-        max_rounds = int(config.deadline_s // dt) + 16
+        max_rounds = int(float(dls.max()) // dt) + 16
         for _round in range(max_rounds):
             if not alive.any():
                 break
@@ -794,7 +915,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 lz = lead_zi[fi]
                 pendc[lz, fi] = lead_local[fi]
                 zst[lz, fi] = CHECKPOINTING
-                phase[lz, fi] = tc
+                phase[lz, fi] = tc[fi]
                 if events is not None:
                     for j, i in enumerate(fi):
                         events[i].append(Event(
@@ -820,7 +941,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                         key2 < best_key
                     )
                     best_prog[use2] = loc[zi][use2]
-                    best_pre[use2] = tc
+                    best_pre[use2] = tc[use2]
                     best_key[use2] = key2[use2]
                     key3 = (
                         np.maximum(C - pendc[zi], 0.0) + phase[zi]
@@ -957,7 +1078,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 lz = lead_zi[fi]
                 pendc[lz, fi] = lead_local[fi]
                 zst[lz, fi] = CHECKPOINTING
-                phase[lz, fi] = tc
+                phase[lz, fi] = tc[fi]
                 if lb:  # release_after_checkpoint is always True
                     rel_pending[fi] = True
                     rel_zi[fi] = lz
@@ -984,7 +1105,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                     draws[i] += 1
                     zst[zi, i] = QUEUING
                     phase[zi, i] = delay
-                    pendr[zi, i] = tr if com > 0 else 0.0
+                    pendr[zi, i] = float(tr[i]) if com > 0 else 0.0
                     zbase[zi, i] = com
                     zcomp[zi, i] = 0.0
                     csince[zi, i] = np.nan
@@ -1506,9 +1627,16 @@ AdaptiveController` exactly (a subclass may override decision rules the
     # -- the Adaptive lockstep core ----------------------------------------
 
     def _simulate_adaptive_rows(
-        self, config, controller_factory, probe, starts, rngs
+        self, configs, controller_factory, probe, shape_idx, starts, rngs
     ) -> tuple[list[RunResult], np.ndarray]:
         """Advance ``len(starts)`` Adaptive-controller runs in lockstep.
+
+        Row ``i`` runs at job shape ``configs[shape_idx[i]]`` — the
+        shape scalars become per-row columns exactly as in
+        :meth:`_simulate_rows`, and each row's decision contexts carry
+        its own :class:`ExperimentConfig`, so the shared
+        :class:`~repro.core.adaptive.SelectionMemo` keys its dense
+        selections (which fingerprint the config) per shape.
 
         Controller state rides in columns: every run carries its own
         bid, active-zone mask, policy kind ("periodic" or
@@ -1547,16 +1675,26 @@ AdaptiveController` exactly (a subclass may override decision rules the
         ref_len = zlen[0]
 
         start_arr = np.asarray(starts, dtype=np.float64)
-        deadline = start_arr + config.deadline_s
+        shape_arr = np.asarray(shape_idx, dtype=np.int64)
+        dls = np.asarray(
+            [cfg.deadline_s for cfg in configs], dtype=np.float64
+        )
+        deadline = start_arr + dls[shape_arr]
         end_time = float(oracle.trace.end_time)
         if np.any(deadline > end_time):
             bad = float(deadline[deadline > end_time][0])
             raise EngineError(
                 f"trace ends at {end_time}, before the deadline {bad}"
             )
-        C = float(config.compute_s)
-        tc = float(config.ckpt_cost_s)
-        tr = float(config.restart_cost_s)
+        C = np.asarray(
+            [cfg.compute_s for cfg in configs], dtype=np.float64
+        )[shape_arr]
+        tc = np.asarray(
+            [cfg.ckpt_cost_s for cfg in configs], dtype=np.float64
+        )[shape_arr]
+        tr = np.asarray(
+            [cfg.restart_cost_s for cfg in configs], dtype=np.float64
+        )[shape_arr]
 
         # struct-of-arrays run state (as in _simulate_rows) ...
         t = start_arr.copy()
@@ -1607,7 +1745,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
         controllers = batch_controllers(controller_factory, n)
         boot = PolicyContext(
             now=0.0, bid=init_bid, zones=init_zones, oracle=oracle,
-            config=config, run=None, instances={},
+            config=configs[0], run=None, instances={},
         )
         for c in controllers:
             c.reset(boot)  # reads only the oracle's zone list
@@ -1633,7 +1771,8 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 )
             return PolicyContext(
                 now=float(t[i]), bid=float(bid_arr[i]),
-                zones=cur_zones[i], oracle=oracle, config=config,
+                zones=cur_zones[i], oracle=oracle,
+                config=configs[int(shape_arr[i])],
                 run=_ColRun(float(committed[i]), float(deadline[i])),
                 instances=insts,
             )
@@ -1661,21 +1800,23 @@ AdaptiveController` exactly (a subclass may override decision rules the
                     )[0]
                 )
                 upt_cache[key] = uptime
-            interval = daly_interval(uptime, tc)
-            remaining_compute = max(C - float(committed[i]), 0.0)
+            tc_i = float(tc[i])
+            tr_i = float(tr[i])
+            interval = daly_interval(uptime, tc_i)
+            remaining_compute = max(float(C[i]) - float(committed[i]), 0.0)
             margin = (
                 max(float(deadline[i]) - now, 0.0)
                 - remaining_compute
-                - tc
-                - tr
+                - tc_i
+                - tr_i
             )
-            reserve = tc + 4.0 * 300.0
+            reserve = tc_i + 4.0 * 300.0
             budget = margin - reserve
             if budget > 0:
-                interval = max(interval, remaining_compute * tc / budget)
-                interval = min(interval, max(budget, tc))
+                interval = max(interval, remaining_compute * tc_i / budget)
+                interval = min(interval, max(budget, tc_i))
             else:
-                interval = max(margin, tc)
+                interval = max(margin, tc_i)
             md_next[i] = now + interval
 
         # crossing arrays are fetched lazily: the set of distinct bids
@@ -1691,7 +1832,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 cross_cache[(zi, b)] = got
             return got
 
-        max_rounds = int(config.deadline_s // dt) + 16
+        max_rounds = int(float(dls.max()) // dt) + 16
         for _round in range(max_rounds):
             if not alive.any():
                 break
@@ -1782,7 +1923,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 lz = lead_zi[fi]
                 pendc[lz, fi] = lead_local[fi]
                 zst[lz, fi] = CHECKPOINTING
-                phase[lz, fi] = tc
+                phase[lz, fi] = tc[fi]
                 if events is not None:
                     for j, i in enumerate(fi):
                         events[i].append(Event(
@@ -1805,7 +1946,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                         key2 < best_key
                     )
                     best_prog[use2] = loc[zi][use2]
-                    best_pre[use2] = tc
+                    best_pre[use2] = tc[use2]
                     best_key[use2] = key2[use2]
                     key3 = (
                         np.maximum(C - pendc[zi], 0.0) + phase[zi]
@@ -1964,7 +2105,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                 lz = lead_zi[fi]
                 pendc[lz, fi] = lead_local[fi]
                 zst[lz, fi] = CHECKPOINTING
-                phase[lz, fi] = tc
+                phase[lz, fi] = tc[fi]
                 if events is not None:
                     for j, i in enumerate(fi):
                         events[i].append(Event(
@@ -1985,7 +2126,7 @@ AdaptiveController` exactly (a subclass may override decision rules the
                     draws[i] += 1
                     zst[zi, i] = QUEUING
                     phase[zi, i] = delay
-                    pendr[zi, i] = tr if com > 0 else 0.0
+                    pendr[zi, i] = float(tr[i]) if com > 0 else 0.0
                     zbase[zi, i] = com
                     zcomp[zi, i] = 0.0
                     csince[zi, i] = np.nan

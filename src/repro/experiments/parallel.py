@@ -328,6 +328,22 @@ def _run_grid_chunk(task: CellTask, bids: tuple, starts: tuple) -> tuple:
     return (pairs, *_worker_extras())
 
 
+def _run_cube_chunk(
+    task: CellTask, configs: tuple, bids: tuple, starts_per_shape: tuple
+) -> tuple:
+    """Worker entry point for one start-chunk of a fused (shape x bid x
+    start) cube: every shape's slice of the chunk advances in one
+    lockstep pass
+    (:meth:`~repro.experiments.runner.ExperimentRunner.run_cube_cell`)."""
+    if _WORKER_RUNNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool used before initialization")
+    cell = _WORKER_RUNNER.run_cube_cell(
+        task, list(configs), list(bids),
+        [list(starts) for starts in starts_per_shape],
+    )
+    return (cell, *_worker_extras())
+
+
 @dataclass
 class SweepExecutor:
     """Fans grid cells out over a :class:`ProcessPoolExecutor`.
@@ -489,6 +505,56 @@ class SweepExecutor:
             pairs, *extras = future.result()
             for bid, records in pairs:
                 out[bid].extend(records)
+            self._absorb_extras(*extras)
+        return out
+
+    def map_cube(
+        self,
+        task: CellTask,
+        configs: Sequence,
+        bids: Sequence[float],
+        starts_per_shape: Sequence[Sequence[float]],
+    ) -> list[dict[float, list[RunRecord]]]:
+        """Run a fused (shape x bid x start) cube over the pool.
+
+        Every shape's start grid splits into one contiguous chunk per
+        worker (start order preserved); chunk w carries shape k's w-th
+        slice for *all* shapes, so each worker still advances a full
+        shape ladder in one lockstep pass
+        (:meth:`~repro.experiments.runner.ExperimentRunner.run_cube_cell`)
+        and the zone-dynamics column sharing survives the fan-out.  The
+        ordered merge reproduces, per shape, the serial fused tile —
+        and therefore per-bid scalar runs — record for record.
+        """
+        pool = self._ensure_pool()
+        configs = tuple(configs)
+        bids = tuple(float(b) for b in bids)
+        split_per_shape = [
+            np.array_split(
+                np.asarray([float(s) for s in starts]), self.workers
+            )
+            for starts in starts_per_shape
+        ]
+        chunks = []
+        for w in range(self.workers):
+            per_shape = tuple(
+                tuple(float(s) for s in split_per_shape[k][w])
+                for k in range(len(configs))
+            )
+            if any(per_shape):
+                chunks.append(per_shape)
+        futures = [
+            pool.submit(_run_cube_chunk, task, configs, bids, per_shape)
+            for per_shape in chunks
+        ]
+        out: list[dict[float, list[RunRecord]]] = [
+            {bid: [] for bid in bids} for _ in configs
+        ]
+        for future in futures:
+            cell, *extras = future.result()
+            for k, pairs in enumerate(cell):
+                for bid, records in pairs:
+                    out[k][bid].extend(records)
             self._absorb_extras(*extras)
         return out
 

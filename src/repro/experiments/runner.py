@@ -750,6 +750,143 @@ class ExperimentRunner:
             out[bid].extend(records)
         return out
 
+    # -- fused (shape x bid x start) cube ----------------------------------
+
+    def run_cube_cell(
+        self,
+        task: CellTask,
+        configs: Sequence[ExperimentConfig],
+        bids: Sequence[float],
+        starts_per_shape: Sequence[Sequence[float]],
+    ) -> list[list[tuple[float, list[RunRecord]]]]:
+        """One contiguous start-chunk of a fused (shape x bid x start)
+        cube; the parallel cube-chunk entry point.
+
+        Each job shape brings its own start list (the overlapping-start
+        grid depends on the deadline), laid out shape-major over the
+        per-shape (bid x start) tiles of :meth:`run_grid_cell`; the
+        whole cube advances through the vector engine in one lockstep
+        pass, with bid-equivalence clones resolved per (shape, start)
+        so clones never cross shapes.  Returns, per shape, the same
+        ``(bid, records)`` pairs ``run_grid_cell`` would produce for
+        that shape alone — bit-identical, values and order.
+        """
+        if task.kind == "single-zone":
+            cell_zones = task.zones
+            waves = [(task.policy_label, (zone,)) for zone in task.zones]
+        elif task.kind == "redundant":
+            cell_zones = tuple(self.trace.zone_names[: task.num_zones])
+            waves = [(f"{task.policy_label}-r{task.num_zones}", cell_zones)]
+        else:
+            raise ValueError(
+                f"cube batching is undefined for cell kind {task.kind!r}"
+            )
+        factory = POLICY_FACTORIES[task.policy_label]
+        configs = list(configs)
+        bids = [float(b) for b in bids]
+        nb = len(bids)
+        bcol = {bid: j for j, bid in enumerate(bids)}
+        shape_idx: list[int] = []
+        row_bids: list[float] = []
+        row_starts: list[float] = []
+        row0: list[int] = []  # first row of each shape's tile
+        for k, shape_starts in enumerate(starts_per_shape):
+            row0.append(len(row_bids))
+            for start in shape_starts:
+                for bid in bids:
+                    shape_idx.append(k)
+                    row_bids.append(bid)
+                    row_starts.append(float(start))
+        rngs = [self._start_rng(start) for start in row_starts]
+        clone_of = None
+        if nb > 1 and factory().bid_invariant:
+            clone_of = [None] * len(row_bids)
+            for k, shape_starts in enumerate(starts_per_shape):
+                base = row0[k]
+                for si, start in enumerate(shape_starts):
+                    classes = bid_equivalence_classes(
+                        self.trace, cell_zones, bids, float(start),
+                        configs[k].deadline_s
+                    )
+                    for cls in classes:
+                        rep_row = base + si * nb + bcol[cls.representative]
+                        for bid in cls.members:
+                            if bid != cls.representative:
+                                clone_of[base + si * nb + bcol[bid]] = rep_row
+        vec = self.vector
+        per_wave = [
+            vec.run_cube(configs, factory, wave_zones, shape_idx, row_bids,
+                         row_starts, rngs, clone_of=clone_of)
+            for _, wave_zones in waves
+        ]
+        out: list[list[tuple[float, list[RunRecord]]]] = []
+        for k, shape_starts in enumerate(starts_per_shape):
+            base = row0[k]
+            pairs: list[tuple[float, list[RunRecord]]] = []
+            for bj, bid in enumerate(bids):
+                records = []
+                for si, start in enumerate(shape_starts):
+                    for (label, _), results in zip(waves, per_wave):
+                        records.append(
+                            self._record(label, configs[k], bid, float(start),
+                                         results[base + si * nb + bj])
+                        )
+                pairs.append((bid, records))
+            out.append(pairs)
+        return out
+
+    def run_cube(
+        self,
+        policy_label: str,
+        configs: Sequence[ExperimentConfig],
+        bids: Sequence[float],
+        zones: Sequence[str] | None = None,
+        redundant: bool = False,
+        num_zones: int = 3,
+    ) -> list[dict[float, list[RunRecord]]]:
+        """One (policy, zone-set) cell over a whole (shape x bid x
+        start) cube — a deadline ladder in one lockstep pass.
+
+        Per shape, same ``{bid: records}`` — values *and* order — as
+        :meth:`run_grid` called once per shape, regardless of
+        ``engine_mode``; the shape rows share the zone-dynamics column
+        work inside the vector engine instead.  Audited runners fall
+        back to per-run simulation so the auditor observes every run.
+        Returns one ``{bid: records}`` dict per shape, in ``configs``
+        order.
+        """
+        configs = list(configs)
+        if not configs:
+            raise ValueError("at least one job shape is required")
+        bids = [float(b) for b in dict.fromkeys(float(b) for b in bids)]
+        if redundant:
+            task = CellTask(kind="redundant", config=configs[0],
+                            policy_label=policy_label, num_zones=num_zones)
+        else:
+            cell_zones = tuple(zones) if zones is not None else self.trace.zone_names
+            task = CellTask(kind="single-zone", config=configs[0],
+                            policy_label=policy_label, zones=cell_zones)
+        if self.audit:
+            return [
+                {bid: self._run_grid(replace(task, config=config, bid=bid))
+                 for bid in bids}
+                for config in configs
+            ]
+        starts_per_shape = [
+            [float(s) for s in self.starts(config)] for config in configs
+        ]
+        if self.workers > 1 and max(len(s) for s in starts_per_shape) > 1:
+            return self.executor.map_cube(task, configs, bids,
+                                          starts_per_shape)
+        out: list[dict[float, list[RunRecord]]] = [
+            {bid: [] for bid in bids} for _ in configs
+        ]
+        cell = self.run_cube_cell(task, configs, bids, starts_per_shape)
+        for k, pairs in enumerate(cell):
+            for bid, records in pairs:
+                out[k][bid].extend(records)
+        return out
+
     # -- grid cells -------------------------------------------------------
 
     def run_single_zone(

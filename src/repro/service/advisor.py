@@ -9,10 +9,13 @@
   most once while hot) and answered by a table lookup — microseconds,
   no simulation.
 * **Interpolated path.**  When no surface matches exactly but two
-  surfaces of the same shape bracket the job's deadline, the nearer
-  surface's recommendation is returned with its expected cost
-  linearly interpolated between the brackets (an estimate, flagged as
-  such via ``source="interpolated"``).
+  surfaces of the same shape bracket the job's deadline — bracket
+  pairs from one ``build_family`` deadline ladder are preferred over
+  mixed-axes pairs — the nearer surface's recommendation is returned
+  with its expected cost linearly interpolated between the brackets'
+  best-guaranteed costs (an estimate, flagged as such via
+  ``source="interpolated"``, and non-increasing in the deadline
+  whenever the rung optima are).
 * **Cold path.**  Otherwise the missing surface is built on the spot
   through the cached vector engine (off the event loop) and saved to
   the store — the next identical query is warm.
@@ -214,20 +217,53 @@ class AdvisorService:
                 return spec
         return None
 
+    @staticmethod
+    def _grid_axes(spec: SurfaceSpec) -> tuple:
+        """The spec's non-shape axes — the signature every surface of
+        one ``build_family`` ladder shares."""
+        return (
+            spec.policies, spec.bids, spec.zone_counts,
+            spec.num_experiments, spec.seed,
+        )
+
     def _bracketing_specs(
         self, job: JobSpec
     ) -> tuple[SurfaceSpec, SurfaceSpec] | None:
-        """Two same-shape surfaces whose deadlines straddle the job's."""
-        family = [
+        """Two same-shape surfaces whose deadlines straddle the job's.
+
+        Bracket pairs drawn from one surface *family* — identical grid
+        axes, i.e. what a ``build_family`` deadline ladder shares — are
+        preferred over mixed pairs: within a family every recommended
+        cell has a twin on the far surface (interpolation is always
+        well-defined) and ladders are deadline-dense, so the gap is
+        small.  Among family pairs the narrowest deadline gap wins;
+        the plain nearest pair is the mixed-axes fallback.
+        """
+        candidates = [
             spec
             for spec in self._catalog
             if spec.window == job.window
             and spec.covers(job.compute_s, spec.deadline_s, job.ckpt_cost_s)
         ]
-        below = [s for s in family if s.deadline_s <= job.deadline_s]
-        above = [s for s in family if s.deadline_s >= job.deadline_s]
+        below = [s for s in candidates if s.deadline_s <= job.deadline_s]
+        above = [s for s in candidates if s.deadline_s >= job.deadline_s]
         if not below or not above:
             return None
+        best: tuple[float, SurfaceSpec, SurfaceSpec] | None = None
+        for axes in dict.fromkeys(self._grid_axes(s) for s in below):
+            fam_below = [s for s in below if self._grid_axes(s) == axes]
+            fam_above = [s for s in above if self._grid_axes(s) == axes]
+            if not fam_above:
+                continue
+            lo = max(fam_below, key=lambda s: s.deadline_s)
+            hi = min(fam_above, key=lambda s: s.deadline_s)
+            if lo.deadline_s == hi.deadline_s:
+                continue
+            gap = hi.deadline_s - lo.deadline_s
+            if best is None or gap < best[0]:
+                best = (gap, lo, hi)
+        if best is not None:
+            return best[1], best[2]
         lo = max(below, key=lambda s: s.deadline_s)
         hi = min(above, key=lambda s: s.deadline_s)
         if lo.deadline_s == hi.deadline_s:
@@ -314,16 +350,20 @@ class AdvisorService:
             best = near_surface.best(job.budget) or near_surface.best()
             if best is not None:
                 cost = best.expected_cost
-                twin = far_surface.cell(best.policy, best.zones, best.bid)
-                if twin is not None:
-                    # linear in deadline between the two surfaces' costs
+                far_best = far_surface.best(job.budget) or far_surface.best()
+                if far_best is not None:
+                    # Linear in deadline between the two surfaces' own
+                    # best-guaranteed costs (not one cell's twin): the
+                    # estimate is then continuous across the bracket and
+                    # non-increasing whenever the rung optima are — the
+                    # slack monotonicity the ladder property test pins.
                     frac = (job.deadline_s - lo.deadline_s) / (
                         hi.deadline_s - lo.deadline_s
                     )
                     lo_cost, hi_cost = (
-                        (cost, twin.expected_cost)
+                        (cost, far_best.expected_cost)
                         if near is lo
-                        else (twin.expected_cost, cost)
+                        else (far_best.expected_cost, cost)
                     )
                     cost = lo_cost + frac * (hi_cost - lo_cost)
                 self.stats.interpolated += 1

@@ -412,3 +412,76 @@ class SurfaceBuilder:
         if self.store is not None:
             self.store.save(surface)
         return surface
+
+    def build_family(self, specs: Sequence[SurfaceSpec]) -> list[PolicySurface]:
+        """Evaluate a whole shape ladder in one cube pass per cell.
+
+        The specs must share every grid axis — window, policies, bids,
+        zone counts, experiment count and seed — and differ only in job
+        shape (compute, deadline, checkpoint/restart costs): a deadline
+        ladder is the canonical family.  Each (policy, zone-set) cell
+        then advances the *entire* ladder through
+        :meth:`ExperimentRunner.run_cube` in a single lockstep pass —
+        shape rows share the zone-dynamics column work — and one
+        versioned artifact is emitted per spec, each bit-identical to
+        what a standalone :meth:`build` of that spec would produce.
+        ``build_seconds`` on every artifact records the shared family
+        pass (the whole point: it is paid once, not once per deadline).
+        """
+        specs = list(specs)
+        if not specs:
+            raise ValueError("at least one spec is required")
+        head = specs[0]
+        for spec in specs[1:]:
+            for axis in ("window", "policies", "bids", "zone_counts",
+                         "num_experiments", "seed"):
+                if getattr(spec, axis) != getattr(head, axis):
+                    raise ValueError(
+                        f"family specs must share {axis}: "
+                        f"{getattr(spec, axis)!r} != {getattr(head, axis)!r}"
+                    )
+        t0 = time.perf_counter()
+        configs = [spec.config() for spec in specs]
+        cells: list[list[SurfaceCell]] = [[] for _ in specs]
+        with ExperimentRunner(
+            head.window,
+            num_experiments=head.num_experiments,
+            seed=head.seed,
+            workers=self.workers,
+            engine_mode=self.engine_mode,
+            cache_dir=self._cache_dir(),
+        ) as runner:
+            for policy in head.policies:
+                for n in head.zone_counts:
+                    per_shape = runner.run_cube(
+                        policy,
+                        configs,
+                        head.bids,
+                        redundant=n > 1,
+                        num_zones=n,
+                    )
+                    for k, per_bid in enumerate(per_shape):
+                        for bid in head.bids:
+                            cells[k].append(
+                                SurfaceCell.from_records(
+                                    policy, n, bid, per_bid[float(bid)]
+                                )
+                            )
+            # Capture before the runner context closes (closing shuts
+            # down the executor whose workers carry the merged stats).
+            self._absorb_stats(runner.drain_vector_stats())
+        build_seconds = time.perf_counter() - t0
+        built_unix = time.time()
+        surfaces = [
+            PolicySurface(
+                spec=spec,
+                cells=tuple(cells[k]),
+                build_seconds=build_seconds,
+                built_unix=built_unix,
+            )
+            for k, spec in enumerate(specs)
+        ]
+        if self.store is not None:
+            for surface in surfaces:
+                self.store.save(surface)
+        return surfaces

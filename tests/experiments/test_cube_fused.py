@@ -1,0 +1,107 @@
+"""Fused (shape x bid x start) cube entry point: runner-level equivalence.
+
+:meth:`ExperimentRunner.run_cube` must return, per shape, ``{bid:
+records}`` dicts identical — values *and* order — to :meth:`run_grid`
+called once per shape, whatever the engine mode; the parallel path
+(:meth:`SweepExecutor.map_cube`) must merge its contiguous start
+chunks back into the same records; and audited runners must fall back
+to per-run simulation so the auditor observes every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.workload import paper_experiment
+from repro.experiments.runner import POLICY_FACTORIES, ExperimentRunner
+
+BIDS = (0.27, 0.35, 0.81)
+SLACKS = (0.15, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return [paper_experiment(slack_fraction=s) for s in SLACKS]
+
+
+@pytest.fixture(scope="module")
+def vector_runner():
+    return ExperimentRunner("low", num_experiments=3, engine_mode="vector")
+
+
+@pytest.fixture(scope="module")
+def per_shape_grids(vector_runner, shapes):
+    """The comparison baseline: one run_grid per shape."""
+    return {
+        (label, n): [
+            vector_runner.run_grid(label, cfg, BIDS, redundant=n > 1,
+                                   num_zones=n)
+            for cfg in shapes
+        ]
+        for label in sorted(POLICY_FACTORIES)
+        for n in (1, 3)
+    }
+
+
+class TestRunCubeEquivalence:
+    @pytest.mark.parametrize("label", sorted(POLICY_FACTORIES))
+    def test_single_zone_matches_per_shape(
+        self, vector_runner, shapes, per_shape_grids, label
+    ):
+        cube = vector_runner.run_cube(label, shapes, BIDS)
+        assert cube == per_shape_grids[(label, 1)]
+
+    @pytest.mark.parametrize("label", ["periodic", "markov-daly"])
+    def test_redundant_matches_per_shape(
+        self, vector_runner, shapes, per_shape_grids, label
+    ):
+        cube = vector_runner.run_cube(label, shapes, BIDS, redundant=True,
+                                      num_zones=3)
+        assert cube == per_shape_grids[(label, 3)]
+
+    def test_fast_engine_mode_matches(self, shapes, per_shape_grids):
+        """The cube contract holds under engine_mode='fast' too (rows
+        fall back to per-run simulation inside the engine)."""
+        runner = ExperimentRunner("low", num_experiments=3)
+        cube = runner.run_cube("periodic", shapes[:2], BIDS)
+        assert cube == per_shape_grids[("periodic", 1)][:2]
+
+    def test_duplicate_bids_collapse(self, vector_runner, shapes):
+        cube = vector_runner.run_cube("periodic", shapes[:1],
+                                      (0.27, 0.27, 0.81))
+        assert sorted(cube[0]) == [0.27, 0.81]
+
+    def test_single_shape_matches_run_grid(self, vector_runner, shapes,
+                                           per_shape_grids):
+        cube = vector_runner.run_cube("threshold", shapes[:1], BIDS)
+        assert cube == per_shape_grids[("threshold", 1)][:1]
+
+    def test_empty_shapes_rejected(self, vector_runner):
+        with pytest.raises(ValueError, match="at least one job shape"):
+            vector_runner.run_cube("periodic", [], BIDS)
+
+
+class TestParallelCube:
+    def test_map_cube_matches_serial(self, shapes, per_shape_grids):
+        with ExperimentRunner("low", num_experiments=3,
+                              engine_mode="vector", workers=2) as runner:
+            cube = runner.run_cube("periodic", shapes, BIDS)
+        assert cube == per_shape_grids[("periodic", 1)]
+
+    def test_map_cube_ships_vector_stats(self, shapes):
+        with ExperimentRunner("low", num_experiments=3,
+                              engine_mode="vector", workers=2) as runner:
+            runner.run_cube("markov-daly", shapes[:2], BIDS)
+            stats = runner.drain_vector_stats()
+        assert stats is not None and stats.native > 0
+
+
+class TestAuditedCube:
+    def test_audited_cube_falls_back_per_run(self, shapes, per_shape_grids):
+        runner = ExperimentRunner("low", num_experiments=3,
+                                  engine_mode="vector", audit=True)
+        cube = runner.run_cube("periodic", shapes[:2], BIDS)
+        assert cube == per_shape_grids[("periodic", 1)][:2]
+        report = runner.drain_audit()
+        assert report.ok and report.counters.runs > 0
+        runner.close()

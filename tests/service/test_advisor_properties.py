@@ -1,0 +1,92 @@
+"""Property tests over a warm deadline ladder of same-shape surfaces.
+
+The economics the advisor serves must respect slack: for one job shape
+against one window, loosening the deadline can only make the
+recommended plan cheaper (or leave it unchanged) — more slack means
+the policy rides spot longer before the forced on-demand switch.  Over
+a warm surface family the hypothesis half sweeps query deadlines
+across the ladder and checks that :meth:`AdvisorService.advise` prices
+are non-increasing in the deadline and that the ``source`` field
+transitions surface -> interpolated -> surface exactly at the rungs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import AdvisorService, JobSpec, SurfaceBuilder, SurfaceSpec, SurfaceStore
+
+BASE = dict(
+    window="low",
+    compute_s=2 * 3600.0,
+    ckpt_cost_s=300.0,
+    restart_cost_s=300.0,
+    policies=("periodic", "markov-daly"),
+    bids=(0.27, 0.81),
+    zone_counts=(1, 3),
+    num_experiments=2,
+)
+#: Rung deadlines in minutes — queries are drawn on the minute grid so
+#: no draw lands inside the exact-match float tolerance by accident.
+RUNG_MIN = (180, 240, 360)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def job(minutes: int) -> JobSpec:
+    return JobSpec(
+        compute_s=BASE["compute_s"],
+        deadline_s=minutes * 60.0,
+        ckpt_cost_s=BASE["ckpt_cost_s"],
+    )
+
+
+@pytest.fixture(scope="module")
+def ladder_service(tmp_path_factory):
+    """A warm advisor over a three-rung deadline ladder (one family)."""
+    store = SurfaceStore(tmp_path_factory.mktemp("ladder"))
+    specs = [SurfaceSpec(deadline_s=m * 60.0, **BASE) for m in RUNG_MIN]
+    SurfaceBuilder(store=store).build_family(specs)
+    return AdvisorService(store), {m: spec.key() for m, spec in zip(RUNG_MIN, specs)}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    minutes=st.lists(
+        st.integers(min_value=RUNG_MIN[0], max_value=RUNG_MIN[-1]),
+        min_size=2,
+        max_size=8,
+        unique=True,
+    )
+)
+def test_cost_non_increasing_as_deadline_loosens(ladder_service, minutes):
+    """Looser deadline, same job: never a costlier recommendation."""
+    service, _ = ladder_service
+    minutes = sorted(minutes)
+    costs = [run(service.advise(job(m))).expected_cost for m in minutes]
+    for tight, loose in zip(costs, costs[1:]):
+        assert loose <= tight + 1e-9, (minutes, costs)
+    assert service.stats.cold_builds == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(minutes=st.integers(min_value=RUNG_MIN[0], max_value=RUNG_MIN[-1]))
+def test_source_transitions_track_the_rungs(ladder_service, minutes):
+    """On a rung: an exact surface answer keyed to that rung.  Between
+    rungs: an interpolated answer keyed to one of the family's rungs —
+    and never a cold build on a warm ladder."""
+    service, keys = ladder_service
+    advice = run(service.advise(job(minutes)))
+    if minutes in keys:
+        assert advice.source == "surface"
+        assert advice.surface_key == keys[minutes]
+    else:
+        assert advice.source == "interpolated"
+        assert advice.surface_key in set(keys.values())
+    assert service.stats.cold_builds == 0

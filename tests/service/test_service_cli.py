@@ -3,10 +3,20 @@
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.vector_engine import FALLBACK_REASONS
+
+#: The stderr stats line's whole grammar: fixed counters, then an
+#: optional parenthesized reason tally.  Reasons are validated against
+#: the closed FALLBACK_REASONS enum separately.
+VECTOR_LINE = re.compile(
+    r"^vector-engine: native=\d+ cloned=\d+ fallback=\d+"
+    r"(?: \((?:[a-z-]+=\d+)(?: [a-z-]+=\d+)*\))?$"
+)
 
 SMALL = ["--experiments", "2", "--compute-hours", "2",
          "--policies", "periodic", "--bids", "0.27,0.81", "--zone-counts", "1"]
@@ -57,6 +67,24 @@ class TestSurfaceCommand:
         assert "vector-engine" not in captured.out
 
 
+class TestFamilyBuildCommand:
+    def test_deadlines_builds_a_family(self, tmp_path, capsys):
+        store = str(tmp_path / "surfaces")
+        assert main(["surface", "build", "--store", store,
+                     "--deadlines", "2.4,3,4", *SMALL]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("built surface") == 3
+        assert "family of 3 surfaces built in one cube pass" in captured.out
+        assert "vector-engine: native=" in captured.err
+        assert main(["surface", "ls", "--store", store]) == 0
+        assert "3 surface(s)" in capsys.readouterr().out
+
+    def test_deadlines_excludes_slack(self, tmp_path, capsys):
+        assert main(["surface", "build", "--store", str(tmp_path),
+                     "--deadlines", "3,4", "--slack", "0.5", *SMALL]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class TestAdviseCommand:
     def test_warm_answer_from_built_surface(self, tmp_path, capsys):
         store = str(tmp_path / "surfaces")
@@ -68,6 +96,35 @@ class TestAdviseCommand:
         assert "recommendation: policy=periodic" in captured.out
         assert "source: surface" in captured.out
         assert "cold_builds=0" in captured.err
+        # warm path ran no engine batches: no vector-engine line
+        assert "vector-engine" not in captured.err
+
+    def test_cold_build_through_reports_vector_stats(self, tmp_path, capsys):
+        """A cold advise runs surface builds through the engine, so the
+        stderr report carries the same vector-engine tally line that
+        `surface build` prints, ahead of the advisor counters."""
+        assert main(["advise", "--store", str(tmp_path / "empty"),
+                     "--slack", "0.5", "--compute-hours", "2",
+                     "--experiments", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "source: cold" in captured.out
+        assert "cold_builds=1" in captured.err
+        lines = captured.err.splitlines()
+        vector_lines = [l for l in lines if l.startswith("vector-engine:")]
+        assert len(vector_lines) == 1
+        # the line's format is pinned: fixed counters plus reasons drawn
+        # only from the engine's closed fallback enum
+        assert VECTOR_LINE.match(vector_lines[0]), vector_lines[0]
+        reasons = {
+            tok.split("=")[0]
+            for tok in re.findall(r"\(([^)]*)\)", vector_lines[0])
+            for tok in tok.split()
+        }
+        assert reasons <= FALLBACK_REASONS
+        # ordering: engine tally first, advisor counters after
+        assert lines.index(vector_lines[0]) < lines.index(
+            next(l for l in lines if l.startswith("advisor:"))
+        )
 
 
 class TestServeCommand:
